@@ -1,0 +1,88 @@
+// Command skybench regenerates the SkyServer experiments of the paper
+// (Fig. 14, Table III and Fig. 15). See DESIGN.md for the experiment
+// index.
+//
+// Usage:
+//
+//	skybench [flags] <experiment>
+//
+// Experiments:
+//
+//	batch    batch splits 4x25 / 2x50 / 1x100 (+ -n scaling) (Fig. 14)
+//	table3   recycle pool breakdown after the batch (Table III)
+//	subsume  B2/B4 combined-subsumption micro-benchmarks (Fig. 15)
+//	all      everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/sky"
+)
+
+func main() {
+	objects := flag.Int("objects", 200000, "number of synthetic sky objects")
+	n := flag.Int("n", 100, "workload batch size")
+	seeds := flag.Int("seeds", 12, "seed queries per micro-benchmark")
+	sel := flag.Float64("s", 0.02, "seed query selectivity (micro-benchmarks)")
+	seed := flag.Int64("seed", 42, "workload random seed")
+	flag.Parse()
+
+	exp := flag.Arg(0)
+	if exp == "" {
+		exp = "all"
+	}
+
+	fmt.Printf("# SkyServer experiments, %d objects\n\n", *objects)
+	db := sky.Generate(*objects, 17)
+
+	switch exp {
+	case "batch":
+		runBatch(db, *n, *seed)
+	case "table3":
+		runTable3(db, *n, *seed)
+	case "subsume":
+		runSubsume(db, *seeds, *sel, *seed)
+	case "all":
+		runBatch(db, *n, *seed)
+		runTable3(db, *n, *seed)
+		runSubsume(db, *seeds, *sel, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+}
+
+func runBatch(db *sky.DB, n int, seed int64) {
+	fmt.Printf("== Fig. 14: recycler effect on the %d-query batch ==\n", n)
+	w := sky.SampleWorkload(db, n, seed)
+	var rows []bench.Fig14Row
+	for _, segments := range []int{4, 2, 1} {
+		rows = append(rows, bench.SkyBatch(db, w, segments, seed))
+	}
+	bench.PrintFig14(os.Stdout, rows)
+	fmt.Println()
+}
+
+func runTable3(db *sky.DB, n int, seed int64) {
+	fmt.Println("== Table III: recycle pool content after the batch ==")
+	w := sky.SampleWorkload(db, n, seed)
+	bench.PrintTable3(os.Stdout, bench.Table3(db, w))
+	fmt.Println()
+}
+
+func runSubsume(db *sky.DB, seeds int, s float64, seed int64) {
+	for _, k := range []int{2, 4} {
+		nSeeds := seeds
+		if k == 2 {
+			nSeeds = seeds * 5 / 3 // B2 uses 20 seeds vs B4's 12 in the paper
+		}
+		fmt.Printf("== Fig. 15: combined subsumption micro-benchmark B%d (%d seeds, s=%.2f) ==\n", k, nSeeds, s)
+		mb := sky.GenMicroBench(k, nSeeds, s, seed)
+		bench.PrintFig15(os.Stdout, k, bench.SkySubsume(db, mb))
+		fmt.Println()
+	}
+}

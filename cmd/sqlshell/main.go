@@ -1,0 +1,132 @@
+// Command sqlshell is an interactive shell over the engine: SQL
+// queries (the sqlfe subset) run against a generated TPC-H or
+// SkyServer database with the recycler enabled, printing results
+// together with the pool statistics after every statement — a live
+// view of the paper's mechanism.
+//
+// Usage:
+//
+//	sqlshell -db tpch -sf 0.01
+//	sqlshell -db sky -objects 50000
+//
+// Shell commands: \pool dumps the recycle pool, \reset empties it,
+// \q quits. Everything else is parsed as SQL.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/recycler"
+	"repro/internal/sky"
+	"repro/internal/sqlfe"
+	"repro/internal/tpch"
+)
+
+func main() {
+	db := flag.String("db", "tpch", "database to generate: tpch or sky")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	objects := flag.Int("objects", 50000, "sky object count")
+	noRecycle := flag.Bool("norecycle", false, "disable the recycler")
+	flag.Parse()
+
+	var cat *catalog.Catalog
+	switch *db {
+	case "tpch":
+		d := tpch.Generate(*sf, 7)
+		cat = d.Cat
+		fmt.Printf("TPC-H SF %.3f: %d orders, %d lineitems\n", *sf, d.Orders, d.Lineitems)
+	case "sky":
+		d := sky.Generate(*objects, 17)
+		cat = d.Cat
+		fmt.Printf("SkyServer: %d objects\n", d.Objects)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown db %q\n", *db)
+		os.Exit(2)
+	}
+
+	fe := sqlfe.NewFrontend(cat)
+	var rec *recycler.Recycler
+	if !*noRecycle {
+		rec = recycler.New(cat, recycler.Config{
+			Admission: recycler.KeepAll, Subsumption: true, CombinedSubsumption: true,
+		})
+		fmt.Println("recycler: keepall, subsumption on (\\pool to inspect, \\q to quit)")
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	qid := uint64(0)
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case line == `\pool`:
+			if rec != nil {
+				fmt.Print(rec.Pool().Dump())
+			} else {
+				fmt.Println("recycler disabled")
+			}
+		case line == `\stats`:
+			if rec != nil {
+				s := rec.Snapshot()
+				fmt.Printf("pool: %d entries / %d KB (%d reused / %d KB reused)\n",
+					s.Entries, s.Bytes/1024, s.ReusedEntries, s.ReusedBytes/1024)
+				fmt.Printf("lifetime: %d admitted, %d evicted, %d invalidated\n",
+					s.Admitted, s.Evicted, s.Invalidated)
+			}
+		case line == `\reset`:
+			if rec != nil {
+				rec.Reset()
+				fmt.Println("pool cleared")
+			}
+		default:
+			qid++
+			runSQL(fe, cat, rec, qid, line)
+		}
+		fmt.Print("sql> ")
+	}
+}
+
+func runSQL(fe *sqlfe.Frontend, cat *catalog.Catalog, rec *recycler.Recycler, qid uint64, src string) {
+	tmpl, params, err := fe.Compile(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ctx := &mal.Ctx{Cat: cat, QueryID: qid}
+	if rec != nil {
+		ctx.Hook = rec
+		rec.BeginQuery(qid, tmpl.ID)
+	}
+	start := time.Now()
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	elapsed := time.Since(start)
+	for _, r := range ctx.Results {
+		if r.Val.Kind == mal.VBat {
+			fmt.Printf("%s = %s\n", r.Name, r.Val.Bat.Dump(10))
+		} else {
+			fmt.Printf("%s = %s\n", r.Name, r.Val.String())
+		}
+	}
+	if rec != nil {
+		fmt.Printf("-- %v, hits %d/%d, subsumed %d, pool %d entries / %d KB\n",
+			elapsed.Round(time.Microsecond),
+			ctx.Stats.HitsNonBind, ctx.Stats.MarkedNonBind, ctx.Stats.Subsumed,
+			rec.Pool().Len(), rec.Pool().Bytes()/1024)
+	} else {
+		fmt.Printf("-- %v\n", elapsed.Round(time.Microsecond))
+	}
+}

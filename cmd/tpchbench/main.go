@@ -1,0 +1,142 @@
+// Command tpchbench regenerates the TPC-H experiments of the paper
+// (Table II and Figures 4–13). See DESIGN.md for the experiment
+// index.
+//
+// Usage:
+//
+//	tpchbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table2      per-query commonality and savings (Table II)
+//	micro       10-instance profile of one query (-q) (Figs. 4–5)
+//	fig6        naive / recycle-first / recycle-avg summary (Fig. 6)
+//	admission   credit/adapt sweep on the mixed batch (Figs. 7–9)
+//	eviction    limited-pool sweep, -limit entries|memory (Figs. 10–11)
+//	updates     refresh blocks every -k queries (Figs. 12–13)
+//	all         everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	seed := flag.Int64("seed", 42, "workload random seed")
+	qnum := flag.Int("q", 18, "query number for micro profiles")
+	instances := flag.Int("instances", 10, "instances per query in micro profiles")
+	limit := flag.String("limit", "entries", "eviction limit kind: entries or memory")
+	k := flag.Int("k", 20, "queries per update block (updates experiment)")
+	per := flag.Int("per", 20, "instances per query in the mixed batch")
+	flag.Parse()
+
+	exp := flag.Arg(0)
+	if exp == "" {
+		exp = "all"
+	}
+
+	fmt.Printf("# TPC-H experiments, SF=%.3f seed=%d\n", *sf, *seed)
+	db := tpch.Generate(*sf, 7)
+	fmt.Printf("# generated: %d orders, %d lineitems, %d customers\n\n",
+		db.Orders, db.Lineitems, db.Customers)
+
+	switch exp {
+	case "table2":
+		runTable2(db, *seed)
+	case "micro":
+		runMicro(db, *qnum, *instances, *seed)
+	case "fig6":
+		runFig6(db, *instances, *seed)
+	case "admission":
+		runAdmission(db, *per, *seed)
+	case "eviction":
+		runEviction(db, *limit, *per, *seed)
+	case "updates":
+		runUpdates(*sf, *per, *k, *seed)
+	case "throughput":
+		runThroughput(db, *per, *seed)
+	case "sync":
+		runSync(*sf, *per, *k, *seed)
+	case "all":
+		runTable2(db, *seed)
+		for _, q := range []int{11, 18, 19, 14} {
+			runMicro(db, q, *instances, *seed)
+		}
+		runFig6(db, *instances, *seed)
+		runAdmission(db, *per, *seed)
+		runEviction(db, "entries", *per, *seed)
+		runEviction(db, "memory", *per, *seed)
+		runUpdates(*sf, *per, *k, *seed)
+		runUpdates(*sf, *per, 1, *seed)
+		runThroughput(db, *per, *seed)
+		runSync(*sf, *per, *k, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+}
+
+func runTable2(db *tpch.DB, seed int64) {
+	fmt.Println("== Table II: characteristics of TPC-H queries ==")
+	bench.PrintTable2(os.Stdout, bench.Table2(db, seed))
+	fmt.Println()
+}
+
+func runMicro(db *tpch.DB, q, instances int, seed int64) {
+	fmt.Printf("== Fig. 4/5 micro profile: Q%d, %d instances ==\n", q, instances)
+	bench.PrintProfile(os.Stdout, q, bench.MicroProfile(db, q, instances, seed))
+	fmt.Println()
+}
+
+func runFig6(db *tpch.DB, instances int, seed int64) {
+	fmt.Println("== Fig. 6: recycler effect on performance ==")
+	bench.PrintFig6(os.Stdout, bench.Fig6(db, []int{11, 18, 19, 14}, instances, seed))
+	fmt.Println()
+}
+
+func runAdmission(db *tpch.DB, per int, seed int64) {
+	fmt.Printf("== Figs. 7-9: admission policies (mixed batch, %d per query) ==\n", per*10)
+	items := bench.MixedWorkload(per, seed)
+	bench.PrintAdmission(os.Stdout, bench.AdmissionSweep(db, items, 10))
+	fmt.Println()
+}
+
+func runEviction(db *tpch.DB, limit string, per int, seed int64) {
+	fmt.Printf("== Figs. 10/11: eviction policies, %s-limited ==\n", limit)
+	items := bench.MixedWorkload(per, seed)
+	bench.PrintEviction(os.Stdout, bench.EvictionSweep(db, items, limit, []int{20, 40, 60, 80}))
+	fmt.Println()
+}
+
+func runThroughput(db *tpch.DB, per int, seed int64) {
+	fmt.Println("== Throughput: naive vs recycled on the mixed batch ==")
+	bench.PrintThroughput(os.Stdout, bench.Throughput(db, bench.MixedWorkload(per, seed)))
+	fmt.Println()
+}
+
+func runSync(sf float64, per, k int, seed int64) {
+	fmt.Printf("== §6 ablation: invalidation vs delta propagation, K=%d ==\n", k)
+	rows := bench.SyncAblation(sf, 7, func(db *tpch.DB) []bench.WorkItem {
+		return bench.MixedWorkload(per, seed)
+	}, k)
+	bench.PrintSyncAblation(os.Stdout, rows)
+	fmt.Println()
+}
+
+func runUpdates(sf float64, per, k int, seed int64) {
+	fmt.Printf("== Figs. 12/13: recycling with updates, K=%d ==\n", k)
+	series := bench.UpdatesSweep(sf, 7, func(db *tpch.DB) []bench.WorkItem {
+		return bench.MixedWorkload(per, seed)
+	}, k)
+	bench.PrintUpdates(os.Stdout, series, 10)
+	for _, s := range series {
+		fmt.Printf("# %-10s total time %v\n", s.Strategy, s.Elapsed)
+	}
+	fmt.Println()
+}

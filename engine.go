@@ -1,0 +1,114 @@
+// Package repro is a from-scratch Go reproduction of "An Architecture
+// for Recycling Intermediates in a Column-store" (Ivanova, Kersten,
+// Nes, Gonçalves — SIGMOD 2009 / TODS 2010).
+//
+// It bundles a MonetDB-style operator-at-a-time column engine
+// (BAT storage, binary relational algebra, MAL-like templates and
+// interpreter) with the paper's recycler: an optimizer pass that marks
+// instructions worth monitoring plus a run-time module that keeps
+// their materialised results in a recycle pool, matches upcoming
+// instructions against it (exactly or through subsumption) and
+// maintains the pool under admission and eviction policies.
+//
+// Quick start:
+//
+//	cat := repro.NewCatalog()
+//	// ... create tables, load rows (see examples/quickstart) ...
+//	eng := repro.NewEngine(cat, repro.WithRecycler(recycler.Config{
+//		Admission: recycler.KeepAll,
+//	}))
+//	tmpl := eng.Compile(buildTemplate()) // marks recyclable instructions
+//	res, err := eng.Exec(tmpl, mal.IntV(42))
+package repro
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/opt"
+	"repro/internal/recycler"
+	"repro/internal/sqlfe"
+)
+
+// NewCatalog creates an empty catalog. See the catalog package for
+// table creation, bulk loads and DML.
+func NewCatalog() *catalog.Catalog { return catalog.New() }
+
+// Engine executes compiled query templates against a catalog,
+// optionally with the recycler enabled.
+type Engine struct {
+	cat     *catalog.Catalog
+	rec     *recycler.Recycler
+	fe      *sqlfe.Frontend
+	queryID uint64
+	measure bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithRecycler enables recycling with the given configuration.
+func WithRecycler(cfg recycler.Config) Option {
+	return func(e *Engine) { e.rec = recycler.New(e.cat, cfg) }
+}
+
+// WithMeasure enables per-instruction timing of marked instructions
+// even without a recycler, so naive runs report potential savings.
+func WithMeasure() Option {
+	return func(e *Engine) { e.measure = true }
+}
+
+// NewEngine creates an engine over the catalog.
+func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
+	e := &Engine{cat: cat}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Recycler returns the engine's recycler, or nil when disabled.
+func (e *Engine) Recycler() *recycler.Recycler { return e.rec }
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Compile runs the optimizer pipeline (constant folding, dead code
+// elimination, recycler marking) over a freshly built template.
+func (e *Engine) Compile(t *mal.Template) *mal.Template {
+	return opt.Optimize(t, opt.Options{})
+}
+
+// ExecResult carries a query's exported results and statistics.
+type ExecResult struct {
+	Results []mal.Result
+	Stats   mal.QueryStats
+}
+
+// ExecSQL parses, compiles (through the template cache) and executes
+// an SQL query in the supported subset. Literals are factored into
+// template parameters, so repeated shapes share one template and the
+// recycler can match across instances (paper §2.2).
+func (e *Engine) ExecSQL(src string) (*ExecResult, error) {
+	if e.fe == nil {
+		e.fe = sqlfe.NewFrontend(e.cat)
+	}
+	tmpl, params, err := e.fe.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(tmpl, params...)
+}
+
+// Exec runs a compiled template with the given parameters.
+func (e *Engine) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error) {
+	e.queryID++
+	ctx := &mal.Ctx{Cat: e.cat, QueryID: e.queryID, Measure: e.measure}
+	if e.rec != nil {
+		ctx.Hook = e.rec
+		e.rec.BeginQuery(e.queryID, t.ID)
+	}
+	if err := mal.Run(ctx, t, params...); err != nil {
+		return nil, err
+	}
+	return &ExecResult{Results: ctx.Results, Stats: ctx.Stats}, nil
+}

@@ -1,0 +1,52 @@
+// TPC-H reuse demo: runs ten instances of Q18 (the paper's flagship
+// inter-query case) and of Q14 (the counter-example) and prints the
+// per-instance profile — a terminal rendition of the paper's Figs. 4b
+// and 5b.
+//
+// Run with: go run ./examples/tpch_reuse
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/recycler"
+	"repro/internal/tpch"
+)
+
+func main() {
+	fmt.Println("generating TPC-H data at SF 0.01 ...")
+	db := tpch.Generate(0.01, 7)
+	fmt.Printf("%d orders, %d lineitems\n\n", db.Orders, db.Lineitems)
+
+	for _, q := range []int{18, 14} {
+		profile(db, q)
+	}
+
+	// Show the raw reuse statistics of a Q18 pair directly.
+	d := tpch.QueryMap()[18]
+	r := bench.NewRecycled(db.Cat, recycler.Config{Admission: recycler.KeepAll})
+	rng := rand.New(rand.NewSource(1))
+	first := bench.Timed(func() { r.MustRun(d.Templ, d.Params(rng)...) })
+	second := bench.Timed(func() { r.MustRun(d.Templ, d.Params(rng)...) })
+	fmt.Printf("Q18 cold instance: %v, next instance with a different quantity level: %v (%.0fx)\n",
+		first.Round(time.Microsecond), second.Round(time.Microsecond),
+		float64(first)/float64(second))
+}
+
+func profile(db *tpch.DB, q int) {
+	fmt.Printf("=== Q%d: 10 instances, keepall/unlimited ===\n", q)
+	pts := bench.MicroProfile(db, q, 10, 3)
+	fmt.Println("inst  hit-ratio                      naive      recycled   RP-mem")
+	for _, p := range pts {
+		bar := strings.Repeat("#", int(p.HitRatio*20))
+		fmt.Printf("%4d  %-20s %.2f   %9v  %9v  %6dKB\n",
+			p.Instance, bar, p.HitRatio,
+			p.Naive.Round(time.Microsecond), p.Recycled.Round(time.Microsecond),
+			p.TotalMem/1024)
+	}
+	fmt.Println()
+}

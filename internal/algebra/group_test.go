@@ -1,0 +1,241 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+)
+
+func TestGroupNewAndCount(t *testing.T) {
+	b := bat.NewDenseHead(bat.NewStrings([]string{"a", "b", "a", "c", "b", "a"}))
+	g := GroupNew(b)
+	if g.NGroups != 3 {
+		t.Fatalf("ngroups = %d, want 3", g.NGroups)
+	}
+	c := AggrCount(g.Grp, g.NGroups)
+	counts := c.Tail.(*bat.Ints).V
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestGroupDerive(t *testing.T) {
+	a := bat.NewDenseHead(bat.NewStrings([]string{"x", "x", "y", "y"}))
+	b := bat.NewDenseHead(bat.NewInts([]int64{1, 2, 1, 1}))
+	g := GroupNew(a)
+	g2 := GroupDerive(g, b)
+	if g2.NGroups != 3 {
+		t.Fatalf("derived ngroups = %d, want 3", g2.NGroups)
+	}
+}
+
+func TestAggrSumIntAndFloat(t *testing.T) {
+	vals := bat.NewDenseHead(bat.NewInts([]int64{10, 20, 30}))
+	grpB := bat.NewDenseHead(bat.NewStrings([]string{"g1", "g2", "g1"}))
+	g := GroupNew(grpB)
+	s := AggrSum(vals, g.Grp, g.NGroups)
+	sums := s.Tail.(*bat.Ints).V
+	if sums[0] != 40 || sums[1] != 20 {
+		t.Fatalf("sums = %v", sums)
+	}
+	fvals := bat.NewDenseHead(bat.NewFloats([]float64{1.5, 2.5, bat.NilFloat()}))
+	fs := AggrSum(fvals, g.Grp, g.NGroups)
+	fsums := fs.Tail.(*bat.Floats).V
+	if fsums[0] != 1.5 || fsums[1] != 2.5 {
+		t.Fatalf("float sums = %v (nil must be skipped)", fsums)
+	}
+}
+
+func TestAggrAvgMinMax(t *testing.T) {
+	vals := bat.NewDenseHead(bat.NewInts([]int64{10, 20, 30, bat.NilInt}))
+	grpB := bat.NewDenseHead(bat.NewInts([]int64{1, 1, 2, 2}))
+	g := GroupNew(grpB)
+	avg := AggrAvg(vals, g.Grp, g.NGroups).Tail.(*bat.Floats).V
+	if avg[0] != 15 || avg[1] != 30 {
+		t.Fatalf("avg = %v", avg)
+	}
+	mn := AggrMin(vals, g.Grp, g.NGroups).Tail.(*bat.Ints).V
+	mx := AggrMax(vals, g.Grp, g.NGroups).Tail.(*bat.Ints).V
+	if mn[0] != 10 || mx[0] != 20 || mn[1] != 30 || mx[1] != 30 {
+		t.Fatalf("min = %v max = %v", mn, mx)
+	}
+}
+
+func TestGroupHeads(t *testing.T) {
+	b := bat.New(bat.NewOids([]bat.Oid{7, 8, 9}), bat.NewStrings([]string{"a", "b", "a"}))
+	g := GroupNew(b)
+	gh := GroupHeads(g, b)
+	if bat.OidAt(gh.Tail, 0) != 7 || bat.OidAt(gh.Tail, 1) != 8 {
+		t.Fatalf("group heads wrong: %s", gh.Dump(5))
+	}
+}
+
+func TestScalarAggregates(t *testing.T) {
+	fb := bat.NewDenseHead(bat.NewFloats([]float64{1, 2, bat.NilFloat()}))
+	if SumFloat(fb) != 3 {
+		t.Fatalf("SumFloat = %v", SumFloat(fb))
+	}
+	ib := bat.NewDenseHead(bat.NewInts([]int64{1, 2, bat.NilInt}))
+	if SumInt(ib) != 3 {
+		t.Fatalf("SumInt = %v", SumInt(ib))
+	}
+	if Count(ib) != 3 {
+		t.Fatalf("Count = %v", Count(ib))
+	}
+}
+
+func TestArithOps(t *testing.T) {
+	a := bat.NewDenseHead(bat.NewFloats([]float64{2, 3}))
+	b := bat.NewDenseHead(bat.NewFloats([]float64{5, 7}))
+	if got := MulFloat(a, b).Tail.(*bat.Floats).V; got[0] != 10 || got[1] != 21 {
+		t.Fatalf("mul = %v", got)
+	}
+	if got := AddFloat(a, b).Tail.(*bat.Floats).V; got[0] != 7 || got[1] != 10 {
+		t.Fatalf("add = %v", got)
+	}
+	if got := SubFromConstFloat(a, 1).Tail.(*bat.Floats).V; got[0] != -1 || got[1] != -2 {
+		t.Fatalf("1-x = %v", got)
+	}
+	if got := AddConstFloat(a, 1).Tail.(*bat.Floats).V; got[0] != 3 {
+		t.Fatalf("x+1 = %v", got)
+	}
+	if got := MulConstFloat(a, 2).Tail.(*bat.Floats).V; got[1] != 6 {
+		t.Fatalf("2x = %v", got)
+	}
+	nilIn := bat.NewDenseHead(bat.NewFloats([]float64{bat.NilFloat()}))
+	if got := AddConstFloat(nilIn, 1).Tail.(*bat.Floats).V; !math.IsNaN(got[0]) {
+		t.Fatalf("nil not propagated: %v", got)
+	}
+	iv := bat.NewDenseHead(bat.NewInts([]int64{4, bat.NilInt}))
+	fv := IntToFloat(iv).Tail.(*bat.Floats).V
+	if fv[0] != 4 || !math.IsNaN(fv[1]) {
+		t.Fatalf("IntToFloat = %v", fv)
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	d := MkDate(1996, 7, 1)
+	if got := AddMonths(d, 3); got != MkDate(1996, 10, 1) {
+		t.Fatalf("addmonths = %v", got)
+	}
+	if got := AddMonths(MkDate(1996, 12, 15), 1); got != MkDate(1997, 1, 15) {
+		t.Fatalf("year rollover = %v", got)
+	}
+	if got := AddMonths(MkDate(1996, 1, 31), 1); got != MkDate(1996, 2, 29) {
+		t.Fatalf("leap clamp = %v", got)
+	}
+	if got := AddYears(MkDate(1995, 1, 1), 2); got != MkDate(1997, 1, 1) {
+		t.Fatalf("addyears = %v", got)
+	}
+	y, m, day := CivilFromDays(int32(MkDate(1998, 12, 1)))
+	if y != 1998 || m != 12 || day != 1 {
+		t.Fatalf("civil roundtrip = %d-%d-%d", y, m, day)
+	}
+}
+
+func TestYearExtract(t *testing.T) {
+	b := bat.NewDenseHead(bat.NewDates([]bat.Date{MkDate(1995, 3, 4), MkDate(1996, 1, 1), bat.NilDate}))
+	ys := Year(b).Tail.(*bat.Ints).V
+	if ys[0] != 1995 || ys[1] != 1996 || ys[2] != bat.NilInt {
+		t.Fatalf("years = %v", ys)
+	}
+}
+
+func TestSortByTailAndTopN(t *testing.T) {
+	b := bat.NewDenseHead(bat.NewInts([]int64{3, 1, 2}))
+	asc := SortByTail(b, true)
+	if asc.Tail.Get(0) != int64(1) || !asc.TailSorted {
+		t.Fatalf("sort asc wrong: %s", asc.Dump(5))
+	}
+	desc := SortByTail(b, false)
+	if desc.Tail.Get(0) != int64(3) {
+		t.Fatalf("sort desc wrong: %s", desc.Dump(5))
+	}
+	top := TopN(desc, 2)
+	if top.Len() != 2 {
+		t.Fatalf("topn len = %d", top.Len())
+	}
+	if TopN(b, 10) != b {
+		t.Fatal("topn larger than input should be identity")
+	}
+}
+
+func TestMergeDedupByHead(t *testing.T) {
+	a := bat.New(bat.NewOids([]bat.Oid{1, 3}), bat.NewInts([]int64{10, 30}))
+	b := bat.New(bat.NewOids([]bat.Oid{3, 5}), bat.NewInts([]int64{30, 50}))
+	m := MergeDedupByHead([]*bat.BAT{a, b})
+	if m.Len() != 3 || !m.HeadSorted || !m.KeyUnique {
+		t.Fatalf("merge wrong: %s", m.Dump(5))
+	}
+	if bat.OidAt(m.Head, 1) != 3 || m.Tail.Get(1) != int64(30) {
+		t.Fatalf("merge row1 wrong: %s", m.Dump(5))
+	}
+	if MergeDedupByHead([]*bat.BAT{a}) != a {
+		t.Fatal("single-part merge should be identity")
+	}
+}
+
+// Property: per-group sums add up to the scalar total.
+func TestAggrSumConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		vals := make([]int64, n)
+		keys := make([]int64, n)
+		var total int64
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+			keys[i] = int64(rng.Intn(10))
+			total += vals[i]
+		}
+		vb := bat.NewDenseHead(bat.NewInts(vals))
+		kb := bat.NewDenseHead(bat.NewInts(keys))
+		g := GroupNew(kb)
+		s := AggrSum(vb, g.Grp, g.NGroups)
+		var sum int64
+		for _, x := range s.Tail.(*bat.Ints).V {
+			sum += x
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merged dedup of randomly split parts of a key-unique BAT
+// reconstructs the original row set.
+func TestMergeDedupReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		heads := make([]bat.Oid, n)
+		tails := make([]int64, n)
+		for i := range heads {
+			heads[i] = bat.Oid(i * 2)
+			tails[i] = rng.Int63n(100)
+		}
+		full := bat.New(bat.NewOids(heads), bat.NewInts(tails))
+		// Two overlapping slices covering the whole BAT.
+		cut1 := rng.Intn(n-1) + 1
+		cut0 := rng.Intn(cut1)
+		p1 := full.Slice(0, cut1)
+		p2 := full.Slice(cut0, n)
+		m := MergeDedupByHead([]*bat.BAT{p1, p2})
+		if m.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if bat.OidAt(m.Head, i) != heads[i] || m.Tail.Get(i) != tails[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package algebra
+
+import (
+	"repro/internal/bat"
+)
+
+// Join implements the binary equi-join algebra.join(L, R): it matches
+// L's tail values against R's head oids and produces (L.head, R.tail)
+// pairs. This is MonetDB's canonical join shape: the left operand ends
+// in a column of oids referencing the right operand's head. The result
+// preserves L's row order.
+func Join(l, r *bat.BAT) *bat.BAT {
+	if l.Tail.Kind() != bat.KOid {
+		return joinByValue(l, r)
+	}
+	// Fast path: R has a dense head, so matching is direct indexing.
+	if dh, ok := r.Head.(*bat.DenseOids); ok {
+		return joinDenseHead(l, r, dh)
+	}
+	rIdx := bat.BuildHashOnHead(r)
+	var li []int
+	var ri []int
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		v := bat.OidAt(l.Tail, i)
+		for _, p := range rIdx[v] {
+			li = append(li, i)
+			ri = append(ri, p)
+		}
+	}
+	_ = n
+	return gatherJoin(l, r, li, ri)
+}
+
+func joinDenseHead(l, r *bat.BAT, dh *bat.DenseOids) *bat.BAT {
+	var li, ri []int
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		v := bat.OidAt(l.Tail, i)
+		if v >= dh.Start && v < dh.Start+bat.Oid(dh.N) {
+			li = append(li, i)
+			ri = append(ri, int(v-dh.Start))
+		}
+	}
+	return gatherJoin(l, r, li, ri)
+}
+
+// joinByValue joins on value equality between L.tail and R.head when
+// the join column is not oid-typed (e.g. joining through a value key).
+// R.head must then be a materialised vector of the same kind.
+func joinByValue(l, r *bat.BAT) *bat.BAT {
+	// Build value -> positions over R's head by viewing it as a tail.
+	rv := bat.New(r.Head, r.Head)
+	h := bat.BuildHashOnTail(rv)
+	var li, ri []int
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		var ps []int
+		switch t := l.Tail.(type) {
+		case *bat.Ints:
+			ps = h.LookupInt(t.V[i])
+		case *bat.Strings:
+			ps = h.LookupStr(t.V[i])
+		case *bat.Dates:
+			ps = h.LookupDate(t.V[i])
+		case *bat.Floats:
+			ps = h.LookupFloat(t.V[i])
+		default:
+			panic("algebra: joinByValue unsupported tail type")
+		}
+		for _, p := range ps {
+			li = append(li, i)
+			ri = append(ri, p)
+		}
+	}
+	return gatherJoin(l, r, li, ri)
+}
+
+func gatherJoin(l, r *bat.BAT, li, ri []int) *bat.BAT {
+	heads := make([]bat.Oid, len(li))
+	for i, p := range li {
+		heads[i] = bat.OidAt(l.Head, p)
+	}
+	out := bat.New(bat.NewOids(heads), bat.GatherVector(r.Tail, ri))
+	out.HeadSorted = l.HeadSorted
+	return out
+}
+
+// Semijoin implements algebra.semijoin(L, R): the rows of L whose head
+// oid appears among R's head oids. It preserves L's order.
+func Semijoin(l, r *bat.BAT) *bat.BAT {
+	set := bat.HeadSet(r)
+	idx := make([]int, 0, min(l.Len(), r.Len()))
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		if _, ok := set[bat.OidAt(l.Head, i)]; ok {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == n {
+		return l
+	}
+	out := bat.Gather(l, idx)
+	out.HeadSorted = l.HeadSorted
+	out.KeyUnique = l.KeyUnique
+	return out
+}
+
+// AntiSemijoin returns the rows of L whose head oid does NOT appear
+// among R's head oids. Used by delete propagation.
+func AntiSemijoin(l, r *bat.BAT) *bat.BAT {
+	set := bat.HeadSet(r)
+	idx := make([]int, 0, l.Len())
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		if _, ok := set[bat.OidAt(l.Head, i)]; !ok {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == n {
+		return l
+	}
+	out := bat.Gather(l, idx)
+	out.HeadSorted = l.HeadSorted
+	out.KeyUnique = l.KeyUnique
+	return out
+}
+
+// DeleteHeads returns the rows of b whose head oid is not in the given
+// set. Used by update invalidation/propagation paths.
+func DeleteHeads(b *bat.BAT, dead map[bat.Oid]struct{}) *bat.BAT {
+	if len(dead) == 0 {
+		return b
+	}
+	idx := make([]int, 0, b.Len())
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if _, ok := dead[bat.OidAt(b.Head, i)]; !ok {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == n {
+		return b
+	}
+	out := bat.Gather(b, idx)
+	out.HeadSorted = b.HeadSorted
+	return out
+}
+
+// KUnique implements bat.kunique: it retains the first occurrence of
+// every distinct head value, preserving order. Heads of any base type
+// are supported (queries often reverse a value column into the head
+// before deduplicating, as in the paper's Fig. 1).
+func KUnique(b *bat.BAT) *bat.BAT {
+	n := b.Len()
+	seen := make(map[any]struct{}, n)
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		h := b.Head.Get(i)
+		if _, ok := seen[h]; ok {
+			continue
+		}
+		seen[h] = struct{}{}
+		idx = append(idx, i)
+	}
+	if len(idx) == n {
+		out := *b
+		out.KeyUnique = true
+		return &out
+	}
+	out := gatherAnyHead(b, idx)
+	out.KeyUnique = true
+	out.HeadSorted = b.HeadSorted
+	return out
+}
+
+// gatherAnyHead materialises rows of b at idx, tolerating non-oid
+// heads (unlike bat.Gather, which requires oid heads).
+func gatherAnyHead(b *bat.BAT, idx []int) *bat.BAT {
+	return bat.New(bat.GatherVector(b.Head, idx), bat.GatherVector(b.Tail, idx))
+}

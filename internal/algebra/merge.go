@@ -1,0 +1,143 @@
+package algebra
+
+import (
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// MergeDedupByHead concatenates the given BATs and removes duplicate
+// head oids, keeping the first occurrence after a stable sort by head.
+// The recycler's combined subsumption (paper §5.2, Algorithm 2) uses it
+// to union piecewise selections over overlapping cached intermediates:
+// overlapping pieces contribute the same (head, tail) pairs, so
+// deduplication by head restores set semantics.
+func MergeDedupByHead(parts []*bat.BAT) *bat.BAT {
+	switch len(parts) {
+	case 0:
+		panic("algebra: merge of zero parts")
+	case 1:
+		return parts[0]
+	}
+	allSorted := true
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		if !p.HeadSorted {
+			allSorted = false
+		}
+	}
+	if allSorted {
+		return mergeSortedParts(parts, total)
+	}
+	type row struct {
+		head bat.Oid
+		part int
+		pos  int
+	}
+	rows := make([]row, 0, total)
+	for pi, p := range parts {
+		n := p.Len()
+		for i := 0; i < n; i++ {
+			rows = append(rows, row{head: bat.OidAt(p.Head, i), part: pi, pos: i})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].head < rows[j].head })
+	// Gather deduplicated rows part-by-part index lists to reuse Gather.
+	heads := make([]bat.Oid, 0, len(rows))
+	srcPart := make([]int, 0, len(rows))
+	srcPos := make([]int, 0, len(rows))
+	for i, r := range rows {
+		if i > 0 && r.head == rows[i-1].head {
+			continue
+		}
+		heads = append(heads, r.head)
+		srcPart = append(srcPart, r.part)
+		srcPos = append(srcPos, r.pos)
+	}
+	tail := gatherTailAcross(parts, srcPart, srcPos)
+	out := bat.New(bat.NewOids(heads), tail)
+	out.HeadSorted = true
+	out.KeyUnique = true
+	return out
+}
+
+// mergeSortedParts performs a k-way merge of head-sorted parts with
+// duplicate elimination — the common case for combined subsumption,
+// whose pieces are clipped selects over oid-ordered intermediates.
+func mergeSortedParts(parts []*bat.BAT, total int) *bat.BAT {
+	pos := make([]int, len(parts))
+	heads := make([]bat.Oid, 0, total)
+	srcPart := make([]int, 0, total)
+	srcPos := make([]int, 0, total)
+	for {
+		best := -1
+		var bestHead bat.Oid
+		for pi, p := range parts {
+			if pos[pi] >= p.Len() {
+				continue
+			}
+			h := bat.OidAt(p.Head, pos[pi])
+			if best < 0 || h < bestHead {
+				best, bestHead = pi, h
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if n := len(heads); n == 0 || heads[n-1] != bestHead {
+			heads = append(heads, bestHead)
+			srcPart = append(srcPart, best)
+			srcPos = append(srcPos, pos[best])
+		}
+		pos[best]++
+	}
+	out := bat.New(bat.NewOids(heads), gatherTailAcross(parts, srcPart, srcPos))
+	out.HeadSorted = true
+	out.KeyUnique = true
+	return out
+}
+
+func gatherTailAcross(parts []*bat.BAT, srcPart, srcPos []int) bat.Vector {
+	k := parts[0].Tail.Kind()
+	n := len(srcPart)
+	switch k {
+	case bat.KInt:
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = parts[srcPart[i]].Tail.(*bat.Ints).V[srcPos[i]]
+		}
+		return bat.NewInts(v)
+	case bat.KFloat:
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = parts[srcPart[i]].Tail.(*bat.Floats).V[srcPos[i]]
+		}
+		return bat.NewFloats(v)
+	case bat.KStr:
+		v := make([]string, n)
+		for i := range v {
+			v[i] = parts[srcPart[i]].Tail.(*bat.Strings).V[srcPos[i]]
+		}
+		return bat.NewStrings(v)
+	case bat.KDate:
+		v := make([]bat.Date, n)
+		for i := range v {
+			v[i] = parts[srcPart[i]].Tail.(*bat.Dates).V[srcPos[i]]
+		}
+		return bat.NewDates(v)
+	case bat.KOid:
+		v := make([]bat.Oid, n)
+		for i := range v {
+			v[i] = bat.OidAt(parts[srcPart[i]].Tail, srcPos[i])
+		}
+		return bat.NewOids(v)
+	case bat.KBool:
+		v := make([]bool, n)
+		for i := range v {
+			v[i] = parts[srcPart[i]].Tail.(*bat.Bools).V[srcPos[i]]
+		}
+		return bat.NewBools(v)
+	}
+	panic("algebra: merge of unsupported tail kind")
+}

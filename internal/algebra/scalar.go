@@ -1,0 +1,96 @@
+// Package algebra implements the binary relational algebra operators of
+// the column-store engine: range and equality selections, joins,
+// semijoins, grouping, aggregation, column arithmetic and the auxiliary
+// viewpoint operators (markT, reverse, mirror). Every operator consumes
+// and fully materialises BATs, following the operator-at-a-time
+// execution paradigm the recycler harvests (paper §2.2–2.3).
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// Cmp compares two scalar values of the same dynamic type. It returns
+// -1, 0 or 1. Supported types: int64, float64, string, bat.Date,
+// bat.Oid, bool. It is used by range selects and by the recycler's
+// subsumption analysis to reason about range containment.
+func Cmp(a, b any) int {
+	switch av := a.(type) {
+	case int64:
+		bv := b.(int64)
+		return cmpOrdered(av, bv)
+	case float64:
+		bv := b.(float64)
+		return cmpOrdered(av, bv)
+	case string:
+		bv := b.(string)
+		return strings.Compare(av, bv)
+	case bat.Date:
+		bv := b.(bat.Date)
+		return cmpOrdered(av, bv)
+	case bat.Oid:
+		bv := b.(bat.Oid)
+		return cmpOrdered(av, bv)
+	case bool:
+		bv := b.(bool)
+		if av == bv {
+			return 0
+		}
+		if !av {
+			return -1
+		}
+		return 1
+	}
+	panic(fmt.Sprintf("algebra: Cmp of unsupported type %T", a))
+}
+
+func cmpOrdered[T int64 | float64 | bat.Date | bat.Oid](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ScalarKind returns the bat.Kind of a boxed scalar value.
+func ScalarKind(v any) bat.Kind {
+	switch v.(type) {
+	case int64:
+		return bat.KInt
+	case float64:
+		return bat.KFloat
+	case string:
+		return bat.KStr
+	case bat.Date:
+		return bat.KDate
+	case bat.Oid:
+		return bat.KOid
+	case bool:
+		return bat.KBool
+	}
+	panic(fmt.Sprintf("algebra: ScalarKind of unsupported type %T", v))
+}
+
+// IsNilScalar reports whether the boxed scalar is the type's nil
+// sentinel.
+func IsNilScalar(v any) bool {
+	switch x := v.(type) {
+	case int64:
+		return x == bat.NilInt
+	case float64:
+		return bat.IsNilFloat(x)
+	case string:
+		return x == bat.NilStr
+	case bat.Date:
+		return x == bat.NilDate
+	case bat.Oid:
+		return x == bat.NilOid
+	}
+	return false
+}

@@ -1,0 +1,430 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// Select implements the range selection algebra.select(b, lo, hi,
+// incLo, incHi): it returns the (head, tail) pairs of b whose tail
+// value falls in the given range. A nil bound means unbounded on that
+// side. Nil tail values never qualify. On tail-sorted BATs the
+// selection degrades to a binary search returning a view, matching the
+// paper's observation that range selects over ordered columns are
+// near-zero cost (§2.3).
+func Select(b *bat.BAT, lo, hi any, incLo, incHi bool) *bat.BAT {
+	if b.TailSorted && lo != nil && hi != nil {
+		return selectSortedRange(b, lo, hi, incLo, incHi)
+	}
+	idx := make([]int, 0, b.Len()/4+1)
+	scanRange(b.Tail, lo, hi, incLo, incHi, func(i int) { idx = append(idx, i) })
+	out := bat.Gather(b, idx)
+	out.HeadSorted = b.HeadSorted
+	out.KeyUnique = b.KeyUnique
+	return out
+}
+
+func selectSortedRange(b *bat.BAT, lo, hi any, incLo, incHi bool) *bat.BAT {
+	n := b.Len()
+	at := func(i int) any { return b.Tail.Get(i) }
+	start := sort.Search(n, func(i int) bool {
+		c := Cmp(at(i), lo)
+		if incLo {
+			return c >= 0
+		}
+		return c > 0
+	})
+	end := sort.Search(n, func(i int) bool {
+		c := Cmp(at(i), hi)
+		if incHi {
+			return c > 0
+		}
+		return c >= 0
+	})
+	if end < start {
+		end = start
+	}
+	out := b.Slice(start, end)
+	out.TailSorted = true
+	return out
+}
+
+// scanRange calls yield(i) for every position whose tail value lies in
+// [lo, hi] respecting inclusiveness; nil bounds are open.
+func scanRange(tail bat.Vector, lo, hi any, incLo, incHi bool, yield func(int)) {
+	inLo := func(c int) bool {
+		if incLo {
+			return c >= 0
+		}
+		return c > 0
+	}
+	inHi := func(c int) bool {
+		if incHi {
+			return c <= 0
+		}
+		return c < 0
+	}
+	switch t := tail.(type) {
+	case *bat.Ints:
+		var lov, hiv int64
+		if lo != nil {
+			lov = lo.(int64)
+		}
+		if hi != nil {
+			hiv = hi.(int64)
+		}
+		for i, v := range t.V {
+			if v == bat.NilInt {
+				continue
+			}
+			if lo != nil && !inLo(cmpOrdered(v, lov)) {
+				continue
+			}
+			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
+				continue
+			}
+			yield(i)
+		}
+	case *bat.Floats:
+		var lov, hiv float64
+		if lo != nil {
+			lov = lo.(float64)
+		}
+		if hi != nil {
+			hiv = hi.(float64)
+		}
+		for i, v := range t.V {
+			if bat.IsNilFloat(v) {
+				continue
+			}
+			if lo != nil && !inLo(cmpOrdered(v, lov)) {
+				continue
+			}
+			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
+				continue
+			}
+			yield(i)
+		}
+	case *bat.Dates:
+		var lov, hiv bat.Date
+		if lo != nil {
+			lov = lo.(bat.Date)
+		}
+		if hi != nil {
+			hiv = hi.(bat.Date)
+		}
+		for i, v := range t.V {
+			if v == bat.NilDate {
+				continue
+			}
+			if lo != nil && !inLo(cmpOrdered(v, lov)) {
+				continue
+			}
+			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
+				continue
+			}
+			yield(i)
+		}
+	case *bat.Strings:
+		var lov, hiv string
+		if lo != nil {
+			lov = lo.(string)
+		}
+		if hi != nil {
+			hiv = hi.(string)
+		}
+		for i, v := range t.V {
+			if v == bat.NilStr {
+				continue
+			}
+			if lo != nil && !inLo(Cmp(v, lov)) {
+				continue
+			}
+			if hi != nil && !inHi(Cmp(v, hiv)) {
+				continue
+			}
+			yield(i)
+		}
+	case *bat.Oids:
+		var lov, hiv bat.Oid
+		if lo != nil {
+			lov = lo.(bat.Oid)
+		}
+		if hi != nil {
+			hiv = hi.(bat.Oid)
+		}
+		for i, v := range t.V {
+			if v == bat.NilOid {
+				continue
+			}
+			if lo != nil && !inLo(cmpOrdered(v, lov)) {
+				continue
+			}
+			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
+				continue
+			}
+			yield(i)
+		}
+	case *bat.DenseOids:
+		for i := 0; i < t.N; i++ {
+			v := t.At(i)
+			if lo != nil && !inLo(cmpOrdered(v, lo.(bat.Oid))) {
+				continue
+			}
+			if hi != nil && !inHi(cmpOrdered(v, hi.(bat.Oid))) {
+				continue
+			}
+			yield(i)
+		}
+	case *bat.Bools:
+		for i, v := range t.V {
+			if lo != nil && Cmp(v, lo) < 0 {
+				continue
+			}
+			if hi != nil && Cmp(v, hi) > 0 {
+				continue
+			}
+			yield(i)
+		}
+	default:
+		panic(fmt.Sprintf("algebra: select over unsupported tail %T", tail))
+	}
+}
+
+// Uselect implements the equality selection algebra.uselect(b, v):
+// the rows of b whose tail equals v. The result's tail shares the
+// head's storage (the tail carries no information, as with MonetDB's
+// void-tailed uselect results).
+func Uselect(b *bat.BAT, v any) *bat.BAT {
+	idx := equalityPositions(b.Tail, v)
+	heads := make([]bat.Oid, len(idx))
+	for i, p := range idx {
+		heads[i] = bat.OidAt(b.Head, p)
+	}
+	hv := bat.NewOids(heads)
+	out := bat.New(hv, hv.Slice(0, len(heads)))
+	out.HeadSorted = b.HeadSorted
+	out.KeyUnique = b.KeyUnique
+	return out
+}
+
+func equalityPositions(tail bat.Vector, v any) []int {
+	var idx []int
+	switch t := tail.(type) {
+	case *bat.Ints:
+		w := v.(int64)
+		for i, x := range t.V {
+			if x == w {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Strings:
+		w := v.(string)
+		for i, x := range t.V {
+			if x == w {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Dates:
+		w := v.(bat.Date)
+		for i, x := range t.V {
+			if x == w {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Floats:
+		w := v.(float64)
+		for i, x := range t.V {
+			if x == w {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Oids:
+		w := v.(bat.Oid)
+		for i, x := range t.V {
+			if x == w {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.DenseOids:
+		w := v.(bat.Oid)
+		if w >= t.Start && w < t.Start+bat.Oid(t.N) {
+			idx = append(idx, int(w-t.Start))
+		}
+	case *bat.Bools:
+		w := v.(bool)
+		for i, x := range t.V {
+			if x == w {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("algebra: uselect over unsupported tail %T", tail))
+	}
+	return idx
+}
+
+// SelectNotNil implements algebra.selectNotNil: rows whose tail is not
+// the type's nil sentinel.
+func SelectNotNil(b *bat.BAT) *bat.BAT {
+	idx := make([]int, 0, b.Len())
+	n := b.Len()
+	switch t := b.Tail.(type) {
+	case *bat.Ints:
+		for i, v := range t.V {
+			if v != bat.NilInt {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Floats:
+		for i, v := range t.V {
+			if !bat.IsNilFloat(v) {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Strings:
+		for i, v := range t.V {
+			if v != bat.NilStr {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Dates:
+		for i, v := range t.V {
+			if v != bat.NilDate {
+				idx = append(idx, i)
+			}
+		}
+	case *bat.Oids:
+		for i, v := range t.V {
+			if v != bat.NilOid {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == n {
+		return b
+	}
+	out := bat.Gather(b, idx)
+	out.HeadSorted = b.HeadSorted
+	return out
+}
+
+// LikeSelect implements string pattern selection with SQL LIKE
+// semantics ('%' matches any run, '_' any single character). It
+// returns the qualifying (head, tail) pairs.
+func LikeSelect(b *bat.BAT, pattern string) *bat.BAT {
+	t, ok := b.Tail.(*bat.Strings)
+	if !ok {
+		panic("algebra: likeselect over non-string tail")
+	}
+	m := CompileLike(pattern)
+	idx := make([]int, 0, b.Len()/8+1)
+	for i, v := range t.V {
+		if v != bat.NilStr && m.Match(v) {
+			idx = append(idx, i)
+		}
+	}
+	out := bat.Gather(b, idx)
+	out.HeadSorted = b.HeadSorted
+	return out
+}
+
+// NotLikeSelect returns the rows whose string tail does NOT match the
+// LIKE pattern (nils excluded), the complement of LikeSelect.
+func NotLikeSelect(b *bat.BAT, pattern string) *bat.BAT {
+	t, ok := b.Tail.(*bat.Strings)
+	if !ok {
+		panic("algebra: notlikeselect over non-string tail")
+	}
+	m := CompileLike(pattern)
+	idx := make([]int, 0, b.Len())
+	for i, v := range t.V {
+		if v != bat.NilStr && !m.Match(v) {
+			idx = append(idx, i)
+		}
+	}
+	out := bat.Gather(b, idx)
+	out.HeadSorted = b.HeadSorted
+	return out
+}
+
+// LikeMatcher matches SQL LIKE patterns without regexp.
+type LikeMatcher struct {
+	pattern string
+}
+
+// CompileLike prepares a matcher for the given LIKE pattern.
+func CompileLike(pattern string) *LikeMatcher { return &LikeMatcher{pattern: pattern} }
+
+// Match reports whether s matches the pattern.
+func (m *LikeMatcher) Match(s string) bool { return likeMatch(m.pattern, s) }
+
+func likeMatch(p, s string) bool {
+	// Iterative two-pointer algorithm with backtracking on '%'.
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// LikeLiteral extracts the longest literal run of a LIKE pattern (the
+// pattern with wildcards stripped). Used by the recycler's like
+// subsumption test: if pat1 = %lit1% and lit1 is a substring of the
+// literal of pat2, every match of pat2 matches pat1.
+func LikeLiteral(pattern string) (lit string, pureInfix bool) {
+	pureInfix = len(pattern) >= 2 && pattern[0] == '%' && pattern[len(pattern)-1] == '%'
+	var cur, best []byte
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		if c == '%' || c == '_' {
+			if len(cur) > len(best) {
+				best = cur
+			}
+			cur = nil
+			if c == '_' {
+				pureInfix = false
+			}
+			continue
+		}
+		cur = append(cur, c)
+	}
+	if len(cur) > len(best) {
+		best = cur
+	}
+	if pureInfix {
+		// pure infix means the pattern is exactly %lit%
+		inner := pattern[1 : len(pattern)-1]
+		for i := 0; i < len(inner); i++ {
+			if inner[i] == '%' || inner[i] == '_' {
+				pureInfix = false
+				break
+			}
+		}
+	}
+	return string(best), pureInfix
+}

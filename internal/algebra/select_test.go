@@ -1,0 +1,236 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+)
+
+func intBAT(vals ...int64) *bat.BAT { return bat.NewDenseHead(bat.NewInts(vals)) }
+
+func TestSelectIntRange(t *testing.T) {
+	b := intBAT(5, 1, 9, 3, 7)
+	r := Select(b, int64(3), int64(7), true, true)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	wantHeads := []bat.Oid{0, 3, 4}
+	for i, w := range wantHeads {
+		if bat.OidAt(r.Head, i) != w {
+			t.Fatalf("head[%d] = %v, want %v", i, bat.OidAt(r.Head, i), w)
+		}
+	}
+}
+
+func TestSelectExclusiveBounds(t *testing.T) {
+	b := intBAT(3, 4, 5, 6, 7)
+	r := Select(b, int64(3), int64(7), false, false)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (exclusive)", r.Len())
+	}
+	r2 := Select(b, int64(3), int64(7), true, false)
+	if r2.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (half-open)", r2.Len())
+	}
+}
+
+func TestSelectOpenBounds(t *testing.T) {
+	b := intBAT(1, 2, 3)
+	if r := Select(b, nil, int64(2), true, true); r.Len() != 2 {
+		t.Fatalf("hi-only len = %d", r.Len())
+	}
+	if r := Select(b, int64(2), nil, true, true); r.Len() != 2 {
+		t.Fatalf("lo-only len = %d", r.Len())
+	}
+	if r := Select(b, nil, nil, true, true); r.Len() != 3 {
+		t.Fatalf("open len = %d", r.Len())
+	}
+}
+
+func TestSelectSkipsNil(t *testing.T) {
+	b := intBAT(1, bat.NilInt, 3)
+	r := Select(b, nil, nil, true, true)
+	if r.Len() != 2 {
+		t.Fatalf("nil not skipped: len = %d", r.Len())
+	}
+}
+
+func TestSelectSortedUsesView(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b := intBAT(vals...)
+	b.TailSorted = true
+	r := Select(b, int64(10), int64(90), true, true)
+	if r.Len() != 81 {
+		t.Fatalf("sorted select len = %d", r.Len())
+	}
+	// The result of a sorted select must be a cheap view: its tail
+	// must not own a fresh copy of the qualifying values.
+	if r.Tail.ByteSize() >= int64(r.Len())*8 {
+		t.Fatalf("sorted select materialised its tail: %d bytes", r.Tail.ByteSize())
+	}
+	if bat.OidAt(r.Head, 0) != 10 {
+		t.Fatalf("sorted select head[0] = %v", bat.OidAt(r.Head, 0))
+	}
+}
+
+func TestSelectDates(t *testing.T) {
+	d := func(y, m, dd int) bat.Date { return MkDate(y, m, dd) }
+	b := bat.NewDenseHead(bat.NewDates([]bat.Date{d(1996, 6, 30), d(1996, 7, 1), d(1996, 8, 15), d(1996, 10, 1)}))
+	r := Select(b, d(1996, 7, 1), d(1996, 10, 1), true, false)
+	if r.Len() != 2 {
+		t.Fatalf("date range len = %d, want 2", r.Len())
+	}
+}
+
+func TestUselect(t *testing.T) {
+	b := bat.NewDenseHead(bat.NewStrings([]string{"R", "A", "R", "N"}))
+	r := Uselect(b, "R")
+	if r.Len() != 2 || bat.OidAt(r.Head, 0) != 0 || bat.OidAt(r.Head, 1) != 2 {
+		t.Fatalf("uselect wrong: %s", r.Dump(10))
+	}
+	// Tail shares head storage: near-zero cost.
+	if r.Tail.ByteSize() > 64 {
+		t.Fatalf("uselect tail materialised: %d bytes", r.Tail.ByteSize())
+	}
+}
+
+func TestSelectNotNil(t *testing.T) {
+	b := bat.NewDenseHead(bat.NewFloats([]float64{1.5, bat.NilFloat(), 2.5}))
+	r := SelectNotNil(b)
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	// Identity when no nils present.
+	c := bat.NewDenseHead(bat.NewInts([]int64{1, 2}))
+	if SelectNotNil(c) != c {
+		t.Fatal("SelectNotNil should be identity without nils")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"%green%", "dark green metal", true},
+		{"%green%", "dark red metal", false},
+		{"abc", "abc", true},
+		{"abc", "abcd", false},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"%", "", true},
+		{"%a%b%", "xaxbx", true},
+		{"%a%b%", "xbxax", false},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pat, c.s); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLikeSelect(t *testing.T) {
+	b := bat.NewDenseHead(bat.NewStrings([]string{"forest green", "red", "lime green shiny", bat.NilStr}))
+	r := LikeSelect(b, "%green%")
+	if r.Len() != 2 {
+		t.Fatalf("likeselect len = %d", r.Len())
+	}
+}
+
+func TestLikeLiteral(t *testing.T) {
+	lit, pure := LikeLiteral("%green%")
+	if lit != "green" || !pure {
+		t.Fatalf("LikeLiteral = %q, %v", lit, pure)
+	}
+	lit, pure = LikeLiteral("gr%een")
+	if lit != "een" || pure {
+		t.Fatalf("LikeLiteral = %q, %v", lit, pure)
+	}
+	_, pure = LikeLiteral("%gr_en%")
+	if pure {
+		t.Fatal("pattern with _ must not be pure infix")
+	}
+}
+
+// Property: a sorted-path select equals the scan-path select.
+func TestSelectSortedEqualsScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(30))
+		}
+		sorted := append([]int64(nil), vals...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		b := intBAT(sorted...)
+		bs := intBAT(sorted...)
+		bs.TailSorted = true
+		lo := int64(rng.Intn(30))
+		hi := lo + int64(rng.Intn(10))
+		incLo, incHi := rng.Intn(2) == 0, rng.Intn(2) == 0
+		a := Select(b, lo, hi, incLo, incHi)
+		c := Select(bs, lo, hi, incLo, incHi)
+		if a.Len() != c.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Tail.Get(i) != c.Tail.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: select(select(b, L), L') == select(b, L') when [L'] ⊂ [L].
+// This is the soundness condition behind the recycler's singleton
+// subsumption (paper §5.1).
+func TestSelectSubsumptionEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80) + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(50))
+		}
+		b := intBAT(vals...)
+		lo1 := int64(rng.Intn(20))
+		hi1 := lo1 + int64(rng.Intn(25)) + 5
+		lo2 := lo1 + int64(rng.Intn(3))
+		hi2 := hi1 - int64(rng.Intn(3))
+		if hi2 < lo2 {
+			hi2 = lo2
+		}
+		super := Select(b, lo1, hi1, true, true)
+		direct := Select(b, lo2, hi2, true, true)
+		viaSuper := Select(super, lo2, hi2, true, true)
+		if direct.Len() != viaSuper.Len() {
+			return false
+		}
+		for i := 0; i < direct.Len(); i++ {
+			if bat.OidAt(direct.Head, i) != bat.OidAt(viaSuper.Head, i) ||
+				direct.Tail.Get(i) != viaSuper.Tail.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package bat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseOids(t *testing.T) {
+	d := NewDense(10, 5)
+	if d.Len() != 5 {
+		t.Fatalf("len = %d, want 5", d.Len())
+	}
+	if d.At(0) != 10 || d.At(4) != 14 {
+		t.Fatalf("At out of sequence: %d %d", d.At(0), d.At(4))
+	}
+	s := d.Slice(1, 4).(*DenseOids)
+	if s.Start != 11 || s.N != 3 {
+		t.Fatalf("slice = %+v, want start=11 n=3", s)
+	}
+	if d.ByteSize() != 16 {
+		t.Fatalf("dense ByteSize = %d, want descriptor-only 16", d.ByteSize())
+	}
+}
+
+func TestVectorSliceSharesStorage(t *testing.T) {
+	v := NewInts([]int64{1, 2, 3, 4})
+	s := v.Slice(1, 3).(*Ints)
+	s.V[0] = 99
+	if v.V[1] != 99 {
+		t.Fatal("slice does not share storage")
+	}
+	if s.ByteSize() != viewOverhead {
+		t.Fatalf("view ByteSize = %d, want overhead %d", s.ByteSize(), viewOverhead)
+	}
+}
+
+func TestStringsByteSize(t *testing.T) {
+	v := NewStrings([]string{"ab", "cde"})
+	want := int64(16+2) + int64(16+3)
+	if v.ByteSize() != want {
+		t.Fatalf("ByteSize = %d, want %d", v.ByteSize(), want)
+	}
+}
+
+func TestBATViewsZeroCost(t *testing.T) {
+	b := NewDenseHead(NewInts([]int64{5, 6, 7}))
+	r := b.Reverse()
+	if r.Head.Kind() != KInt || r.Tail.Kind() != KOid {
+		t.Fatal("reverse did not swap columns")
+	}
+	m := b.Mirror()
+	if m.Tail.Kind() != KOid || m.Tail.Get(2) != Oid(2) {
+		t.Fatalf("mirror tail = %v", m.Tail.Get(2))
+	}
+	mk := b.MarkT(100)
+	if mk.Tail.(*DenseOids).Start != 100 || mk.Len() != 3 {
+		t.Fatal("markT wrong")
+	}
+	// Views over the same base must attribute near-zero extra memory.
+	if r.ByteSize() > b.ByteSize() {
+		t.Fatalf("reverse view costs %d > base %d", r.ByteSize(), b.ByteSize())
+	}
+}
+
+func TestGatherAndSortByHead(t *testing.T) {
+	b := New(NewOids([]Oid{3, 1, 2}), NewStrings([]string{"c", "a", "b"}))
+	s := b.SortByHead()
+	if !s.HeadSorted {
+		t.Fatal("SortByHead did not set HeadSorted")
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if s.Tail.Get(i) != want {
+			t.Fatalf("row %d tail = %v, want %s", i, s.Tail.Get(i), want)
+		}
+	}
+	if OidAt(s.Head, 0) != 1 || OidAt(s.Head, 2) != 3 {
+		t.Fatal("head not sorted")
+	}
+	// Sorting an already sorted BAT returns the receiver.
+	if s.SortByHead() != s {
+		t.Fatal("SortByHead of sorted BAT should be identity")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := New(NewOids([]Oid{0, 1}), NewInts([]int64{10, 11}))
+	a.HeadSorted = true
+	b := New(NewOids([]Oid{2}), NewInts([]int64{12}))
+	b.HeadSorted = true
+	c := Append(a, b)
+	if c.Len() != 3 || !c.HeadSorted {
+		t.Fatalf("append len=%d sorted=%v", c.Len(), c.HeadSorted)
+	}
+	if Append(a, New(NewOids(nil), NewInts(nil))) != a {
+		t.Fatal("append with empty should be identity")
+	}
+}
+
+func TestAppendVectorsDense(t *testing.T) {
+	a := NewDense(0, 3)
+	b := NewOids([]Oid{9})
+	out := AppendVectors(a, b).(*Oids)
+	want := []Oid{0, 1, 2, 9}
+	for i, w := range want {
+		if out.V[i] != w {
+			t.Fatalf("out[%d]=%d want %d", i, out.V[i], w)
+		}
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	b := NewDenseHead(NewInts([]int64{7, 8, 7}))
+	h := BuildHashOnTail(b)
+	if got := h.LookupInt(7); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("LookupInt(7) = %v", got)
+	}
+	if got := h.LookupInt(99); got != nil {
+		t.Fatalf("LookupInt(99) = %v, want nil", got)
+	}
+}
+
+func TestHeadSetAndTailOidSet(t *testing.T) {
+	b := New(NewOids([]Oid{4, 5, 4}), NewDense(20, 3))
+	hs := HeadSet(b)
+	if len(hs) != 2 {
+		t.Fatalf("head set size = %d", len(hs))
+	}
+	ts := TailOidSet(b)
+	if _, ok := ts[21]; !ok || len(ts) != 3 {
+		t.Fatalf("tail set = %v", ts)
+	}
+}
+
+func TestKindStringAndElemSize(t *testing.T) {
+	cases := map[Kind]string{KOid: ":oid", KInt: ":int", KFloat: ":dbl", KStr: ":str", KDate: ":date", KBool: ":bit"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+		if k.ElemSize() <= 0 {
+			t.Errorf("Kind(%d).ElemSize() = %d", k, k.ElemSize())
+		}
+	}
+}
+
+func TestEmptyVectorAllKinds(t *testing.T) {
+	for _, k := range []Kind{KOid, KInt, KFloat, KStr, KDate, KBool} {
+		v := EmptyVector(k)
+		if v.Len() != 0 || v.Kind() != k {
+			t.Errorf("EmptyVector(%v) wrong: len=%d kind=%v", k, v.Len(), v.Kind())
+		}
+	}
+}
+
+// Property: SortByHead is a permutation that leaves the (head, tail)
+// pairing intact.
+func TestSortByHeadIsPermutation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%50) + 1
+		heads := make([]Oid, size)
+		tails := make([]int64, size)
+		pair := make(map[Oid]map[int64]int)
+		for i := range heads {
+			heads[i] = Oid(rng.Intn(20))
+			tails[i] = int64(rng.Intn(100))
+			if pair[heads[i]] == nil {
+				pair[heads[i]] = map[int64]int{}
+			}
+			pair[heads[i]][tails[i]]++
+		}
+		b := New(NewOids(heads), NewInts(tails))
+		s := b.SortByHead()
+		if s.Len() != size {
+			return false
+		}
+		prev := Oid(0)
+		for i := 0; i < s.Len(); i++ {
+			h := OidAt(s.Head, i)
+			if i > 0 && h < prev {
+				return false
+			}
+			prev = h
+			tl := s.Tail.(*Ints).V[i]
+			if pair[h][tl] == 0 {
+				return false
+			}
+			pair[h][tl]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gather(b, idx) picks exactly the rows named by idx in order.
+func TestGatherProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(40) + 1
+		tails := make([]int64, size)
+		for i := range tails {
+			tails[i] = rng.Int63n(1000)
+		}
+		b := NewDenseHead(NewInts(tails))
+		k := rng.Intn(size + 1)
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = rng.Intn(size)
+		}
+		g := Gather(b, idx)
+		if g.Len() != k {
+			return false
+		}
+		for i, p := range idx {
+			if OidAt(g.Head, i) != Oid(p) || g.Tail.(*Ints).V[i] != tails[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package bat
+
+// HashIndex is a hash structure over a BAT's tail values supporting
+// fast key lookup, used by hash joins and semijoins. MonetDB builds
+// equivalent structures lazily on persistent BATs; we build them on
+// demand and let callers cache them.
+type HashIndex struct {
+	kind Kind
+	ints map[int64][]int
+	oids map[Oid][]int
+	strs map[string][]int
+	dats map[Date][]int
+	flts map[float64][]int
+}
+
+// BuildHashOnTail indexes the tail values of b, mapping value -> list
+// of positional indices.
+func BuildHashOnTail(b *BAT) *HashIndex {
+	h := &HashIndex{kind: b.Tail.Kind()}
+	n := b.Len()
+	switch t := b.Tail.(type) {
+	case *Ints:
+		h.ints = make(map[int64][]int, n)
+		for i, v := range t.V {
+			h.ints[v] = append(h.ints[v], i)
+		}
+	case *Oids:
+		h.oids = make(map[Oid][]int, n)
+		for i, v := range t.V {
+			h.oids[v] = append(h.oids[v], i)
+		}
+	case *DenseOids:
+		h.oids = make(map[Oid][]int, n)
+		for i := 0; i < t.N; i++ {
+			h.oids[t.At(i)] = append(h.oids[t.At(i)], i)
+		}
+	case *Strings:
+		h.strs = make(map[string][]int, n)
+		for i, v := range t.V {
+			h.strs[v] = append(h.strs[v], i)
+		}
+	case *Dates:
+		h.dats = make(map[Date][]int, n)
+		for i, v := range t.V {
+			h.dats[v] = append(h.dats[v], i)
+		}
+	case *Floats:
+		h.flts = make(map[float64][]int, n)
+		for i, v := range t.V {
+			h.flts[v] = append(h.flts[v], i)
+		}
+	default:
+		panic("bat: hash index over unsupported tail type")
+	}
+	return h
+}
+
+// LookupOid returns the positions whose indexed value equals v.
+func (h *HashIndex) LookupOid(v Oid) []int { return h.oids[v] }
+
+// LookupInt returns the positions whose indexed value equals v.
+func (h *HashIndex) LookupInt(v int64) []int { return h.ints[v] }
+
+// LookupStr returns the positions whose indexed value equals v.
+func (h *HashIndex) LookupStr(v string) []int { return h.strs[v] }
+
+// LookupDate returns the positions whose indexed value equals v.
+func (h *HashIndex) LookupDate(v Date) []int { return h.dats[v] }
+
+// LookupFloat returns the positions whose indexed value equals v.
+func (h *HashIndex) LookupFloat(v float64) []int { return h.flts[v] }
+
+// BuildHashOnHead indexes the head oids of b, mapping oid -> positions.
+func BuildHashOnHead(b *BAT) map[Oid][]int {
+	n := b.Len()
+	m := make(map[Oid][]int, n)
+	switch hd := b.Head.(type) {
+	case *Oids:
+		for i, v := range hd.V {
+			m[v] = append(m[v], i)
+		}
+	case *DenseOids:
+		for i := 0; i < hd.N; i++ {
+			m[hd.At(i)] = append(m[hd.At(i)], i)
+		}
+	default:
+		panic("bat: head hash over non-oid head")
+	}
+	return m
+}
+
+// HeadSet returns the set of head oids of b.
+func HeadSet(b *BAT) map[Oid]struct{} {
+	s := make(map[Oid]struct{}, b.Len())
+	switch hd := b.Head.(type) {
+	case *Oids:
+		for _, v := range hd.V {
+			s[v] = struct{}{}
+		}
+	case *DenseOids:
+		for i := 0; i < hd.N; i++ {
+			s[hd.At(i)] = struct{}{}
+		}
+	default:
+		panic("bat: head set over non-oid head")
+	}
+	return s
+}
+
+// TailOidSet returns the set of tail oids of an oid-tailed BAT.
+func TailOidSet(b *BAT) map[Oid]struct{} {
+	s := make(map[Oid]struct{}, b.Len())
+	switch t := b.Tail.(type) {
+	case *Oids:
+		for _, v := range t.V {
+			s[v] = struct{}{}
+		}
+	case *DenseOids:
+		for i := 0; i < t.N; i++ {
+			s[t.At(i)] = struct{}{}
+		}
+	default:
+		panic("bat: tail oid set over non-oid tail")
+	}
+	return s
+}

@@ -1,0 +1,437 @@
+// Package bat implements Binary Association Tables (BATs), the columnar
+// storage primitive of the engine, modelled after MonetDB's storage layer
+// as described in Section 2 of Ivanova et al., "An Architecture for
+// Recycling Intermediates in a Column-store" (TODS 2010).
+//
+// A BAT is a binary table mapping a head column of object identifiers
+// (oids) to a tail column of values of a single base type. Heads are
+// usually dense ("void" in MonetDB terms) and represented without
+// materialisation. Auxiliary instructions such as reverse and mirror
+// materialise only new viewpoints over shared storage, so they are
+// (near) zero-cost, which is what makes keeping prefix intermediates in
+// the recycle pool cheap.
+package bat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Oid is a row object identifier.
+type Oid uint64
+
+// NilOid is the sentinel for a missing oid.
+const NilOid = Oid(math.MaxUint64)
+
+// Date is a day count since 1970-01-01. The TPC-H generator and the
+// date arithmetic in query templates use this representation.
+type Date int32
+
+// Nil sentinels per base type, MonetDB style.
+const (
+	NilInt   = int64(math.MinInt64)
+	NilDate  = Date(math.MinInt32)
+	NilOidV  = NilOid
+	nilStrRn = '\x00'
+)
+
+// NilStr is the sentinel for a missing string value.
+const NilStr = "\x00"
+
+// NilFloat reports a missing float value.
+func NilFloat() float64 { return math.NaN() }
+
+// IsNilFloat reports whether f is the float nil sentinel.
+func IsNilFloat(f float64) bool { return math.IsNaN(f) }
+
+// Kind enumerates the base column types supported by the engine.
+type Kind uint8
+
+// Base type kinds.
+const (
+	KOid Kind = iota
+	KInt
+	KFloat
+	KStr
+	KDate
+	KBool
+)
+
+// String returns the MAL-style type name.
+func (k Kind) String() string {
+	switch k {
+	case KOid:
+		return ":oid"
+	case KInt:
+		return ":int"
+	case KFloat:
+		return ":dbl"
+	case KStr:
+		return ":str"
+	case KDate:
+		return ":date"
+	case KBool:
+		return ":bit"
+	}
+	return fmt.Sprintf(":kind(%d)", uint8(k))
+}
+
+// ElemSize returns the in-memory size in bytes of one element of the
+// kind, used for recycle pool memory accounting. Strings are accounted
+// by actual length at vector level; this returns the header size.
+func (k Kind) ElemSize() int64 {
+	switch k {
+	case KOid, KInt, KFloat:
+		return 8
+	case KDate:
+		return 4
+	case KBool:
+		return 1
+	case KStr:
+		return 16 // string header; payload added separately
+	}
+	return 8
+}
+
+// Vector is a typed column of values. Implementations share underlying
+// storage when sliced, mirroring MonetDB's BAT views.
+type Vector interface {
+	// Kind returns the base type of the vector.
+	Kind() Kind
+	// Len returns the number of elements.
+	Len() int
+	// ByteSize returns the memory attributed to this vector. Views over
+	// shared storage report only their administrative overhead.
+	ByteSize() int64
+	// Slice returns a view of elements [i, j). The view shares storage.
+	Slice(i, j int) Vector
+	// Get returns the element at index i boxed as an any. Intended for
+	// tests, debugging and the generic fallback paths; hot operator
+	// paths type-switch on the concrete vector types instead.
+	Get(i int) any
+}
+
+// viewOverhead is the administrative cost we attribute to a vector view
+// that shares storage with another vector (slice headers, bookkeeping).
+const viewOverhead = int64(48)
+
+// Oids is a materialised oid vector.
+type Oids struct {
+	V    []Oid
+	view bool
+}
+
+// NewOids wraps a slice of oids as a vector.
+func NewOids(v []Oid) *Oids { return &Oids{V: v} }
+
+// Kind implements Vector.
+func (o *Oids) Kind() Kind { return KOid }
+
+// Len implements Vector.
+func (o *Oids) Len() int { return len(o.V) }
+
+// ByteSize implements Vector.
+func (o *Oids) ByteSize() int64 {
+	if o.view {
+		return viewOverhead
+	}
+	return int64(len(o.V)) * 8
+}
+
+// Slice implements Vector.
+func (o *Oids) Slice(i, j int) Vector { return &Oids{V: o.V[i:j], view: true} }
+
+// Get implements Vector.
+func (o *Oids) Get(i int) any { return o.V[i] }
+
+// DenseOids is a virtual oid vector holding the dense sequence
+// Start, Start+1, ..., Start+N-1 without materialising it. It models
+// MonetDB's void columns.
+type DenseOids struct {
+	Start Oid
+	N     int
+}
+
+// NewDense returns a dense oid vector of n elements starting at start.
+func NewDense(start Oid, n int) *DenseOids { return &DenseOids{Start: start, N: n} }
+
+// Kind implements Vector.
+func (d *DenseOids) Kind() Kind { return KOid }
+
+// Len implements Vector.
+func (d *DenseOids) Len() int { return d.N }
+
+// ByteSize implements Vector. Dense sequences cost only their descriptor.
+func (d *DenseOids) ByteSize() int64 { return 16 }
+
+// Slice implements Vector.
+func (d *DenseOids) Slice(i, j int) Vector {
+	return &DenseOids{Start: d.Start + Oid(i), N: j - i}
+}
+
+// Get implements Vector.
+func (d *DenseOids) Get(i int) any { return d.Start + Oid(i) }
+
+// At returns the oid at index i.
+func (d *DenseOids) At(i int) Oid { return d.Start + Oid(i) }
+
+// Ints is an int64 vector.
+type Ints struct {
+	V    []int64
+	view bool
+}
+
+// NewInts wraps a slice of int64 as a vector.
+func NewInts(v []int64) *Ints { return &Ints{V: v} }
+
+// Kind implements Vector.
+func (x *Ints) Kind() Kind { return KInt }
+
+// Len implements Vector.
+func (x *Ints) Len() int { return len(x.V) }
+
+// ByteSize implements Vector.
+func (x *Ints) ByteSize() int64 {
+	if x.view {
+		return viewOverhead
+	}
+	return int64(len(x.V)) * 8
+}
+
+// Slice implements Vector.
+func (x *Ints) Slice(i, j int) Vector { return &Ints{V: x.V[i:j], view: true} }
+
+// Get implements Vector.
+func (x *Ints) Get(i int) any { return x.V[i] }
+
+// Floats is a float64 vector.
+type Floats struct {
+	V    []float64
+	view bool
+}
+
+// NewFloats wraps a slice of float64 as a vector.
+func NewFloats(v []float64) *Floats { return &Floats{V: v} }
+
+// Kind implements Vector.
+func (x *Floats) Kind() Kind { return KFloat }
+
+// Len implements Vector.
+func (x *Floats) Len() int { return len(x.V) }
+
+// ByteSize implements Vector.
+func (x *Floats) ByteSize() int64 {
+	if x.view {
+		return viewOverhead
+	}
+	return int64(len(x.V)) * 8
+}
+
+// Slice implements Vector.
+func (x *Floats) Slice(i, j int) Vector { return &Floats{V: x.V[i:j], view: true} }
+
+// Get implements Vector.
+func (x *Floats) Get(i int) any { return x.V[i] }
+
+// Strings is a string vector.
+type Strings struct {
+	V    []string
+	view bool
+}
+
+// NewStrings wraps a slice of strings as a vector.
+func NewStrings(v []string) *Strings { return &Strings{V: v} }
+
+// Kind implements Vector.
+func (x *Strings) Kind() Kind { return KStr }
+
+// Len implements Vector.
+func (x *Strings) Len() int { return len(x.V) }
+
+// ByteSize implements Vector.
+func (x *Strings) ByteSize() int64 {
+	if x.view {
+		return viewOverhead
+	}
+	var sz int64
+	for _, s := range x.V {
+		sz += 16 + int64(len(s))
+	}
+	return sz
+}
+
+// Slice implements Vector.
+func (x *Strings) Slice(i, j int) Vector { return &Strings{V: x.V[i:j], view: true} }
+
+// Get implements Vector.
+func (x *Strings) Get(i int) any { return x.V[i] }
+
+// Dates is a Date vector.
+type Dates struct {
+	V    []Date
+	view bool
+}
+
+// NewDates wraps a slice of dates as a vector.
+func NewDates(v []Date) *Dates { return &Dates{V: v} }
+
+// Kind implements Vector.
+func (x *Dates) Kind() Kind { return KDate }
+
+// Len implements Vector.
+func (x *Dates) Len() int { return len(x.V) }
+
+// ByteSize implements Vector.
+func (x *Dates) ByteSize() int64 {
+	if x.view {
+		return viewOverhead
+	}
+	return int64(len(x.V)) * 4
+}
+
+// Slice implements Vector.
+func (x *Dates) Slice(i, j int) Vector { return &Dates{V: x.V[i:j], view: true} }
+
+// Get implements Vector.
+func (x *Dates) Get(i int) any { return x.V[i] }
+
+// Bools is a bool vector.
+type Bools struct {
+	V    []bool
+	view bool
+}
+
+// NewBools wraps a slice of bools as a vector.
+func NewBools(v []bool) *Bools { return &Bools{V: v} }
+
+// Kind implements Vector.
+func (x *Bools) Kind() Kind { return KBool }
+
+// Len implements Vector.
+func (x *Bools) Len() int { return len(x.V) }
+
+// ByteSize implements Vector.
+func (x *Bools) ByteSize() int64 {
+	if x.view {
+		return viewOverhead
+	}
+	return int64(len(x.V))
+}
+
+// Slice implements Vector.
+func (x *Bools) Slice(i, j int) Vector { return &Bools{V: x.V[i:j], view: true} }
+
+// Get implements Vector.
+func (x *Bools) Get(i int) any { return x.V[i] }
+
+// EmptyVector returns a zero-length vector of the given kind.
+func EmptyVector(k Kind) Vector {
+	switch k {
+	case KOid:
+		return &Oids{}
+	case KInt:
+		return &Ints{}
+	case KFloat:
+		return &Floats{}
+	case KStr:
+		return &Strings{}
+	case KDate:
+		return &Dates{}
+	case KBool:
+		return &Bools{}
+	}
+	panic(fmt.Sprintf("bat: empty vector of unknown kind %d", k))
+}
+
+// AppendVectors concatenates two vectors of the same kind into a newly
+// materialised vector. It is used by delta propagation and combined
+// subsumption merges.
+func AppendVectors(a, b Vector) Vector {
+	if a.Kind() != b.Kind() {
+		panic(fmt.Sprintf("bat: append of mismatched kinds %v and %v", a.Kind(), b.Kind()))
+	}
+	switch av := a.(type) {
+	case *Oids:
+		out := make([]Oid, 0, a.Len()+b.Len())
+		out = append(out, av.V...)
+		out = appendOids(out, b)
+		return NewOids(out)
+	case *DenseOids:
+		out := make([]Oid, 0, a.Len()+b.Len())
+		for i := 0; i < av.N; i++ {
+			out = append(out, av.At(i))
+		}
+		out = appendOids(out, b)
+		return NewOids(out)
+	case *Ints:
+		bv := b.(*Ints)
+		out := make([]int64, 0, a.Len()+b.Len())
+		out = append(out, av.V...)
+		out = append(out, bv.V...)
+		return NewInts(out)
+	case *Floats:
+		bv := b.(*Floats)
+		out := make([]float64, 0, a.Len()+b.Len())
+		out = append(out, av.V...)
+		out = append(out, bv.V...)
+		return NewFloats(out)
+	case *Strings:
+		bv := b.(*Strings)
+		out := make([]string, 0, a.Len()+b.Len())
+		out = append(out, av.V...)
+		out = append(out, bv.V...)
+		return NewStrings(out)
+	case *Dates:
+		bv := b.(*Dates)
+		out := make([]Date, 0, a.Len()+b.Len())
+		out = append(out, av.V...)
+		out = append(out, bv.V...)
+		return NewDates(out)
+	case *Bools:
+		bv := b.(*Bools)
+		out := make([]bool, 0, a.Len()+b.Len())
+		out = append(out, av.V...)
+		out = append(out, bv.V...)
+		return NewBools(out)
+	}
+	panic("bat: append of unknown vector type")
+}
+
+func appendOids(dst []Oid, b Vector) []Oid {
+	switch bv := b.(type) {
+	case *Oids:
+		return append(dst, bv.V...)
+	case *DenseOids:
+		for i := 0; i < bv.N; i++ {
+			dst = append(dst, bv.At(i))
+		}
+		return dst
+	}
+	panic("bat: appendOids of non-oid vector")
+}
+
+// OidAt extracts the oid at index i from an oid-kinded vector.
+func OidAt(v Vector, i int) Oid {
+	switch o := v.(type) {
+	case *Oids:
+		return o.V[i]
+	case *DenseOids:
+		return o.At(i)
+	}
+	panic("bat: OidAt on non-oid vector")
+}
+
+// MaterialiseOids converts any oid-kinded vector into a plain []Oid.
+func MaterialiseOids(v Vector) []Oid {
+	switch o := v.(type) {
+	case *Oids:
+		return o.V
+	case *DenseOids:
+		out := make([]Oid, o.N)
+		for i := range out {
+			out[i] = o.At(i)
+		}
+		return out
+	}
+	panic("bat: MaterialiseOids on non-oid vector")
+}

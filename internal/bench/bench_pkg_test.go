@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/recycler"
+	"repro/internal/sky"
+	"repro/internal/tpch"
+)
+
+var benchDB = tpch.Generate(0.002, 7)
+
+func TestTable2ShapesMatchPaper(t *testing.T) {
+	rows := Table2(benchDB, 5)
+	if len(rows) != 22 {
+		t.Fatalf("rows = %d, want 22", len(rows))
+	}
+	byQ := map[int]Table2Row{}
+	for _, r := range rows {
+		byQ[r.QNum] = r
+	}
+	// Q18 and Q22 are the flagship inter-query cases (75% in the
+	// paper); they must show strong inter-query reuse.
+	for _, q := range []int{18, 22} {
+		if byQ[q].InterPct < 40 {
+			t.Errorf("Q%d inter%% = %.1f, want >= 40", q, byQ[q].InterPct)
+		}
+	}
+	// Q11 is the flagship intra-query case (33.3%).
+	if byQ[11].IntraPct < 20 {
+		t.Errorf("Q11 intra%% = %.1f, want >= 20", byQ[11].IntraPct)
+	}
+	// Q6 has no overlap at all.
+	if byQ[6].IntraPct != 0 || byQ[6].InterPct != 0 {
+		t.Errorf("Q6 overlap = %.1f/%.1f, want 0/0", byQ[6].IntraPct, byQ[6].InterPct)
+	}
+	// Q4 overlaps across instances through the constant late-lineitem
+	// scan.
+	if byQ[4].InterPct < 20 {
+		t.Errorf("Q4 inter%% = %.1f, want >= 20", byQ[4].InterPct)
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Q18") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+func TestMicroProfileQ18Shape(t *testing.T) {
+	pts := MicroProfile(benchDB, 18, 6, 3)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// First instance: low hit ratio; later instances: high.
+	if pts[0].HitRatio > 0.5 {
+		t.Errorf("instance 1 hit ratio = %.2f, want low", pts[0].HitRatio)
+	}
+	if pts[3].HitRatio < 0.55 {
+		t.Errorf("instance 4 hit ratio = %.2f, want high (inter-query reuse)", pts[3].HitRatio)
+	}
+	// Memory flattens: the last instances add little.
+	growthLate := pts[5].TotalMem - pts[3].TotalMem
+	growthEarly := pts[1].TotalMem
+	if growthLate > growthEarly {
+		t.Errorf("memory still growing late: %d vs %d", growthLate, growthEarly)
+	}
+}
+
+func TestMicroProfileQ14Overhead(t *testing.T) {
+	pts := MicroProfile(benchDB, 14, 5, 3)
+	// Q14 instances barely overlap: hit ratio stays small.
+	for _, p := range pts {
+		if p.HitRatio > 0.4 {
+			t.Errorf("Q14 instance %d hit ratio = %.2f, want small", p.Instance, p.HitRatio)
+		}
+	}
+	// But memory keeps growing (intermediates accumulate unused).
+	if pts[4].TotalMem <= pts[0].TotalMem {
+		t.Error("Q14 memory should keep growing")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows := Fig6(benchDB, []int{18, 14}, 5, 3)
+	byQ := map[int]Fig6Row{}
+	for _, r := range rows {
+		byQ[r.QNum] = r
+	}
+	// Q18 recycled average must beat its first (cold) instance by a
+	// wide margin.
+	if byQ[18].RecycleAvg*2 > byQ[18].RecycleFirst {
+		t.Errorf("Q18 avg %v vs first %v: expected >=2x gap", byQ[18].RecycleAvg, byQ[18].RecycleFirst)
+	}
+}
+
+func TestAdmissionSweepShapes(t *testing.T) {
+	items := MixedWorkload(3, 11)
+	pts := AdmissionSweep(benchDB, items, 4)
+	var keepall AdmissionPoint
+	adapt := map[int]AdmissionPoint{}
+	credit := map[int]AdmissionPoint{}
+	for _, p := range pts {
+		switch p.Policy {
+		case "keepall":
+			keepall = p
+		case "adapt":
+			adapt[p.Credits] = p
+		case "crd":
+			credit[p.Credits] = p
+		}
+	}
+	// Credit and adapt use no more memory than keepall.
+	for c, p := range credit {
+		if p.TotalMem > keepall.TotalMem {
+			t.Errorf("credit(%d) memory %d > keepall %d", c, p.TotalMem, keepall.TotalMem)
+		}
+		if p.HitRatioToKeep > 1.01 {
+			t.Errorf("credit(%d) hit ratio %f > 1", c, p.HitRatioToKeep)
+		}
+	}
+	// Adapt achieves a high hit ratio (paper: ~95%).
+	if p, ok := adapt[3]; ok && p.HitRatioToKeep < 0.7 {
+		t.Errorf("adapt(3) hit ratio = %.2f, want >= 0.7", p.HitRatioToKeep)
+	}
+	// Resource utilisation improves: reused-memory percentage of the
+	// restricted policies is at least keepall's.
+	if p, ok := adapt[3]; ok && p.ReusedMemPct+1e-9 < keepall.ReusedMemPct {
+		t.Errorf("adapt(3) reused-mem%% %.1f < keepall %.1f", p.ReusedMemPct, keepall.ReusedMemPct)
+	}
+	var buf bytes.Buffer
+	PrintAdmission(&buf, pts)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestEvictionSweepShapes(t *testing.T) {
+	items := MixedWorkload(3, 13)
+	curves := EvictionSweep(benchDB, items, "entries", []int{20, 60})
+	var noLimit EvictionCurve
+	final := func(c EvictionCurve) float64 { return c.HitCurve[len(c.HitCurve)-1] }
+	byKey := map[string]EvictionCurve{}
+	for _, c := range curves {
+		if c.Policy == "nolimit" {
+			noLimit = c
+			continue
+		}
+		byKey[c.Policy+"@"+itoa(c.LimitPct)] = c
+	}
+	// Limits reduce (or keep) the hit ratio, and 60% hurts less than
+	// 20% for the same policy.
+	for _, pol := range []string{"lru", "bp"} {
+		c20, ok20 := byKey[pol+"@20"]
+		c60, ok60 := byKey[pol+"@60"]
+		if !ok20 || !ok60 {
+			t.Fatalf("missing curves for %s", pol)
+		}
+		if final(c20) > final(noLimit)+1e-9 {
+			t.Errorf("%s@20 final hit ratio above unlimited", pol)
+		}
+		if final(c60)+1e-9 < final(c20) {
+			t.Errorf("%s: 60%% limit (%f) worse than 20%% (%f)", pol, final(c60), final(c20))
+		}
+	}
+	// Memory variant exercises the knapsack path.
+	mcurves := EvictionSweep(benchDB, items, "memory", []int{40})
+	if len(mcurves) < 2 {
+		t.Fatal("memory sweep incomplete")
+	}
+	var buf bytes.Buffer
+	PrintEviction(&buf, mcurves)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+func TestUpdatesSweepShapes(t *testing.T) {
+	series := UpdatesSweep(0.002, 7, func(db *tpch.DB) []WorkItem { return MixedWorkload(2, 17) }, 5)
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	keepall := series[0]
+	// Update blocks invalidate pool content: the memory series is not
+	// monotonically increasing.
+	drops := 0
+	for i := 1; i < len(keepall.MemSeries); i++ {
+		if keepall.MemSeries[i] < keepall.MemSeries[i-1] {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("no invalidation drops observed in keepall memory series")
+	}
+	// Limited strategies stay under their caps relative to keepall.
+	maxOf := func(s UpdateSeries) int64 {
+		var m int64
+		for _, v := range s.MemSeries {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxOf(series[2]) > maxOf(series[0]) {
+		t.Error("lru/20% exceeded keepall peak")
+	}
+	var buf bytes.Buffer
+	PrintUpdates(&buf, series, 10)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+// --- Sky experiments ----------------------------------------------------
+
+var skyDB = sky.Generate(4000, 19)
+
+func TestSkyBatchShape(t *testing.T) {
+	w := sky.SampleWorkload(skyDB, 60, 3)
+	row := SkyBatch(skyDB, w, 1, 3)
+	// Keepall recycling must beat naive by a wide margin on this
+	// highly repetitive workload (the paper reports ~10x or more).
+	if row.KeepAll*2 > row.Naive {
+		t.Errorf("keepall %v vs naive %v: expected >= 2x speedup", row.KeepAll, row.Naive)
+	}
+	if row.Reused < 0.5 {
+		t.Errorf("reuse fraction = %.2f, want >= 0.5", row.Reused)
+	}
+	var buf bytes.Buffer
+	PrintFig14(&buf, []Fig14Row{row})
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestTable3Breakdown(t *testing.T) {
+	w := sky.SampleWorkload(skyDB, 40, 5)
+	rows := Table3(skyDB, w)
+	if len(rows) == 0 {
+		t.Fatal("no breakdown")
+	}
+	ops := map[string]recycler.TypeRow{}
+	for _, r := range rows {
+		ops[r.Op] = r
+	}
+	if _, ok := ops["algebra.semijoin"]; !ok {
+		t.Error("semijoin missing from breakdown")
+	}
+	if _, ok := ops["algebra.select"]; !ok {
+		t.Error("select missing from breakdown")
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Total") {
+		t.Fatal("no totals row")
+	}
+}
+
+func TestSkySubsumeShape(t *testing.T) {
+	mb := sky.GenMicroBench(2, 5, 0.02, 7)
+	pts := SkySubsume(skyDB, mb)
+	if len(pts) != len(mb.Queries) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	combinedSeeds := 0
+	for _, p := range pts {
+		if p.Seed && p.Combined {
+			combinedSeeds++
+			if p.SelRatio <= 0 {
+				t.Errorf("seed %d: missing selection ratio", p.Query)
+			}
+		}
+	}
+	if combinedSeeds < 3 {
+		t.Errorf("combined subsumption on %d/5 seeds", combinedSeeds)
+	}
+	var buf bytes.Buffer
+	PrintFig15(&buf, 2, pts)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestSyncAblation(t *testing.T) {
+	rows := SyncAblation(0.002, 7, func(db *tpch.DB) []WorkItem { return MixedWorkload(2, 17) }, 5)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	inval, prop := rows[0], rows[1]
+	// Propagation keeps select-over-bind chains alive, so it must not
+	// lose reuse relative to immediate invalidation.
+	if prop.Hits < inval.Hits {
+		t.Errorf("propagation hits %d < invalidation hits %d", prop.Hits, inval.Hits)
+	}
+	var buf bytes.Buffer
+	PrintSyncAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	items := MixedWorkload(3, 23)
+	rows := Throughput(benchDB, items)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ThroughputRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	// Recycling improves throughput on the overlap-heavy batch.
+	if byName["keepall"].QPS <= byName["naive"].QPS {
+		t.Errorf("keepall QPS %.1f <= naive %.1f", byName["keepall"].QPS, byName["naive"].QPS)
+	}
+	var buf bytes.Buffer
+	PrintThroughput(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

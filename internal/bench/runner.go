@@ -1,0 +1,97 @@
+// Package bench implements the paper's experiment harness: it drives
+// query batches against engines with and without the recycler and
+// regenerates every table and figure of the evaluation sections
+// (Table II, Figs. 4–13 for TPC-H; Fig. 14, Table III and Fig. 15 for
+// SkyServer). The per-experiment index lives in DESIGN.md.
+package bench
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/recycler"
+)
+
+// Runner executes templates against one engine configuration.
+type Runner struct {
+	Cat     *catalog.Catalog
+	Rec     *recycler.Recycler // nil = naive execution
+	Measure bool               // time marked instructions in naive mode
+	queryID uint64
+}
+
+// NewNaive builds a runner without recycling (optionally measuring
+// marked-instruction time for potential-savings reporting).
+func NewNaive(cat *catalog.Catalog, measure bool) *Runner {
+	return &Runner{Cat: cat, Measure: measure}
+}
+
+// NewRecycled builds a runner with a fresh recycler.
+func NewRecycled(cat *catalog.Catalog, cfg recycler.Config) *Runner {
+	return &Runner{Cat: cat, Rec: recycler.New(cat, cfg)}
+}
+
+// Run executes one query instance and returns its context (with
+// statistics filled in).
+func (r *Runner) Run(tmpl *mal.Template, params ...mal.Value) (*mal.Ctx, error) {
+	r.queryID++
+	ctx := &mal.Ctx{Cat: r.Cat, QueryID: r.queryID, Measure: r.Measure}
+	if r.Rec != nil {
+		ctx.Hook = r.Rec
+		r.Rec.BeginQuery(r.queryID, tmpl.ID)
+	}
+	err := mal.Run(ctx, tmpl, params...)
+	return ctx, err
+}
+
+// MustRun is Run that panics on error (experiment code paths).
+func (r *Runner) MustRun(tmpl *mal.Template, params ...mal.Value) *mal.Ctx {
+	ctx, err := r.Run(tmpl, params...)
+	if err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+// PoolBytes returns the recycle pool memory, 0 for naive runners.
+func (r *Runner) PoolBytes() int64 {
+	if r.Rec == nil {
+		return 0
+	}
+	return r.Rec.Pool().Bytes()
+}
+
+// PoolEntries returns the number of cache lines, 0 for naive runners.
+func (r *Runner) PoolEntries() int {
+	if r.Rec == nil {
+		return 0
+	}
+	return r.Rec.Pool().Len()
+}
+
+// Warmup executes the given (template, params) pairs once to touch all
+// persistent columns, then resets the recycle pool — the experimental
+// preparation the paper describes (§7): factor out IO, start from an
+// empty pool.
+func (r *Runner) Warmup(queries []WarmupQuery) {
+	for _, q := range queries {
+		r.MustRun(q.Templ, q.Params...)
+	}
+	if r.Rec != nil {
+		r.Rec.Reset()
+	}
+}
+
+// WarmupQuery names one warmup execution.
+type WarmupQuery struct {
+	Templ  *mal.Template
+	Params []mal.Value
+}
+
+// Timed runs fn and returns its wall-clock duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

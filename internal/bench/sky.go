@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/recycler"
+	"repro/internal/sky"
+)
+
+// --- Fig. 14: SkyServer batch performance --------------------------------
+
+// Fig14Row is one batch split: total times of the naive strategy, the
+// resource-limited CRD/LRU recycler, and keepall/unlimited recycling.
+type Fig14Row struct {
+	Split    string
+	Naive    time.Duration
+	CrdLru   time.Duration
+	KeepAll  time.Duration
+	PeakMem  int64
+	Reused   float64 // fraction of monitored instructions reused (keepall)
+	Segments int
+}
+
+// SkyBatch reproduces Fig. 14: the sampled workload executed in
+// segments (4x25, 2x50, 1x100 over a 100-query batch), cleaning the
+// recycle pool between segments. The CRD/LRU runner's memory limit is
+// 65% of the keepall peak, following §8.2.
+func SkyBatch(db *sky.DB, batch *sky.Workload, segments int, seed int64) Fig14Row {
+	n := len(batch.Batch)
+	segLen := n / segments
+
+	warm := []WarmupQuery{}
+	seen := map[string]bool{}
+	for _, q := range batch.Batch {
+		if !seen[q.Kind] {
+			seen[q.Kind] = true
+			warm = append(warm, WarmupQuery{Templ: batch.Template(q.Kind), Params: q.Params})
+		}
+	}
+
+	runSegments := func(r *Runner) (time.Duration, int, int, int64) {
+		var total time.Duration
+		hits, pot := 0, 0
+		var peak int64
+		start := 0
+		for s := 0; s < segments; s++ {
+			end := start + segLen
+			if s == segments-1 {
+				end = n
+			}
+			for _, q := range batch.Batch[start:end] {
+				ctx := r.MustRun(batch.Template(q.Kind), q.Params...)
+				total += ctx.Stats.Elapsed
+				hits += ctx.Stats.HitsNonBind
+				pot += ctx.Stats.MarkedNonBind
+				if m := r.PoolBytes(); m > peak {
+					peak = m
+				}
+			}
+			if r.Rec != nil {
+				r.Rec.Reset()
+			}
+			start = end
+		}
+		return total, hits, pot, peak
+	}
+
+	naive := NewNaive(db.Cat, false)
+	naive.Warmup(warm)
+	nTime, _, _, _ := runSegments(naive)
+
+	keepall := NewRecycled(db.Cat, recycler.Config{Admission: recycler.KeepAll, Subsumption: true})
+	keepall.Warmup(warm)
+	kTime, kHits, kPot, kPeak := runSegments(keepall)
+
+	crd := NewRecycled(db.Cat, recycler.Config{
+		Admission: recycler.Credit, Credits: 5,
+		Eviction: recycler.EvictLRU, MaxBytes: max64b(1, kPeak*65/100),
+		Subsumption: true,
+	})
+	crd.Warmup(warm)
+	cTime, _, _, _ := runSegments(crd)
+
+	reused := 0.0
+	if kPot > 0 {
+		reused = float64(kHits) / float64(kPot)
+	}
+	return Fig14Row{
+		Split:    fmt.Sprintf("%dx%d", segments, segLen),
+		Naive:    nTime,
+		CrdLru:   cTime,
+		KeepAll:  kTime,
+		PeakMem:  kPeak,
+		Reused:   reused,
+		Segments: segments,
+	}
+}
+
+// PrintFig14 renders the batch comparison.
+func PrintFig14(w io.Writer, rows []Fig14Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Split\tNaive\tCRD/LRU(65%)\tKeepAll/Unlim\tPeakMem(KB)\tReuse")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%d\t%.1f%%\n", r.Split,
+			r.Naive.Round(time.Millisecond), r.CrdLru.Round(time.Millisecond),
+			r.KeepAll.Round(time.Millisecond), r.PeakMem/1024, 100*r.Reused)
+	}
+	tw.Flush()
+}
+
+// --- Table III: recycle pool content breakdown ---------------------------
+
+// Table3 runs the batch under keepall/unlimited and returns the
+// instruction-type breakdown of the final pool.
+func Table3(db *sky.DB, batch *sky.Workload) []recycler.TypeRow {
+	r := NewRecycled(db.Cat, recycler.Config{Admission: recycler.KeepAll, Subsumption: true})
+	for _, q := range batch.Batch {
+		r.MustRun(batch.Template(q.Kind), q.Params...)
+	}
+	return r.Rec.Pool().TypeBreakdown()
+}
+
+// PrintTable3 renders the pool breakdown in the paper's Table III
+// layout.
+func PrintTable3(w io.Writer, rows []recycler.TypeRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Instruction\tLines\tMemory(KB)\tAvgTime\tReusedLines\tReuses\tAvgSaved")
+	var lines, reuses int
+	var mem int64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%d\t%d\t%v\n", r.Op, r.Lines, r.Bytes/1024,
+			r.AvgCost.Round(time.Microsecond), r.ReusedLines, r.Reuses, r.AvgSaved.Round(time.Microsecond))
+		lines += r.Lines
+		mem += r.Bytes
+		reuses += r.Reuses
+	}
+	fmt.Fprintf(tw, "Total\t%d\t%d\t\t\t%d\t\n", lines, mem/1024, reuses)
+	tw.Flush()
+}
+
+// --- Fig. 15: combined subsumption micro-benchmarks ----------------------
+
+// Fig15Point is one query of a B-k micro-benchmark.
+type Fig15Point struct {
+	Query      int
+	Seed       bool
+	TotalRatio float64 // recycled / naive total time
+	SelRatio   float64 // subsumed selection / regular selection time
+	AlgTime    time.Duration
+	Combined   bool
+}
+
+// SkySubsume reproduces Fig. 15: it runs a B-k benchmark with
+// combined subsumption enabled and reports, per query, the total time
+// ratio against regular execution, the selection-time ratio for
+// subsumed seeds, and the time spent in the subsumption search.
+func SkySubsume(db *sky.DB, mb *sky.MicroBench) []Fig15Point {
+	rec := NewRecycled(db.Cat, recycler.Config{
+		Admission: recycler.KeepAll, Subsumption: true, CombinedSubsumption: true,
+	})
+	naive := NewNaive(db.Cat, true)
+	// Warm both paths.
+	naive.MustRun(mb.Templ, mb.Queries[0]...)
+	rec.Warmup([]WarmupQuery{{Templ: mb.Templ, Params: mb.Queries[0]}})
+
+	out := make([]Fig15Point, 0, len(mb.Queries))
+	for i, params := range mb.Queries {
+		// The recycled run happens once (it mutates the pool); the
+		// naive baseline repeats and keeps the fastest run to reduce
+		// timing noise on sub-millisecond selections.
+		nctx := naive.MustRun(mb.Templ, params...)
+		for rep := 0; rep < 2; rep++ {
+			c := naive.MustRun(mb.Templ, params...)
+			if c.Stats.Elapsed < nctx.Stats.Elapsed {
+				nctx = c
+			}
+		}
+		rctx := rec.MustRun(mb.Templ, params...)
+		p := Fig15Point{
+			Query:      i + 1,
+			Seed:       mb.SeedIdx[i],
+			TotalRatio: ratioDur(rctx.Stats.Elapsed, nctx.Stats.Elapsed),
+			AlgTime:    rctx.Stats.SubsumeOverhead,
+			Combined:   rctx.Stats.Combined > 0,
+		}
+		if p.Combined && nctx.Stats.TimeInMarked > 0 {
+			p.SelRatio = ratioDur(rctx.Stats.CombinedExec, nctx.Stats.TimeInMarked)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func ratioDur(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// PrintFig15 renders the micro-benchmark series.
+func PrintFig15(w io.Writer, k int, pts []Fig15Point) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "B%d query\tseed\ttotal-ratio\tsel-ratio\talg-time\tcombined\n", k)
+	for _, p := range pts {
+		seed := ""
+		if p.Seed {
+			seed = "*"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t%v\t%v\n", p.Query, seed, p.TotalRatio, p.SelRatio,
+			p.AlgTime.Round(time.Microsecond), p.Combined)
+	}
+	tw.Flush()
+}

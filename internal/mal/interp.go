@@ -1,0 +1,232 @@
+package mal
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// Rewrite describes a subsumption rewrite decided by the recycler at
+// recycleEntry time: the instruction executes with Args substituted
+// (e.g. the column operand replaced by a cached superset intermediate),
+// and the admitted result records a derivation edge to SubsetOf
+// (paper §5.1). The original template instruction is left untouched, so
+// re-evaluation with other parameters remains possible.
+type Rewrite struct {
+	Args     []Value
+	SubsetOf uint64
+}
+
+// EntryResult is the outcome of the recycler's recycleEntry operation.
+type EntryResult struct {
+	// Hit means the result was taken from the pool (exact match or
+	// combined subsumption); Val holds it and the instruction body is
+	// skipped.
+	Hit bool
+	Val Value
+	// Rewrite, when non-nil on a miss, requests execution with
+	// substituted arguments (singleton subsumption).
+	Rewrite *Rewrite
+}
+
+// RecyclerHook is the interface between the interpreter and the
+// recycler run-time support (Algorithm 1). A nil hook disables
+// recycling entirely.
+type RecyclerHook interface {
+	// Entry is called before executing a marked instruction.
+	Entry(ctx *Ctx, pc int, in *Instr, args []Value) EntryResult
+	// Exit is called after a marked instruction executed (normally or
+	// through a rewrite) and decides admission to the pool. It returns
+	// the provenance id assigned to the result (0 if not admitted).
+	Exit(ctx *Ctx, pc int, in *Instr, args []Value, ret Value, elapsed time.Duration, rw *Rewrite) uint64
+}
+
+// Result is one exported query result (a scalar or a column).
+type Result struct {
+	Name string
+	Val  Value
+}
+
+// QueryStats aggregates per-query execution metrics used by the
+// paper's experiments (Table II, Figs. 4–15).
+type QueryStats struct {
+	QueryID uint64
+	// Marked counts marked (monitored) instructions encountered;
+	// MarkedNonBind excludes catalogue binds, matching Table II's
+	// potential-hit counting.
+	Marked        int
+	MarkedNonBind int
+	// Hits counts instructions satisfied from the recycle pool.
+	Hits        int
+	HitsNonBind int
+	LocalHits   int // reuse of entries admitted by this same query
+	GlobalHits  int // reuse of entries admitted by earlier queries
+	Subsumed    int // singleton subsumption rewrites
+	Combined    int // combined subsumption hits
+	// TimeInMarked sums the execution time of monitored instructions
+	// that actually ran (the "potential savings" of Table II).
+	TimeInMarked time.Duration
+	// SavedTime sums the recorded cost of reused intermediates;
+	// SavedLocal/SavedGlobal split it by reuse type (Table II).
+	SavedTime   time.Duration
+	SavedLocal  time.Duration
+	SavedGlobal time.Duration
+	// SubsumeOverhead sums time spent in the combined subsumption
+	// search itself (Fig. 15 bottom).
+	SubsumeOverhead time.Duration
+	// CombinedExec sums the piecewise execution time of combined-
+	// subsumption hits (the subsumed selection time of Fig. 15).
+	CombinedExec time.Duration
+	// Elapsed is the wall time of the whole query.
+	Elapsed time.Duration
+}
+
+// HitRatio returns hits over potential hits, both excluding binds
+// (the paper's per-query hit ratio).
+func (s *QueryStats) HitRatio() float64 {
+	if s.MarkedNonBind == 0 {
+		return 0
+	}
+	return float64(s.HitsNonBind) / float64(s.MarkedNonBind)
+}
+
+// Ctx is one query execution context.
+type Ctx struct {
+	Cat  *catalog.Catalog
+	Hook RecyclerHook
+	// Measure enables per-instruction timing of marked instructions
+	// even without a hook (needed to report potential savings for
+	// naive runs).
+	Measure bool
+
+	QueryID  uint64
+	Template *Template
+	Stack    []Value
+	Stats    QueryStats
+	Results  []Result
+}
+
+// Run executes template t with the given parameter values.
+func Run(ctx *Ctx, t *Template, params ...Value) error {
+	if len(params) != len(t.Params) {
+		return fmt.Errorf("mal: %s expects %d params, got %d", t.Name, len(t.Params), len(params))
+	}
+	ctx.Template = t
+	ctx.Stack = make([]Value, t.NumVars)
+	ctx.Results = ctx.Results[:0]
+	ctx.Stats = QueryStats{QueryID: ctx.QueryID}
+	for i, p := range params {
+		if p.Kind != t.Params[i].Kind {
+			return fmt.Errorf("mal: %s param %s expects %v, got %v", t.Name, t.Params[i].Name, t.Params[i].Kind, p.Kind)
+		}
+		ctx.Stack[i] = p
+	}
+	start := time.Now()
+	for pc := range t.Instrs {
+		if err := step(ctx, pc, &t.Instrs[pc]); err != nil {
+			return fmt.Errorf("mal: %s pc=%d %s: %w", t.Name, pc, t.Instrs[pc].Name(), err)
+		}
+	}
+	ctx.Stats.Elapsed = time.Since(start)
+	return nil
+}
+
+func step(ctx *Ctx, pc int, in *Instr) error {
+	args := make([]Value, len(in.Args))
+	for i, a := range in.Args {
+		if a.IsConst() {
+			args[i] = a.Const
+		} else {
+			args[i] = ctx.Stack[a.Var]
+		}
+	}
+
+	fn := lookupOp(in.Name())
+	if fn == nil {
+		return fmt.Errorf("unknown operation")
+	}
+
+	if in.Marked && ctx.Hook != nil {
+		ctx.Stats.Marked++
+		if in.Module != "sql" {
+			ctx.Stats.MarkedNonBind++
+		}
+		res := ctx.Hook.Entry(ctx, pc, in, args)
+		if res.Hit {
+			if in.Ret >= 0 {
+				ctx.Stack[in.Ret] = res.Val
+			}
+			return nil
+		}
+		execArgs := args
+		if res.Rewrite != nil {
+			execArgs = res.Rewrite.Args
+		}
+		start := time.Now()
+		ret, err := fn(ctx, in, execArgs)
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		ctx.Stats.TimeInMarked += elapsed
+		prov := ctx.Hook.Exit(ctx, pc, in, args, ret, elapsed, res.Rewrite)
+		ret.Prov = prov
+		if in.Ret >= 0 {
+			ctx.Stack[in.Ret] = ret
+		}
+		return nil
+	}
+
+	// Regular execution without recycling.
+	if in.Marked && ctx.Measure {
+		ctx.Stats.Marked++
+		if in.Module != "sql" {
+			ctx.Stats.MarkedNonBind++
+		}
+		start := time.Now()
+		ret, err := fn(ctx, in, args)
+		if err != nil {
+			return err
+		}
+		ctx.Stats.TimeInMarked += time.Since(start)
+		if in.Ret >= 0 {
+			ctx.Stack[in.Ret] = ret
+		}
+		return nil
+	}
+	ret, err := fn(ctx, in, args)
+	if err != nil {
+		return err
+	}
+	if in.Ret >= 0 {
+		ctx.Stack[in.Ret] = ret
+	}
+	return nil
+}
+
+// OpFunc implements one abstract-machine operation.
+type OpFunc func(ctx *Ctx, in *Instr, args []Value) (Value, error)
+
+var opRegistry = map[string]OpFunc{}
+
+// RegisterOp installs an operation implementation under "module.op".
+// Registration happens at package init time; later registrations
+// overwrite earlier ones (used by tests to stub ops).
+func RegisterOp(name string, fn OpFunc) { opRegistry[name] = fn }
+
+func lookupOp(name string) OpFunc { return opRegistry[name] }
+
+// HasOp reports whether an operation is registered.
+func HasOp(name string) bool { return opRegistry[name] != nil }
+
+// Eval executes a single instruction against explicit argument values,
+// outside the normal interpreter loop. The optimizer's constant folder
+// and the recycler's delta propagation use it.
+func Eval(ctx *Ctx, in *Instr, args []Value) (Value, error) {
+	fn := lookupOp(in.Name())
+	if fn == nil {
+		return Value{}, fmt.Errorf("mal: unknown operation %s", in.Name())
+	}
+	return fn(ctx, in, args)
+}

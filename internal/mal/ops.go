@@ -1,0 +1,500 @@
+package mal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+)
+
+// This file registers the engine's operation set: catalogue access,
+// the binary relational algebra, grouping/aggregation, column
+// arithmetic and result-set export. Names follow the paper's MAL
+// listings (Fig. 1) where applicable.
+
+func init() {
+	// Catalogue and persistent data access.
+	RegisterOp("sql.bind", opBind)
+	RegisterOp("sql.bindIdxbat", opBindIdx)
+	RegisterOp("sql.exportValue", opExportValue)
+	RegisterOp("sql.exportCol", opExportCol)
+
+	// Binary relational algebra.
+	RegisterOp("algebra.select", opSelect)
+	RegisterOp("algebra.uselect", opUselect)
+	RegisterOp("algebra.likeselect", opLikeSelect)
+	RegisterOp("algebra.selectNotNil", opSelectNotNil)
+	RegisterOp("algebra.join", opJoin)
+	RegisterOp("algebra.semijoin", opSemijoin)
+	RegisterOp("algebra.kunique", opKUnique)
+	RegisterOp("algebra.markT", opMarkT)
+	RegisterOp("algebra.sort", opSort)
+	RegisterOp("algebra.topn", opTopN)
+
+	// BAT viewpoint administration.
+	RegisterOp("bat.reverse", opReverse)
+	RegisterOp("bat.mirror", opMirror)
+
+	// Grouping and aggregation.
+	RegisterOp("group.new", opGroupNew)
+	RegisterOp("group.derive", opGroupDerive)
+	RegisterOp("group.heads", opGroupHeads)
+	RegisterOp("aggr.countGrp", opAggrCountGrp)
+	RegisterOp("aggr.sum", opAggrSum)
+	RegisterOp("aggr.avg", opAggrAvg)
+	RegisterOp("aggr.min", opAggrMin)
+	RegisterOp("aggr.max", opAggrMax)
+	RegisterOp("aggr.count", opAggrCount)
+	RegisterOp("aggr.sumFlt", opAggrSumFlt)
+	RegisterOp("aggr.sumInt", opAggrSumInt)
+
+	// Column arithmetic.
+	RegisterOp("batcalc.mul", opCalcMul)
+	RegisterOp("batcalc.add", opCalcAdd)
+	RegisterOp("batcalc.csub", opCalcCSub)
+	RegisterOp("batcalc.cadd", opCalcCAdd)
+	RegisterOp("batcalc.cmul", opCalcCMul)
+	RegisterOp("batcalc.int2dbl", opCalcInt2Dbl)
+	RegisterOp("batcalc.year", opCalcYear)
+
+	// Scalar temporal arithmetic.
+	RegisterOp("mtime.addmonths", opAddMonths)
+	RegisterOp("mtime.addyears", opAddYears)
+
+	// Extended operations used by the TPC-H and SkyServer templates.
+	RegisterOp("algebra.notlikeselect", opNotLikeSelect)
+	RegisterOp("algebra.union", opUnion)
+	RegisterOp("algebra.antisemijoin", opAntiSemijoin)
+	RegisterOp("batcalc.lt", opCalcLt)
+	RegisterOp("aggr.avgFlt", opAggrAvgFlt)
+
+	// Cheap scalar arithmetic (never recycled).
+	RegisterOp("calc.mulFlt", func(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+		return FloatV(args[0].F * args[1].F), nil
+	})
+	RegisterOp("calc.addFlt", func(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+		return FloatV(args[0].F + args[1].F), nil
+	})
+	RegisterOp("calc.addInt", func(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+		return IntV(args[0].I + args[1].I), nil
+	})
+}
+
+var errArity = errors.New("wrong argument count")
+
+func wantBat(v Value) (*bat.BAT, error) {
+	if v.Kind != VBat || v.Bat == nil {
+		return nil, fmt.Errorf("expected bat argument, got %v", v.Kind)
+	}
+	return v.Bat, nil
+}
+
+func opBind(ctx *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 4 {
+		return Value{}, errArity
+	}
+	t := ctx.Cat.Table(args[0].S, args[1].S)
+	if t == nil {
+		return Value{}, fmt.Errorf("unknown table %s.%s", args[0].S, args[1].S)
+	}
+	c := t.Column(args[2].S)
+	if c == nil {
+		return Value{}, fmt.Errorf("unknown column %s", args[2].S)
+	}
+	return BatV(c.Bind()), nil
+}
+
+func opBindIdx(ctx *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 3 {
+		return Value{}, errArity
+	}
+	t := ctx.Cat.Table(args[0].S, args[1].S)
+	if t == nil {
+		return Value{}, fmt.Errorf("unknown table %s.%s", args[0].S, args[1].S)
+	}
+	return BatV(t.BindIdx(args[2].S)), nil
+}
+
+func opExportValue(ctx *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	ctx.Results = append(ctx.Results, Result{Name: args[0].S, Val: args[1]})
+	return VoidV(), nil
+}
+
+func opExportCol(ctx *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	if _, err := wantBat(args[1]); err != nil {
+		return Value{}, err
+	}
+	ctx.Results = append(ctx.Results, Result{Name: args[0].S, Val: args[1]})
+	return VoidV(), nil
+}
+
+// SelectBounds extracts the range-select bounds from an
+// algebra.select argument list (b, lo, hi, incLo, incHi). VVoid
+// bounds are open. Exposed for the recycler's subsumption analysis.
+func SelectBounds(args []Value) (lo, hi any, incLo, incHi bool) {
+	if args[1].Kind != VVoid {
+		lo = args[1].Scalar()
+	}
+	if args[2].Kind != VVoid {
+		hi = args[2].Scalar()
+	}
+	return lo, hi, args[3].B, args[4].B
+}
+
+func opSelect(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 5 {
+		return Value{}, errArity
+	}
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	lo, hi, incLo, incHi := SelectBounds(args)
+	return BatV(algebra.Select(b, lo, hi, incLo, incHi)), nil
+}
+
+func opUselect(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.Uselect(b, args[1].Scalar())), nil
+}
+
+func opLikeSelect(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.LikeSelect(b, args[1].S)), nil
+}
+
+func opSelectNotNil(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.SelectNotNil(b)), nil
+}
+
+func opJoin(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	l, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.Join(l, r)), nil
+}
+
+func opSemijoin(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	l, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.Semijoin(l, r)), nil
+}
+
+func opKUnique(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.KUnique(b)), nil
+}
+
+func opMarkT(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Value{}, errArity
+	}
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(b.MarkT(args[1].O)), nil
+}
+
+func opSort(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.SortByTail(b, args[1].B)), nil
+}
+
+func opTopN(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.TopN(b, int(args[1].I))), nil
+}
+
+func opReverse(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(b.Reverse()), nil
+}
+
+func opMirror(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(b.Mirror()), nil
+}
+
+func opGroupNew(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	g := algebra.GroupNew(b)
+	return BatV(g.Grp), nil
+}
+
+func opGroupDerive(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	grp, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	g := regroup(grp)
+	return BatV(algebra.GroupDerive(g, b).Grp), nil
+}
+
+// regroup reconstructs a Grouping descriptor from a grouping BAT
+// (head: row oid, tail: dense group ids).
+func regroup(grp *bat.BAT) *algebra.Grouping {
+	ids := grp.Tail.(*bat.Oids).V
+	max := -1
+	var repr []int
+	seen := map[bat.Oid]int{}
+	for i, g := range ids {
+		if int(g) > max {
+			max = int(g)
+		}
+		if _, ok := seen[g]; !ok {
+			seen[g] = i
+		}
+	}
+	repr = make([]int, max+1)
+	for g, i := range seen {
+		repr[g] = i
+	}
+	return &algebra.Grouping{Grp: grp, NGroups: max + 1, Repr: repr}
+}
+
+func opGroupHeads(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	grp, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	g := regroup(grp)
+	return BatV(algebra.GroupHeads(g, b)), nil
+}
+
+func opAggrCountGrp(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	grp, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	g := regroup(grp)
+	return BatV(algebra.AggrCount(g.Grp, g.NGroups)), nil
+}
+
+func aggr2(args []Value, f func(v, grp *bat.BAT, n int) *bat.BAT) (Value, error) {
+	v, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	grp, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	g := regroup(grp)
+	return BatV(f(v, g.Grp, g.NGroups)), nil
+}
+
+func opAggrSum(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return aggr2(args, algebra.AggrSum)
+}
+func opAggrAvg(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return aggr2(args, algebra.AggrAvg)
+}
+func opAggrMin(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return aggr2(args, algebra.AggrMin)
+}
+func opAggrMax(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return aggr2(args, algebra.AggrMax)
+}
+
+func opAggrCount(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return IntV(algebra.Count(b)), nil
+}
+
+func opAggrSumFlt(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return FloatV(algebra.SumFloat(b)), nil
+}
+
+func opAggrSumInt(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return IntV(algebra.SumInt(b)), nil
+}
+
+func calc2(args []Value, f func(a, b *bat.BAT) *bat.BAT) (Value, error) {
+	a, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(f(a, b)), nil
+}
+
+func opCalcMul(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return calc2(args, algebra.MulFloat)
+}
+func opCalcAdd(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return calc2(args, algebra.AddFloat)
+}
+
+func opCalcCSub(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	// csub(c, b) computes c - tail(b).
+	b, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.SubFromConstFloat(b, args[0].F)), nil
+}
+
+func opCalcCAdd(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.AddConstFloat(b, args[1].F)), nil
+}
+
+func opCalcCMul(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.MulConstFloat(b, args[1].F)), nil
+}
+
+func opCalcInt2Dbl(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.IntToFloat(b)), nil
+}
+
+func opCalcYear(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.Year(b)), nil
+}
+
+func opNotLikeSelect(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.NotLikeSelect(b, args[1].S)), nil
+}
+
+func opUnion(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	l, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.MergeDedupByHead([]*bat.BAT{l, r})), nil
+}
+
+func opAntiSemijoin(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	l, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := wantBat(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return BatV(algebra.AntiSemijoin(l, r)), nil
+}
+
+func opCalcLt(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return calc2(args, algebra.LessThan)
+}
+
+func opAggrAvgFlt(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	b, err := wantBat(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return FloatV(algebra.AvgFloat(b)), nil
+}
+
+func opAddMonths(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return DateV(algebra.AddMonths(args[0].D, int(args[1].I))), nil
+}
+
+func opAddYears(_ *Ctx, _ *Instr, args []Value) (Value, error) {
+	return DateV(algebra.AddYears(args[0].D, int(args[1].I))), nil
+}

@@ -1,0 +1,264 @@
+package mal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a textual format for query templates that
+// round-trips with Template.String(): the same MAL-like listing the
+// paper prints (Fig. 1) can be parsed back into an executable
+// template. The format is line-oriented:
+//
+//	function q18(A0:int):
+//	  X1 := sql.bind("sys", "lineitem", "l_orderkey", 0)
+//	  X2 := group.new(X1)
+//	  ...
+//	  sql.exportValue("n", X9)
+//
+// Literals: integers (0), floats (0.5), strings ("..."), booleans
+// (true/false), dates (1996-07-01), oids (0@0), nil. Variable
+// references are any identifier previously assigned or a declared
+// parameter.
+
+// ParseTemplate parses the textual form of a template.
+func ParseTemplate(src string) (*Template, error) {
+	p := &parser{}
+	lines := strings.Split(src, "\n")
+	i := 0
+	// Skip blank/comment prologue.
+	for i < len(lines) && blankOrComment(lines[i]) {
+		i++
+	}
+	if i == len(lines) {
+		return nil, fmt.Errorf("mal: empty template source")
+	}
+	if err := p.header(strings.TrimSpace(lines[i])); err != nil {
+		return nil, err
+	}
+	i++
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if blankOrComment(line) || line == "end" {
+			continue
+		}
+		if err := p.instr(line); err != nil {
+			return nil, fmt.Errorf("mal: line %d: %w", i+1, err)
+		}
+	}
+	return p.b.Freeze(), nil
+}
+
+func blankOrComment(line string) bool {
+	s := strings.TrimSpace(line)
+	return s == "" || strings.HasPrefix(s, "#")
+}
+
+type parser struct {
+	b    *Builder
+	vars map[string]Arg
+}
+
+// header parses "function name(P0:kind, P1:kind):".
+func (p *parser) header(line string) error {
+	if !strings.HasPrefix(line, "function ") {
+		return fmt.Errorf("mal: template must start with 'function', got %q", line)
+	}
+	rest := strings.TrimPrefix(line, "function ")
+	open := strings.IndexByte(rest, '(')
+	close_ := strings.LastIndexByte(rest, ')')
+	if open < 0 || close_ < open {
+		return fmt.Errorf("mal: malformed function header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	p.b = NewBuilder(name)
+	p.vars = map[string]Arg{}
+	paramList := strings.TrimSpace(rest[open+1 : close_])
+	if paramList == "" {
+		return nil
+	}
+	for _, decl := range strings.Split(paramList, ",") {
+		parts := strings.SplitN(strings.TrimSpace(decl), ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("mal: malformed parameter %q", decl)
+		}
+		kind, err := parseKind(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return err
+		}
+		pname := strings.TrimSpace(parts[0])
+		p.vars[pname] = p.b.Param(pname, kind)
+	}
+	return nil
+}
+
+func parseKind(s string) (ValueKind, error) {
+	switch strings.TrimPrefix(s, ":") {
+	case "int", "lng":
+		return VInt, nil
+	case "dbl", "flt":
+		return VFloat, nil
+	case "str":
+		return VStr, nil
+	case "date":
+		return VDate, nil
+	case "bit", "bool":
+		return VBool, nil
+	case "oid":
+		return VOid, nil
+	case "bat":
+		return VBat, nil
+	}
+	return 0, fmt.Errorf("mal: unknown kind %q", s)
+}
+
+// instr parses "X := module.op(args)" or "module.op(args)". A leading
+// "*" or " " (the String() mark column) is tolerated.
+func (p *parser) instr(line string) error {
+	line = strings.TrimLeft(line, "* ")
+	var ret string
+	if idx := strings.Index(line, ":="); idx >= 0 {
+		ret = strings.TrimSpace(line[:idx])
+		line = strings.TrimSpace(line[idx+2:])
+	}
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return fmt.Errorf("malformed instruction %q", line)
+	}
+	name := strings.TrimSpace(line[:open])
+	dot := strings.IndexByte(name, '.')
+	if dot < 0 {
+		return fmt.Errorf("operation %q needs module.op form", name)
+	}
+	module, op := name[:dot], name[dot+1:]
+	if !ident(module) || !ident(op) {
+		return fmt.Errorf("malformed operation name %q", name)
+	}
+	args, err := p.args(line[open+1 : len(line)-1])
+	if err != nil {
+		return err
+	}
+	if ret == "" {
+		p.b.Do(module, op, args...)
+		return nil
+	}
+	if _, dup := p.vars[ret]; dup {
+		return fmt.Errorf("variable %s reassigned (plans are single-assignment)", ret)
+	}
+	p.vars[ret] = p.b.Op1(module, op, args...)
+	return nil
+}
+
+// ident reports whether s is a plain identifier (letters, digits,
+// underscores, not starting with a digit).
+func ident(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// args splits a comma-separated argument list, honouring string
+// quoting.
+func (p *parser) args(s string) ([]Arg, error) {
+	var out []Arg
+	var cur strings.Builder
+	inStr := false
+	flush := func() error {
+		tok := strings.TrimSpace(cur.String())
+		cur.Reset()
+		if tok == "" {
+			return nil
+		}
+		a, err := p.arg(tok)
+		if err != nil {
+			return err
+		}
+		out = append(out, a)
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+			cur.WriteByte(c)
+		case c == ',' && !inStr:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string in %q", s)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// arg parses a single token into a literal or a variable reference.
+func (p *parser) arg(tok string) (Arg, error) {
+	switch {
+	case tok == "nil":
+		return C(VoidV()), nil
+	case tok == "true":
+		return C(BoolV(true)), nil
+	case tok == "false":
+		return C(BoolV(false)), nil
+	case strings.HasPrefix(tok, "\""):
+		s, err := strconv.Unquote(tok)
+		if err != nil {
+			return Arg{}, fmt.Errorf("bad string literal %s: %w", tok, err)
+		}
+		return C(StrV(s)), nil
+	case strings.HasSuffix(tok, "@0"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(tok, "@0"), 10, 64)
+		if err != nil {
+			return Arg{}, fmt.Errorf("bad oid literal %s: %w", tok, err)
+		}
+		return C(Value{Kind: VOid, O: oidOf(n)}), nil
+	}
+	if d, ok := parseDateLit(tok); ok {
+		return C(d), nil
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return C(IntV(n)), nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return C(FloatV(f)), nil
+	}
+	if a, ok := p.vars[tok]; ok {
+		return a, nil
+	}
+	return Arg{}, fmt.Errorf("unknown variable or literal %q", tok)
+}
+
+// parseDateLit parses YYYY-MM-DD.
+func parseDateLit(tok string) (Value, bool) {
+	if len(tok) != 10 || tok[4] != '-' || tok[7] != '-' {
+		return Value{}, false
+	}
+	y, err1 := strconv.Atoi(tok[:4])
+	m, err2 := strconv.Atoi(tok[5:7])
+	d, err3 := strconv.Atoi(tok[8:])
+	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 || d < 1 || d > 31 {
+		return Value{}, false
+	}
+	return DateV(dateFromCivil(y, m, d)), true
+}

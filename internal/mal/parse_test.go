@@ -1,0 +1,164 @@
+package mal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+
+	"repro/internal/bat"
+)
+
+const demoPlan = `
+# count orders in a date window
+function wincount(A0:date, A1:int):
+  X1 := sql.bind("sys", "orders", "o_orderdate", 0)
+  X2 := mtime.addmonths(A0, A1)
+  X3 := algebra.select(X1, A0, X2, true, false)
+  X4 := aggr.count(X3)
+  sql.exportValue("n", X4)
+`
+
+func parseCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	tb := c.CreateTable("sys", "orders", []catalog.ColDef{
+		{Name: "o_orderdate", Kind: bat.KDate},
+	})
+	d := func(y, m, dd int) bat.Date { return algebra.MkDate(y, m, dd) }
+	tb.Append([]catalog.Row{
+		{"o_orderdate": d(1996, 6, 15)},
+		{"o_orderdate": d(1996, 7, 15)},
+		{"o_orderdate": d(1996, 9, 15)},
+		{"o_orderdate": d(1996, 11, 15)},
+	})
+	return c
+}
+
+func TestParseAndExecute(t *testing.T) {
+	tmpl, err := ParseTemplate(demoPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Name != "wincount" || len(tmpl.Params) != 2 {
+		t.Fatalf("template header wrong: %s %d", tmpl.Name, len(tmpl.Params))
+	}
+	ctx := &Ctx{Cat: parseCatalog(t)}
+	if err := Run(ctx, tmpl, DateV(algebra.MkDate(1996, 7, 1)), IntV(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Results[0].Val.I; got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	tmpl, err := ParseTemplate(demoPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := tmpl.String()
+	again, err := ParseTemplate(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered template failed: %v\n%s", err, rendered)
+	}
+	if len(again.Instrs) != len(tmpl.Instrs) {
+		t.Fatalf("instr count changed: %d -> %d", len(tmpl.Instrs), len(again.Instrs))
+	}
+	for i := range again.Instrs {
+		if again.Instrs[i].Name() != tmpl.Instrs[i].Name() {
+			t.Fatalf("instr %d: %s != %s", i, again.Instrs[i].Name(), tmpl.Instrs[i].Name())
+		}
+	}
+	// The round-tripped template must execute identically.
+	ctx := &Ctx{Cat: parseCatalog(t)}
+	if err := Run(ctx, again, DateV(algebra.MkDate(1996, 7, 1)), IntV(3)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Results[0].Val.I != 2 {
+		t.Fatalf("round-trip result = %d", ctx.Results[0].Val.I)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `function lits():
+  X1 := sql.exportValue("s", "he\"llo")
+`
+	tmpl, err := ParseTemplate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tmpl.Instrs[0].Args[1].Const.S; got != `he"llo` {
+		t.Fatalf("escaped string = %q", got)
+	}
+	src2 := `function lits2():
+  X1 := algebra.markT(X0, 5@0)
+`
+	if _, err := ParseTemplate(src2); err == nil {
+		t.Fatal("unknown variable X0 must error")
+	}
+}
+
+func TestParseDateAndFloatLiterals(t *testing.T) {
+	src := `function d():
+  sql.exportValue("d", 1996-07-01)
+  sql.exportValue("f", 0.25)
+  sql.exportValue("b", true)
+  sql.exportValue("n", nil)
+  sql.exportValue("o", 7@0)
+`
+	tmpl, err := ParseTemplate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Instrs[0].Args[1].Const.Kind != VDate {
+		t.Fatal("date literal not recognised")
+	}
+	if tmpl.Instrs[0].Args[1].Const.D != algebra.MkDate(1996, 7, 1) {
+		t.Fatal("date literal value wrong")
+	}
+	if tmpl.Instrs[1].Args[1].Const.F != 0.25 {
+		t.Fatal("float literal wrong")
+	}
+	if !tmpl.Instrs[2].Args[1].Const.B {
+		t.Fatal("bool literal wrong")
+	}
+	if tmpl.Instrs[3].Args[1].Const.Kind != VVoid {
+		t.Fatal("nil literal wrong")
+	}
+	if tmpl.Instrs[4].Args[1].Const.O != bat.Oid(7) {
+		t.Fatal("oid literal wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nonsense",
+		"function f(:\n",
+		"function f(A0:wat):\n",
+		"function f():\n  X1 := nodot(1)\n",
+		"function f():\n  X1 := a.b(\"unterminated)\n",
+		"function f():\n  X1 := a.b(1)\n  X1 := a.b(2)\n", // reassignment
+		"function f():\n  X1 x a.b(1)\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseTemplate(src); err == nil {
+			t.Errorf("ParseTemplate(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSkipsMarkColumn(t *testing.T) {
+	// Template.String() prefixes marked instructions with '*'.
+	src := "function f():\n  *X1 := sql.exportValue(\"x\", 1)\n"
+	tmpl, err := ParseTemplate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl.Instrs) != 1 {
+		t.Fatal("marked line not parsed")
+	}
+	_ = strings.TrimSpace
+}

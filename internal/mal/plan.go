@@ -1,0 +1,184 @@
+package mal
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Arg is an instruction argument: a variable reference or a literal
+// constant.
+type Arg struct {
+	// Var is the variable slot index, or -1 for a constant.
+	Var int
+	// Const holds the literal when Var == -1.
+	Const Value
+}
+
+// V references variable slot v.
+func V(v int) Arg { return Arg{Var: v} }
+
+// C wraps a constant value.
+func C(v Value) Arg { return Arg{Var: -1, Const: v} }
+
+// IsConst reports whether the argument is a literal.
+func (a Arg) IsConst() bool { return a.Var < 0 }
+
+// Instr is one abstract-machine instruction: module.op applied to
+// arguments, assigning result(s) to variable slots.
+type Instr struct {
+	Module, Op string
+	// Ret is the output variable slot (all engine ops are single-
+	// assignment, matching the paper's linear plans). Ret < 0 means
+	// the instruction is executed for its side effects only.
+	Ret  int
+	Args []Arg
+
+	// Marked is set by the recycler optimizer: the instruction is
+	// subject to recycler monitoring (paper §3.1).
+	Marked bool
+	// ParamDep is set when the instruction (transitively) depends on a
+	// template parameter; such instructions only match across template
+	// instances with compatible parameter values (Fig. 2's light
+	// nodes).
+	ParamDep bool
+}
+
+// Name returns "module.op".
+func (in *Instr) Name() string { return in.Module + "." + in.Op }
+
+// Param declares a template parameter.
+type Param struct {
+	Name string
+	Kind ValueKind
+}
+
+// Template is a parametrised query plan: the compiled form the SQL
+// front end caches and re-instantiates with new literal bindings
+// (paper §2.2). Templates are immutable after Freeze.
+type Template struct {
+	// ID uniquely identifies the template within the process; the
+	// recycler's credit bookkeeping keys on (ID, pc).
+	ID   uint64
+	Name string
+
+	Params  []Param
+	Instrs  []Instr
+	NumVars int
+
+	// VarNames holds a debug name per variable slot.
+	VarNames []string
+}
+
+var templateIDs atomic.Uint64
+
+// Builder incrementally constructs a Template. Typical use:
+//
+//	b := mal.NewBuilder("q18")
+//	qty := b.Param("A0", mal.VInt)
+//	x1 := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), ...)
+//	...
+//	t := b.Freeze()
+type Builder struct {
+	t       *Template
+	nextVar int
+}
+
+// NewBuilder starts a template with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{t: &Template{ID: templateIDs.Add(1), Name: name}}
+}
+
+// Param declares the next parameter; parameters occupy the first
+// variable slots in declaration order.
+func (b *Builder) Param(name string, kind ValueKind) Arg {
+	if len(b.t.Instrs) > 0 {
+		panic("mal: parameters must be declared before instructions")
+	}
+	b.t.Params = append(b.t.Params, Param{Name: name, Kind: kind})
+	slot := b.alloc(name)
+	return V(slot)
+}
+
+func (b *Builder) alloc(name string) int {
+	slot := b.nextVar
+	b.nextVar++
+	b.t.VarNames = append(b.t.VarNames, name)
+	return slot
+}
+
+// Op1 appends an instruction with one result and returns a reference
+// to the result variable.
+func (b *Builder) Op1(module, op string, args ...Arg) Arg {
+	slot := b.alloc(fmt.Sprintf("X%d", b.nextVar))
+	b.t.Instrs = append(b.t.Instrs, Instr{Module: module, Op: op, Ret: slot, Args: args})
+	return V(slot)
+}
+
+// Do appends a side-effect instruction with no result variable.
+func (b *Builder) Do(module, op string, args ...Arg) {
+	b.t.Instrs = append(b.t.Instrs, Instr{Module: module, Op: op, Ret: -1, Args: args})
+}
+
+// Freeze finalises and returns the template.
+func (b *Builder) Freeze() *Template {
+	b.t.NumVars = b.nextVar
+	return b.t
+}
+
+// String renders the template as a readable MAL-like listing.
+func (t *Template) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function %s(", t.Name)
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s%s", p.Name, p.Kind)
+	}
+	sb.WriteString("):\n")
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		sb.WriteString("  ")
+		if in.Marked {
+			sb.WriteString("*")
+		} else {
+			sb.WriteString(" ")
+		}
+		if in.Ret >= 0 {
+			fmt.Fprintf(&sb, "%s := ", t.VarNames[in.Ret])
+		}
+		fmt.Fprintf(&sb, "%s(", in.Name())
+		for j, a := range in.Args {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			if a.IsConst() {
+				sb.WriteString(a.Const.String())
+			} else {
+				sb.WriteString(t.VarNames[a.Var])
+			}
+		}
+		sb.WriteString(")\n")
+	}
+	return sb.String()
+}
+
+// MarkedCount returns the number of instructions marked for recycling,
+// optionally excluding data-access binds, which the paper's Table II
+// excludes from its potential-hit counts ("the number does not include
+// instructions that bind columns to variables").
+func (t *Template) MarkedCount(excludeBinds bool) int {
+	n := 0
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		if !in.Marked {
+			continue
+		}
+		if excludeBinds && in.Module == "sql" {
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,196 @@
+// Package opt implements the engine's optimizer pipeline: constant
+// expression evaluation, dead-code elimination and — the pass this
+// reproduction exists for — the recycler optimizer that marks
+// instructions eligible for run-time recycling (paper §3.1).
+//
+// The recycler pass must run after constant folding and dead-code
+// elimination but before any resource-release instructions would be
+// injected, mirroring the ordering constraints discussed in the paper.
+package opt
+
+import (
+	"repro/internal/mal"
+)
+
+// Options selects which passes run. The zero value runs everything.
+type Options struct {
+	SkipConstFold bool
+	SkipDeadCode  bool
+	SkipRecycler  bool
+}
+
+// Optimize runs the pipeline over the template in place and returns it.
+func Optimize(t *mal.Template, opts Options) *mal.Template {
+	if !opts.SkipConstFold {
+		ConstFold(t)
+	}
+	if !opts.SkipDeadCode {
+		DeadCode(t)
+	}
+	if !opts.SkipRecycler {
+		MarkRecycle(t)
+	}
+	return t
+}
+
+// foldable lists side-effect-free scalar operations the constant
+// folder may evaluate at optimization time when all arguments are
+// literals.
+var foldable = map[string]bool{
+	"mtime.addmonths": true,
+	"mtime.addyears":  true,
+}
+
+// ConstFold evaluates foldable scalar instructions whose arguments are
+// all literal constants, replacing later references to their result
+// with the literal. Instructions over template parameters cannot fold
+// (their values arrive at run time).
+func ConstFold(t *mal.Template) {
+	lit := make(map[int]mal.Value) // var slot -> folded literal
+	out := t.Instrs[:0]
+	for i := range t.Instrs {
+		in := t.Instrs[i]
+		// Substitute known literals into the argument list first.
+		for j, a := range in.Args {
+			if !a.IsConst() {
+				if v, ok := lit[a.Var]; ok {
+					in.Args[j] = mal.C(v)
+				}
+			}
+		}
+		if foldable[in.Name()] && allConst(in.Args) && in.Ret >= 0 {
+			ctx := &mal.Ctx{}
+			args := make([]mal.Value, len(in.Args))
+			for j, a := range in.Args {
+				args[j] = a.Const
+			}
+			v, err := evalOp(ctx, &in, args)
+			if err == nil {
+				lit[in.Ret] = v
+				continue // drop the folded instruction
+			}
+		}
+		out = append(out, in)
+	}
+	t.Instrs = out
+}
+
+func evalOp(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) (mal.Value, error) {
+	return mal.Eval(ctx, in, args)
+}
+
+func allConst(args []mal.Arg) bool {
+	for _, a := range args {
+		if !a.IsConst() {
+			return false
+		}
+	}
+	return true
+}
+
+// DeadCode removes instructions whose results are never used and that
+// have no side effects (everything except the sql.export* family).
+func DeadCode(t *mal.Template) {
+	used := make([]bool, t.NumVars)
+	keep := make([]bool, len(t.Instrs))
+	// Walk backwards: side-effect instructions root the liveness.
+	for i := len(t.Instrs) - 1; i >= 0; i-- {
+		in := &t.Instrs[i]
+		sideEffect := in.Ret < 0 || in.Module == "sql" && (in.Op == "exportValue" || in.Op == "exportCol")
+		if sideEffect || (in.Ret >= 0 && used[in.Ret]) {
+			keep[i] = true
+			for _, a := range in.Args {
+				if !a.IsConst() {
+					used[a.Var] = true
+				}
+			}
+		}
+	}
+	out := t.Instrs[:0]
+	for i := range t.Instrs {
+		if keep[i] {
+			out = append(out, t.Instrs[i])
+		}
+	}
+	t.Instrs = out
+}
+
+// recyclableModules lists modules whose BAT-producing operations are
+// of interest to the recycler. Cheap scalar expressions (mtime.*) and
+// side-effecting exports are excluded: the overhead of their
+// administration outweighs the expected gain (paper §3.1).
+var recyclableModules = map[string]bool{
+	"sql":     true, // binds only; exports filtered below
+	"algebra": true,
+	"bat":     true,
+	"group":   true,
+	"aggr":    true,
+	"batcalc": true,
+}
+
+var neverRecycle = map[string]bool{
+	"sql.exportValue": true,
+	"sql.exportCol":   true,
+}
+
+// MarkRecycle implements the recycler optimizer: it marks an
+// instruction for run-time monitoring when its operation is of
+// interest and all of its BAT arguments are produced by instructions
+// already marked (threads rooted at catalogue binds). Scalar arguments
+// — literals, template parameters and values derived from them — are
+// compared by value at run time, so they never block marking, but they
+// do taint the instruction as parameter-dependent (Fig. 2's light
+// nodes).
+func MarkRecycle(t *mal.Template) {
+	candidate := make([]bool, t.NumVars) // var produced by a marked instruction
+	paramDep := make([]bool, t.NumVars)
+	scalar := make([]bool, t.NumVars) // var holds a scalar (non-BAT) value
+	for i := range t.Params {
+		paramDep[i] = true
+		scalar[i] = true
+	}
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		name := in.Name()
+		ok := recyclableModules[in.Module] && !neverRecycle[name]
+		dep := false
+		for _, a := range in.Args {
+			if a.IsConst() {
+				continue
+			}
+			if paramDep[a.Var] {
+				dep = true
+			}
+			if scalar[a.Var] {
+				continue // runtime value comparison suffices
+			}
+			if !candidate[a.Var] {
+				ok = false
+			}
+		}
+		in.Marked = ok
+		in.ParamDep = dep
+		if in.Ret >= 0 {
+			if ok {
+				candidate[in.Ret] = true
+			}
+			if dep {
+				paramDep[in.Ret] = true
+			}
+			if scalarResult(in) {
+				scalar[in.Ret] = true
+			}
+		}
+	}
+}
+
+// scalarResult reports whether the instruction produces a non-BAT
+// value. Used to let scalar derivations flow through marking.
+func scalarResult(in *mal.Instr) bool {
+	switch in.Name() {
+	case "mtime.addmonths", "mtime.addyears", "aggr.count", "aggr.sumFlt", "aggr.sumInt", "aggr.avgFlt",
+		"calc.mulFlt", "calc.addFlt", "calc.addInt":
+		return true
+	}
+	return false
+}

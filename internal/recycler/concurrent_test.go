@@ -1,0 +1,92 @@
+package recycler
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mal"
+)
+
+// TestConcurrentQueryStreams runs several goroutines sharing one
+// recycler, each executing the same template with overlapping
+// parameters, and verifies results stay correct and the pool stays
+// consistent. Run with -race to exercise the locking.
+func TestConcurrentQueryStreams(t *testing.T) {
+	f := newFixtureQuiet(Config{Admission: KeepAll, Subsumption: true, CombinedSubsumption: true})
+	tmpl := selectCountTemplate()
+	var queryID atomic.Uint64
+
+	const workers = 8
+	const perWorker = 30
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lo := int64((w*7 + i) % 80)
+				hi := lo + int64(i%15)
+				qid := queryID.Add(1)
+				f.rec.BeginQuery(qid, tmpl.ID)
+				ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: qid}
+				if err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(hi)); err != nil {
+					errs <- err.Error()
+					return
+				}
+				want := hi - lo + 1
+				if hi > 99 {
+					want = 100 - lo
+				}
+				if got := ctx.Results[0].Val.I; got != want {
+					errs <- "wrong count"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Pool invariants hold after the storm.
+	for _, e := range f.rec.Pool().All() {
+		if !e.Valid() {
+			t.Fatal("invalid entry in pool")
+		}
+		for _, dep := range e.DependsOn {
+			if f.rec.Pool().Get(dep) == nil {
+				t.Fatal("dangling lineage edge")
+			}
+		}
+	}
+}
+
+// TestConcurrentWithEviction stresses the locked eviction path.
+func TestConcurrentWithEviction(t *testing.T) {
+	f := newFixtureQuiet(Config{Admission: KeepAll, Eviction: EvictLRU, MaxEntries: 10})
+	tmpl := selectCountTemplate()
+	var queryID atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				lo := int64((w*13 + i*3) % 90)
+				qid := queryID.Add(1)
+				f.rec.BeginQuery(qid, tmpl.ID)
+				ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: qid}
+				if err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(lo+5)); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.rec.Pool().Len() > 10+3 { // small slack for in-flight pins
+		t.Fatalf("pool size %d far exceeds limit", f.rec.Pool().Len())
+	}
+}

@@ -1,0 +1,205 @@
+package recycler
+
+import "sort"
+
+// EvictionKind selects the eviction policy (paper §4.3).
+type EvictionKind int
+
+// Eviction policies.
+const (
+	// EvictLRU evicts the least recently used leaf entries.
+	EvictLRU EvictionKind = iota
+	// EvictBP evicts the leaves with the smallest benefit
+	// B(I) = Cost(I) * Weight(I) (Eq. 1–2).
+	EvictBP
+	// EvictHP evicts by the history metric B/(now - admit) (Eq. 3).
+	EvictHP
+)
+
+// String names the policy.
+func (k EvictionKind) String() string {
+	switch k {
+	case EvictLRU:
+		return "lru"
+	case EvictBP:
+		return "bp"
+	case EvictHP:
+		return "hp"
+	}
+	return "?"
+}
+
+// cleanCache frees room for a new intermediate of the given size,
+// and/or one pool entry when the entry limit is reached. It iterates
+// over successive leaf frontiers: evicting one frontier may expose new
+// leaves. Entries pinned by the running query are protected; when the
+// running query's own intermediates fill the pool, the protection is
+// lifted except for the direct arguments of the pending admission
+// (the footnote-3 exception).
+func (r *Recycler) cleanCache(needBytes int64, needEntries int, protect map[uint64]bool) bool {
+	guard := 0
+	for needBytes > 0 || needEntries > 0 {
+		guard++
+		if guard > 1_000_000 {
+			return false
+		}
+		leaves := r.pool.Leaves(r.curQuery)
+		leaves = filterProtected(leaves, protect)
+		if len(leaves) == 0 {
+			// Single-query-fills-pool exception: consider pinned
+			// leaves too, still excluding direct arguments.
+			leaves = filterProtected(r.pool.Leaves(0), protect)
+			if len(leaves) == 0 {
+				return false
+			}
+		}
+		victims := r.pickVictims(leaves, needBytes, needEntries)
+		if len(victims) == 0 {
+			return false
+		}
+		for _, v := range victims {
+			needBytes -= v.Bytes
+			needEntries--
+			r.evict(v)
+		}
+	}
+	return true
+}
+
+func filterProtected(leaves []*Entry, protect map[uint64]bool) []*Entry {
+	if len(protect) == 0 {
+		return leaves
+	}
+	out := leaves[:0]
+	for _, e := range leaves {
+		if !protect[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pickVictims chooses the leaves to evict under the active policy.
+func (r *Recycler) pickVictims(leaves []*Entry, needBytes int64, needEntries int) []*Entry {
+	if needBytes > 0 {
+		return r.pickVictimsMem(leaves, needBytes)
+	}
+	// Entry-limit variant: evict the single worst leaf per round.
+	if needEntries <= 0 {
+		return nil
+	}
+	return []*Entry{r.worstLeaf(leaves)}
+}
+
+func (r *Recycler) worstLeaf(leaves []*Entry) *Entry {
+	now := r.pool.Now()
+	worst := leaves[0]
+	for _, e := range leaves[1:] {
+		if r.less(e, worst, now) {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// less orders entries by eviction preference: true when a should be
+// evicted before b.
+func (r *Recycler) less(a, b *Entry, now int64) bool {
+	switch r.cfg.Eviction {
+	case EvictLRU:
+		return a.LastUseTick < b.LastUseTick
+	case EvictBP:
+		return a.Benefit() < b.Benefit()
+	case EvictHP:
+		return a.HistoryBenefit(now) < b.HistoryBenefit(now)
+	}
+	return a.LastUseTick < b.LastUseTick
+}
+
+// pickVictimsMem solves the memory variant. For LRU it walks the
+// leaves oldest-first until enough bytes are freed. For BP/HP it
+// solves the complementary binary knapsack with the greedy
+// 2-approximation the paper describes: keep the most beneficial
+// leaves that fit in (total - required), evict the rest; the greedy
+// keep-set is compared with the single item of maximum profit.
+func (r *Recycler) pickVictimsMem(leaves []*Entry, needBytes int64) []*Entry {
+	var total int64
+	for _, e := range leaves {
+		total += e.Bytes
+	}
+	if total <= needBytes {
+		// Evict the whole frontier; the caller iterates.
+		return leaves
+	}
+	if r.cfg.Eviction == EvictLRU {
+		s := append([]*Entry(nil), leaves...)
+		sort.Slice(s, func(i, j int) bool { return s[i].LastUseTick < s[j].LastUseTick })
+		var out []*Entry
+		var freed int64
+		for _, e := range s {
+			if freed >= needBytes {
+				break
+			}
+			out = append(out, e)
+			freed += e.Bytes
+		}
+		return out
+	}
+
+	now := r.pool.Now()
+	benefit := func(e *Entry) float64 {
+		if r.cfg.Eviction == EvictHP {
+			return e.HistoryBenefit(now)
+		}
+		return e.Benefit()
+	}
+	capacity := total - needBytes
+
+	// Greedy by profit per unit weight.
+	s := append([]*Entry(nil), leaves...)
+	sort.Slice(s, func(i, j int) bool {
+		bi := benefit(s[i]) / float64(max64(s[i].Bytes, 1))
+		bj := benefit(s[j]) / float64(max64(s[j].Bytes, 1))
+		return bi > bj
+	})
+	keep := make(map[uint64]bool, len(s))
+	var kept int64
+	var keptBenefit float64
+	for _, e := range s {
+		if kept+e.Bytes <= capacity {
+			keep[e.ID] = true
+			kept += e.Bytes
+			keptBenefit += benefit(e)
+		}
+	}
+	// Alternative: the single max-profit item (2-approximation bound).
+	var best *Entry
+	for _, e := range leaves {
+		if e.Bytes <= capacity && (best == nil || benefit(e) > benefit(best)) {
+			best = e
+		}
+	}
+	if best != nil && benefit(best) > keptBenefit {
+		keep = map[uint64]bool{best.ID: true}
+	}
+	var out []*Entry
+	for _, e := range leaves {
+		if !keep[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// evict removes an entry, returning credits where due.
+func (r *Recycler) evict(e *Entry) {
+	r.adm.onEvict(e)
+	r.pool.Remove(e)
+}

@@ -1,0 +1,82 @@
+package recycler
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/mal"
+)
+
+// This file implements recycle pool synchronisation with updates
+// (paper §6). The default mode mirrors the implementation the paper
+// evaluates (§6.4): immediate, column-wise invalidation of all
+// intermediates affected by a committed DML statement. The propagate
+// mode implements the §6.3 design-space extension: insert/delete
+// deltas are pushed through the cheap operator classes and only the
+// remainder of each cached plan is invalidated.
+
+// OnUpdate implements catalog.UpdateListener.
+func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	refs := make([]ColumnRef, 0, len(ev.Cols)+1)
+	qname := ev.Table.QName()
+	for _, c := range ev.Cols {
+		refs = append(refs, ColumnRef{Table: qname, Column: c})
+	}
+	refs = append(refs, ColumnRef{Table: qname, Column: "*"})
+
+	if r.cfg.Sync == SyncPropagate {
+		r.propagate(ev, refs)
+		return
+	}
+	// Immediate column-wise invalidation.
+	for _, ref := range refs {
+		for _, e := range r.pool.EntriesByColumn(ref) {
+			r.invalidate(e)
+		}
+	}
+}
+
+// OnDrop implements catalog.UpdateListener: dropping a table
+// invalidates every dependent intermediate immediately, freeing
+// resources without waiting for eviction.
+func (r *Recycler) OnDrop(t *catalog.Table) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qname := t.QName()
+	for ref, m := range r.pool.byCol {
+		if ref.Table != qname {
+			continue
+		}
+		for _, e := range m {
+			r.invalidate(e)
+		}
+	}
+}
+
+func (r *Recycler) invalidate(e *Entry) {
+	if !e.valid {
+		return
+	}
+	r.pool.Invalided++
+	r.evict(e)
+}
+
+// refreshResult swaps an entry's result in place, keeping its id (and
+// therefore its signature and its dependants' signatures) stable while
+// adjusting the pool's memory accounting.
+func (r *Recycler) refreshResult(e *Entry, v mal.Value) {
+	r.pool.totalBytes -= e.Bytes
+	v.Prov = e.ID
+	e.Result = v
+	e.Bytes = v.Bytes()
+	e.Tuples = v.Tuples()
+	r.pool.totalBytes += e.Bytes
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package recycler implements the paper's contribution: an optimizer
+// advice pass plus run-time module that harvests the materialised
+// intermediates of an operator-at-a-time engine into a recycle pool
+// and reuses them across queries (Ivanova et al., §3–6).
+//
+// The recycler performs bottom-up sequence matching (design
+// Alternative 1): an instruction matches a pool entry when the
+// operation name, all scalar argument values and the provenance of all
+// BAT arguments coincide. Lineage is therefore preserved by keeping
+// whole execution threads in the pool; admission and eviction policies
+// respect instruction dependencies.
+package recycler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mal"
+)
+
+// ColumnRef names a persistent column an intermediate depends on.
+type ColumnRef struct {
+	Table  string // schema-qualified table name
+	Column string
+}
+
+// Entry is one recycled intermediate: a captured instruction instance
+// together with its result and its execution/reuse statistics.
+type Entry struct {
+	ID  uint64
+	Sig string
+
+	// OpName is "module.op" of the captured instruction.
+	OpName string
+	// Render is a human-readable instruction listing for pool dumps
+	// (Table I style).
+	Render string
+
+	// Result holds the intermediate; Result.Prov == ID.
+	Result mal.Value
+	Bytes  int64
+	Tuples int
+
+	// Cost is the CPU time spent computing the intermediate.
+	Cost time.Duration
+	// SavedTotal accumulates the estimated time saved by reuses.
+	SavedTotal time.Duration
+
+	// AdmitTick and LastUseTick are virtual clock readings used by the
+	// LRU and History policies.
+	AdmitTick   int64
+	LastUseTick int64
+
+	// ReuseCount counts reuses (the paper's k-1 references beyond the
+	// creating one).
+	ReuseCount  int
+	GlobalReuse bool // reused by a query other than the admitting one
+
+	// QueryID identifies the admitting query invocation.
+	QueryID uint64
+	// TemplID/PC identify the source template instruction (credit
+	// bookkeeping attaches there).
+	TemplID uint64
+	PC      int
+
+	// DependsOn lists the pool entries whose results are arguments of
+	// this instruction (the lineage edges).
+	DependsOn  []uint64
+	dependents int
+
+	// SubsetOf records the derivation edge created by subsumption:
+	// this entry's result is a subset of the referenced entry's
+	// result. Zero when not derived.
+	SubsetOf uint64
+
+	// Deps lists the persistent columns this intermediate
+	// (transitively) derives from; update invalidation keys on it.
+	Deps []ColumnRef
+
+	// Select-specific matching metadata (subsumption analysis).
+	IsRangeSelect      bool
+	SelColKey          string // Key() of the column operand
+	SelLo, SelHi       any    // nil = open bound
+	SelIncLo, SelIncHi bool
+
+	// Like-specific metadata.
+	IsLike     bool
+	LikeColKey string
+	LikePat    string
+
+	// Semijoin-specific metadata.
+	IsSemijoin bool
+	SemiLeft   uint64 // provenance of the left operand
+	SemiRight  uint64 // provenance of the right operand
+
+	// Args snapshots the argument values of the captured instruction;
+	// delta propagation re-executes against them.
+	Args []mal.Value
+
+	valid       bool
+	pinnedQuery uint64 // query currently protecting the entry
+}
+
+// Valid reports whether the entry may be matched.
+func (e *Entry) Valid() bool { return e.valid }
+
+// Weight implements the paper's weight function (Eq. 2): reused
+// entries weigh their global reference count, unused or locally-reused
+// ones weigh 0.1.
+func (e *Entry) Weight() float64 {
+	if e.ReuseCount >= 1 && e.GlobalReuse {
+		return float64(e.ReuseCount)
+	}
+	return 0.1
+}
+
+// Benefit implements the Benefit policy metric (Eq. 1).
+func (e *Entry) Benefit() float64 {
+	return float64(e.Cost) * e.Weight()
+}
+
+// HistoryBenefit implements the History policy metric (Eq. 3).
+func (e *Entry) HistoryBenefit(nowTick int64) float64 {
+	age := nowTick - e.AdmitTick
+	if age < 1 {
+		age = 1
+	}
+	return e.Benefit() / float64(age)
+}
+
+// Pool is the recycle pool: the shared buffer of intermediates plus
+// the indexes used for matching and subsumption search.
+type Pool struct {
+	entries map[uint64]*Entry
+	bySig   map[string]*Entry
+	// selIdx indexes valid range-select entries by column operand key.
+	selIdx map[string][]*Entry
+	// likeIdx indexes valid likeselect entries by column operand key.
+	likeIdx map[string][]*Entry
+	// semiIdx indexes valid semijoin entries by left-operand
+	// provenance.
+	semiIdx map[uint64][]*Entry
+	// byCol indexes entries by persistent column dependency for
+	// invalidation.
+	byCol map[ColumnRef]map[uint64]*Entry
+
+	totalBytes int64
+	nextID     uint64
+	tick       int64
+
+	// Lifetime counters.
+	Admitted  int64
+	Evicted   int64
+	Invalided int64
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		entries: make(map[uint64]*Entry),
+		bySig:   make(map[string]*Entry),
+		selIdx:  make(map[string][]*Entry),
+		likeIdx: make(map[string][]*Entry),
+		semiIdx: make(map[uint64][]*Entry),
+		byCol:   make(map[ColumnRef]map[uint64]*Entry),
+	}
+}
+
+// Tick advances and returns the virtual clock.
+func (p *Pool) Tick() int64 {
+	p.tick++
+	return p.tick
+}
+
+// Now returns the current virtual clock without advancing it.
+func (p *Pool) Now() int64 { return p.tick }
+
+// Len returns the number of valid entries (cache lines).
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Bytes returns the memory attributed to pooled intermediates.
+func (p *Pool) Bytes() int64 { return p.totalBytes }
+
+// Lookup finds a valid entry by signature.
+func (p *Pool) Lookup(sig string) *Entry { return p.bySig[sig] }
+
+// Get returns an entry by id (valid or not yet garbage collected).
+func (p *Pool) Get(id uint64) *Entry { return p.entries[id] }
+
+// Add inserts a fully initialised entry, indexing it for matching,
+// subsumption and invalidation, and wiring lineage dependent counts.
+func (p *Pool) Add(e *Entry) {
+	p.nextID++
+	e.ID = p.nextID
+	e.valid = true
+	e.Result.Prov = e.ID
+	p.entries[e.ID] = e
+	p.bySig[e.Sig] = e
+	p.totalBytes += e.Bytes
+	p.Admitted++
+	if e.IsRangeSelect {
+		p.selIdx[e.SelColKey] = append(p.selIdx[e.SelColKey], e)
+	}
+	if e.IsLike {
+		p.likeIdx[e.LikeColKey] = append(p.likeIdx[e.LikeColKey], e)
+	}
+	if e.IsSemijoin {
+		p.semiIdx[e.SemiLeft] = append(p.semiIdx[e.SemiLeft], e)
+	}
+	for _, d := range e.DependsOn {
+		if parent := p.entries[d]; parent != nil {
+			parent.dependents++
+		}
+	}
+	for _, c := range e.Deps {
+		m := p.byCol[c]
+		if m == nil {
+			m = make(map[uint64]*Entry)
+			p.byCol[c] = m
+		}
+		m[e.ID] = e
+	}
+}
+
+// Remove evicts an entry from the pool and unhooks all its indexes.
+// The caller is responsible for credit bookkeeping.
+func (p *Pool) Remove(e *Entry) {
+	if !e.valid {
+		return
+	}
+	e.valid = false
+	delete(p.entries, e.ID)
+	if p.bySig[e.Sig] == e {
+		delete(p.bySig, e.Sig)
+	}
+	p.totalBytes -= e.Bytes
+	p.Evicted++
+	if e.IsRangeSelect {
+		p.selIdx[e.SelColKey] = removeEntry(p.selIdx[e.SelColKey], e)
+	}
+	if e.IsLike {
+		p.likeIdx[e.LikeColKey] = removeEntry(p.likeIdx[e.LikeColKey], e)
+	}
+	if e.IsSemijoin {
+		p.semiIdx[e.SemiLeft] = removeEntry(p.semiIdx[e.SemiLeft], e)
+	}
+	for _, d := range e.DependsOn {
+		if parent := p.entries[d]; parent != nil {
+			parent.dependents--
+		}
+	}
+	for _, c := range e.Deps {
+		if m := p.byCol[c]; m != nil {
+			delete(m, e.ID)
+		}
+	}
+}
+
+func removeEntry(s []*Entry, e *Entry) []*Entry {
+	for i, x := range s {
+		if x == e {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Leaves returns the valid entries with no in-pool dependents that are
+// not pinned by the given query. Eviction operates on leaves only,
+// preserving lineage (paper §4.3).
+func (p *Pool) Leaves(excludePinnedBy uint64) []*Entry {
+	var out []*Entry
+	for _, e := range p.entries {
+		if e.dependents > 0 {
+			continue
+		}
+		if excludePinnedBy != 0 && e.pinnedQuery == excludePinnedBy {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EntriesByColumn returns the entries depending on a persistent column.
+func (p *Pool) EntriesByColumn(c ColumnRef) []*Entry {
+	m := p.byCol[c]
+	out := make([]*Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SelectCandidates returns the valid range-select entries over the
+// given column operand key.
+func (p *Pool) SelectCandidates(colKey string) []*Entry { return p.selIdx[colKey] }
+
+// LikeCandidates returns the valid likeselect entries over the column.
+func (p *Pool) LikeCandidates(colKey string) []*Entry { return p.likeIdx[colKey] }
+
+// SemijoinCandidates returns the valid semijoin entries whose left
+// operand has the given provenance.
+func (p *Pool) SemijoinCandidates(leftProv uint64) []*Entry { return p.semiIdx[leftProv] }
+
+// All returns all valid entries in id order.
+func (p *Pool) All() []*Entry {
+	out := make([]*Entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReusedStats returns the number of entries and bytes that have been
+// reused at least once — the utilisation metrics of Figs. 7–8.
+func (p *Pool) ReusedStats() (entries int, bytes int64) {
+	for _, e := range p.entries {
+		if e.ReuseCount > 0 {
+			entries++
+			bytes += e.Bytes
+		}
+	}
+	return entries, bytes
+}
+
+// TypeRow is one line of the Table III breakdown.
+type TypeRow struct {
+	Op          string
+	Lines       int
+	Bytes       int64
+	AvgCost     time.Duration
+	ReusedLines int
+	Reuses      int
+	AvgSaved    time.Duration
+}
+
+// TypeBreakdown summarises pool content per instruction type,
+// reproducing the shape of the paper's Table III.
+func (p *Pool) TypeBreakdown() []TypeRow {
+	agg := map[string]*TypeRow{}
+	var costSum, savedSum map[string]time.Duration
+	costSum = map[string]time.Duration{}
+	savedSum = map[string]time.Duration{}
+	for _, e := range p.entries {
+		r := agg[e.OpName]
+		if r == nil {
+			r = &TypeRow{Op: e.OpName}
+			agg[e.OpName] = r
+		}
+		r.Lines++
+		r.Bytes += e.Bytes
+		costSum[e.OpName] += e.Cost
+		if e.ReuseCount > 0 {
+			r.ReusedLines++
+			r.Reuses += e.ReuseCount
+			savedSum[e.OpName] += e.SavedTotal
+		}
+	}
+	out := make([]TypeRow, 0, len(agg))
+	for op, r := range agg {
+		if r.Lines > 0 {
+			r.AvgCost = costSum[op] / time.Duration(r.Lines)
+		}
+		if r.Reuses > 0 {
+			r.AvgSaved = savedSum[op] / time.Duration(r.Reuses)
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	return out
+}
+
+// Dump renders the pool as a MAL-like block (Table I style) for
+// debugging and documentation.
+func (p *Pool) Dump() string {
+	var sb strings.Builder
+	sb.WriteString("recycle pool {\n")
+	for _, e := range p.All() {
+		fmt.Fprintf(&sb, "  e%-4d %-60s #%-8d %8dB cost=%-12v reuses=%d\n",
+			e.ID, e.Render, e.Tuples, e.Bytes, e.Cost, e.ReuseCount)
+	}
+	fmt.Fprintf(&sb, "} entries=%d bytes=%d\n", p.Len(), p.Bytes())
+	return sb.String()
+}

@@ -1,0 +1,333 @@
+package recycler
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+// mkEntry builds a synthetic pool entry for unit-testing pool
+// mechanics without the interpreter.
+func mkEntry(sig string, bytes int64, cost time.Duration) *Entry {
+	return &Entry{
+		Sig:    sig,
+		OpName: "algebra.select",
+		Render: sig,
+		Result: mal.BatV(bat.NewDenseHead(bat.NewInts(make([]int64, bytes/8)))),
+		Bytes:  bytes,
+		Tuples: int(bytes / 8),
+		Cost:   cost,
+	}
+}
+
+func TestPoolAddRemoveAccounting(t *testing.T) {
+	p := NewPool()
+	e1 := mkEntry("a", 800, time.Millisecond)
+	p.Add(e1)
+	if p.Len() != 1 || p.Bytes() != 800 {
+		t.Fatalf("after add: %d entries, %d bytes", p.Len(), p.Bytes())
+	}
+	if p.Lookup("a") != e1 || e1.Result.Prov != e1.ID {
+		t.Fatal("lookup/provenance wrong")
+	}
+	p.Remove(e1)
+	if p.Len() != 0 || p.Bytes() != 0 || p.Lookup("a") != nil {
+		t.Fatal("remove incomplete")
+	}
+	// Double remove is a no-op.
+	p.Remove(e1)
+	if p.Evicted != 1 {
+		t.Fatalf("evicted = %d", p.Evicted)
+	}
+}
+
+func TestPoolLineageDependents(t *testing.T) {
+	p := NewPool()
+	parent := mkEntry("p", 100, time.Millisecond)
+	p.Add(parent)
+	child := mkEntry("c", 100, time.Millisecond)
+	child.DependsOn = []uint64{parent.ID}
+	p.Add(child)
+
+	leaves := p.Leaves(0)
+	if len(leaves) != 1 || leaves[0] != child {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	p.Remove(child)
+	leaves = p.Leaves(0)
+	if len(leaves) != 1 || leaves[0] != parent {
+		t.Fatal("parent did not become leaf after child eviction")
+	}
+}
+
+func TestPoolPinnedLeavesExcluded(t *testing.T) {
+	p := NewPool()
+	e := mkEntry("a", 100, time.Millisecond)
+	p.Add(e)
+	e.pinnedQuery = 7
+	if len(p.Leaves(7)) != 0 {
+		t.Fatal("pinned leaf not excluded")
+	}
+	if len(p.Leaves(8)) != 1 {
+		t.Fatal("unpinned query should see the leaf")
+	}
+	if len(p.Leaves(0)) != 1 {
+		t.Fatal("Leaves(0) must include pinned entries (footnote-3 path)")
+	}
+}
+
+func TestWeightAndBenefit(t *testing.T) {
+	e := mkEntry("a", 100, 10*time.Millisecond)
+	if e.Weight() != 0.1 {
+		t.Fatalf("unused weight = %v, want 0.1", e.Weight())
+	}
+	e.ReuseCount = 3
+	// Local-only reuse keeps the minimal weight (paper Eq. 2).
+	if e.Weight() != 0.1 {
+		t.Fatalf("local-only weight = %v, want 0.1", e.Weight())
+	}
+	e.GlobalReuse = true
+	if e.Weight() != 3 {
+		t.Fatalf("global weight = %v, want 3", e.Weight())
+	}
+	if e.Benefit() != float64(10*time.Millisecond)*3 {
+		t.Fatalf("benefit = %v", e.Benefit())
+	}
+	e.AdmitTick = 5
+	hb := e.HistoryBenefit(15)
+	if hb != e.Benefit()/10 {
+		t.Fatalf("history benefit = %v", hb)
+	}
+	// Zero/negative age clamps to 1.
+	if e.HistoryBenefit(5) != e.Benefit() {
+		t.Fatal("age clamp failed")
+	}
+}
+
+func TestPoolColumnIndex(t *testing.T) {
+	p := NewPool()
+	e := mkEntry("a", 100, time.Millisecond)
+	e.Deps = []ColumnRef{{Table: "sys.t", Column: "v"}}
+	p.Add(e)
+	got := p.EntriesByColumn(ColumnRef{Table: "sys.t", Column: "v"})
+	if len(got) != 1 || got[0] != e {
+		t.Fatalf("byCol = %v", got)
+	}
+	p.Remove(e)
+	if len(p.EntriesByColumn(ColumnRef{Table: "sys.t", Column: "v"})) != 0 {
+		t.Fatal("byCol not cleaned")
+	}
+}
+
+func TestPoolSubsumptionIndexes(t *testing.T) {
+	p := NewPool()
+	sel := mkEntry("s", 100, time.Millisecond)
+	sel.IsRangeSelect = true
+	sel.SelColKey = "e1"
+	p.Add(sel)
+	if got := p.SelectCandidates("e1"); len(got) != 1 {
+		t.Fatalf("select candidates = %d", len(got))
+	}
+	like := mkEntry("l", 100, time.Millisecond)
+	like.IsLike = true
+	like.LikeColKey = "e1"
+	p.Add(like)
+	if got := p.LikeCandidates("e1"); len(got) != 1 {
+		t.Fatalf("like candidates = %d", len(got))
+	}
+	semi := mkEntry("sj", 100, time.Millisecond)
+	semi.IsSemijoin = true
+	semi.SemiLeft = 42
+	p.Add(semi)
+	if got := p.SemijoinCandidates(42); len(got) != 1 {
+		t.Fatalf("semijoin candidates = %d", len(got))
+	}
+	p.Remove(sel)
+	p.Remove(like)
+	p.Remove(semi)
+	if len(p.SelectCandidates("e1"))+len(p.LikeCandidates("e1"))+len(p.SemijoinCandidates(42)) != 0 {
+		t.Fatal("indexes not cleaned on removal")
+	}
+}
+
+func TestPoolTickMonotonic(t *testing.T) {
+	p := NewPool()
+	a := p.Tick()
+	b := p.Tick()
+	if b <= a || p.Now() != b {
+		t.Fatal("virtual clock broken")
+	}
+}
+
+func TestPoolDumpFormat(t *testing.T) {
+	p := NewPool()
+	p.Add(mkEntry("algebra.select(e1,3,7)", 100, time.Millisecond))
+	d := p.Dump()
+	if !strings.Contains(d, "algebra.select(e1,3,7)") || !strings.Contains(d, "entries=1") {
+		t.Fatalf("dump = %s", d)
+	}
+}
+
+func TestTypeBreakdownAverages(t *testing.T) {
+	p := NewPool()
+	e1 := mkEntry("a", 100, 10*time.Millisecond)
+	e2 := mkEntry("b", 100, 20*time.Millisecond)
+	e2.ReuseCount = 2
+	e2.SavedTotal = 40 * time.Millisecond
+	p.Add(e1)
+	p.Add(e2)
+	rows := p.TypeBreakdown()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Lines != 2 || r.AvgCost != 15*time.Millisecond {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.ReusedLines != 1 || r.Reuses != 2 || r.AvgSaved != 20*time.Millisecond {
+		t.Fatalf("reuse stats = %+v", r)
+	}
+}
+
+func TestSignatureUnmatchableOnUnknownProvenance(t *testing.T) {
+	in := &mal.Instr{Module: "algebra", Op: "select"}
+	v := mal.BatV(bat.NewDenseHead(bat.NewInts([]int64{1})))
+	if _, matchable := signature(in, []mal.Value{v}); matchable {
+		t.Fatal("bat arg without provenance must be unmatchable")
+	}
+	v.Prov = 3
+	sig, matchable := signature(in, []mal.Value{v, mal.IntV(7)})
+	if !matchable || sig != "algebra.select(e3,i7)" {
+		t.Fatalf("sig = %q, matchable = %v", sig, matchable)
+	}
+}
+
+func TestRenderTruncatesLongStrings(t *testing.T) {
+	in := &mal.Instr{Module: "algebra", Op: "likeselect"}
+	long := strings.Repeat("x", 100)
+	r := render(in, []mal.Value{mal.StrV(long)})
+	if len(r) > 60 {
+		t.Fatalf("render too long: %d chars", len(r))
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	cases := []struct {
+		cLo, cHi any
+		cIL, cIH bool
+		tLo, tHi any
+		tIL, tIH bool
+		want     bool
+	}{
+		{int64(0), int64(10), true, true, int64(2), int64(8), true, true, true},
+		{int64(0), int64(10), true, true, int64(0), int64(10), true, true, true},
+		{int64(0), int64(10), false, true, int64(0), int64(10), true, true, false}, // open lo vs closed lo
+		{int64(2), int64(10), true, true, int64(0), int64(10), true, true, false},
+		{nil, int64(10), true, true, int64(0), int64(10), true, true, true}, // unbounded candidate lo
+		{int64(0), nil, true, true, int64(0), int64(10), true, true, true},
+		{int64(0), int64(10), true, true, nil, int64(8), true, true, false}, // unbounded target lo
+		{int64(0), int64(10), true, false, int64(1), int64(10), true, false, true},
+	}
+	for i, c := range cases {
+		got := rangeContains(c.cLo, c.cIL, c.cHi, c.cIH, c.tLo, c.tIL, c.tHi, c.tIH)
+		if got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRangesOverlap(t *testing.T) {
+	if !rangesOverlap(int64(0), int64(5), int64(5), int64(9)) {
+		t.Fatal("touching ranges overlap")
+	}
+	if rangesOverlap(int64(0), int64(4), int64(5), int64(9)) {
+		t.Fatal("disjoint ranges must not overlap")
+	}
+	if !rangesOverlap(nil, nil, int64(5), int64(9)) {
+		t.Fatal("unbounded overlaps everything")
+	}
+}
+
+func TestIsSubsetOfChains(t *testing.T) {
+	p := NewPool()
+	r := &Recycler{pool: p, cfg: Config{}, adm: newAdmission(KeepAll, 0)}
+	a := mkEntry("a", 10, time.Millisecond)
+	p.Add(a)
+	b := mkEntry("b", 10, time.Millisecond)
+	b.SubsetOf = a.ID
+	p.Add(b)
+	c := mkEntry("c", 10, time.Millisecond)
+	c.SubsetOf = b.ID
+	p.Add(c)
+	if !r.isSubsetOf(c.ID, a.ID) {
+		t.Fatal("transitive derivation chain not detected")
+	}
+	if r.isSubsetOf(a.ID, c.ID) {
+		t.Fatal("reverse direction must fail")
+	}
+	// Range-based subset: two selects over the same column.
+	s1 := mkEntry("s1", 10, time.Millisecond)
+	s1.IsRangeSelect = true
+	s1.SelColKey = "e9"
+	s1.SelLo, s1.SelHi = int64(0), int64(100)
+	s1.SelIncLo, s1.SelIncHi = true, true
+	p.Add(s1)
+	s2 := mkEntry("s2", 10, time.Millisecond)
+	s2.IsRangeSelect = true
+	s2.SelColKey = "e9"
+	s2.SelLo, s2.SelHi = int64(10), int64(20)
+	s2.SelIncLo, s2.SelIncHi = true, true
+	p.Add(s2)
+	if !r.isSubsetOf(s2.ID, s1.ID) {
+		t.Fatal("range containment subset not detected")
+	}
+	if r.isSubsetOf(s1.ID, s2.ID) {
+		t.Fatal("superset direction must fail")
+	}
+}
+
+func TestAdmissionRefund(t *testing.T) {
+	a := newAdmission(Credit, 1)
+	k := instrKey{templ: 1, pc: 2}
+	if !a.admit(k) {
+		t.Fatal("first admit should pass")
+	}
+	if a.admit(k) {
+		t.Fatal("credit exhausted")
+	}
+	a.refund(k)
+	if !a.admit(k) {
+		t.Fatal("refund did not restore the credit")
+	}
+}
+
+func TestAdmissionKindString(t *testing.T) {
+	if KeepAll.String() != "keepall" || Credit.String() != "crd" || Adapt.String() != "adapt" {
+		t.Fatal("admission names wrong")
+	}
+	if EvictLRU.String() != "lru" || EvictBP.String() != "bp" || EvictHP.String() != "hp" {
+		t.Fatal("eviction names wrong")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	f := newFixtureQuiet(Config{Admission: KeepAll})
+	tmpl := selectCountTemplate()
+	f.runQuiet(tmpl, mal.IntV(10), mal.IntV(20))
+	f.runQuiet(tmpl, mal.IntV(10), mal.IntV(20))
+	s := f.rec.Snapshot()
+	if s.Entries == 0 || s.Bytes == 0 || s.Admitted == 0 {
+		t.Fatalf("snapshot empty: %+v", s)
+	}
+	if s.ReusedEntries == 0 || s.ReusedBytes == 0 {
+		t.Fatalf("reuse missing: %+v", s)
+	}
+	f.rec.Reset()
+	s = f.rec.Snapshot()
+	if s.Entries != 0 || s.Bytes != 0 || s.Evicted == 0 {
+		t.Fatalf("post-reset snapshot wrong: %+v", s)
+	}
+}

@@ -1,0 +1,261 @@
+package recycler
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/mal"
+)
+
+// This file implements the delta-propagation synchronisation mode
+// (paper §6.3, Fig. 3). Propagation pushes the update's insert deltas
+// through the operator classes below and invalidates everything else:
+//
+//	bind / bindIdxbat    refresh against the catalog (delta = insert)
+//	select               P(δ+) appended, tombstoned heads deleted
+//	reverse / mirror     re-derive view; delta = view over parent delta
+//	selectNotNil         re-derive from parent delta
+//	markT                re-derive; the dense tail extends naturally,
+//	                     delta = the appended slice (insert-only)
+//	join                 δL⋈R ∪ L⋈δR ∪ δL⋈δR appended (insert-only)
+//
+// Deletions propagate through selections (head tombstoning); operators
+// whose delete propagation the paper flags as complex (markT's holes,
+// differential joins with deletes) fall back to invalidation.
+
+// propagate is invoked from OnUpdate when cfg.Sync == SyncPropagate.
+func (r *Recycler) propagate(ev catalog.UpdateEvent, refs []ColumnRef) {
+	affected := map[uint64]*Entry{}
+	for _, ref := range refs {
+		for _, e := range r.pool.EntriesByColumn(ref) {
+			affected[e.ID] = e
+		}
+	}
+	if len(affected) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sortUint64(ids) // admission order = topological order
+
+	hasDeletes := len(ev.Deleted) > 0
+	deadHeads := make(map[bat.Oid]struct{}, len(ev.Deleted))
+	for _, o := range ev.Deleted {
+		deadHeads[o] = struct{}{}
+	}
+
+	st := &propState{
+		ok:    map[uint64]bool{},
+		delta: map[uint64]*bat.BAT{},
+		old:   map[uint64]*bat.BAT{},
+	}
+	for _, id := range ids {
+		e := affected[id]
+		if !e.valid {
+			continue
+		}
+		if e.Result.Kind == mal.VBat {
+			st.old[id] = e.Result.Bat
+		}
+		switch e.OpName {
+		case "sql.bind":
+			r.propagateBind(e, ev, st)
+		case "sql.bindIdxbat":
+			r.propagateBindIdx(e, st)
+		case "algebra.select":
+			if !r.propagateSelect(e, ev, deadHeads, st) {
+				r.invalidate(e)
+			}
+		case "bat.reverse", "bat.mirror", "algebra.selectNotNil", "algebra.markT":
+			if !r.propagateView(e, st) {
+				r.invalidate(e)
+			}
+		case "algebra.join":
+			if hasDeletes || !r.propagateJoin(e, st) {
+				r.invalidate(e)
+			}
+		default:
+			r.invalidate(e)
+		}
+	}
+}
+
+// propState carries per-update propagation bookkeeping: which entries
+// stayed valid, their pre-update results, and their freshly appended
+// delta rows.
+type propState struct {
+	ok    map[uint64]bool
+	delta map[uint64]*bat.BAT
+	old   map[uint64]*bat.BAT
+}
+
+// parentInfo resolves an argument's parent entry together with its
+// propagation state. ok reports that the parent either was untouched
+// by the update or was successfully propagated.
+func (r *Recycler) parentInfo(st *propState, prov uint64) (pe *Entry, delta *bat.BAT, old *bat.BAT, ok bool) {
+	pe = r.pool.Get(prov)
+	if pe == nil || !pe.valid {
+		return nil, nil, nil, false
+	}
+	if o, touched := st.old[prov]; touched {
+		if !st.ok[prov] {
+			return pe, nil, nil, false
+		}
+		return pe, st.delta[prov], o, true
+	}
+	// Untouched by this update.
+	return pe, nil, pe.Result.Bat, true
+}
+
+func (r *Recycler) propagateBind(e *Entry, ev catalog.UpdateEvent, st *propState) {
+	t := r.cat.Table(e.Args[0].S, e.Args[1].S)
+	if t == nil {
+		r.invalidate(e)
+		return
+	}
+	c := t.Column(e.Args[2].S)
+	if c == nil {
+		r.invalidate(e)
+		return
+	}
+	r.refreshResult(e, mal.BatV(c.Bind()))
+	st.ok[e.ID] = true
+	if ev.Inserts != nil {
+		st.delta[e.ID] = ev.Inserts[e.Args[2].S]
+	}
+}
+
+func (r *Recycler) propagateBindIdx(e *Entry, st *propState) {
+	t := r.cat.Table(e.Args[0].S, e.Args[1].S)
+	if t == nil {
+		r.invalidate(e)
+		return
+	}
+	nb := t.BindIdx(e.Args[2].S)
+	oldLen := 0
+	if o := st.old[e.ID]; o != nil {
+		oldLen = o.Len()
+	}
+	r.refreshResult(e, mal.BatV(nb))
+	st.ok[e.ID] = true
+	if nb.Len() > oldLen && !t.HasDeletes() {
+		st.delta[e.ID] = nb.Slice(oldLen, nb.Len())
+	}
+}
+
+// propagateSelect applies the §6.3 selection rule over the parent's
+// delta: P(δ+) appended, deleted heads removed.
+func (r *Recycler) propagateSelect(e *Entry, ev catalog.UpdateEvent, dead map[bat.Oid]struct{}, st *propState) bool {
+	pe, pDelta, _, ok := r.parentInfo(st, e.Args[0].Prov)
+	if !ok {
+		return false
+	}
+	// Restrict to selects over refreshed binds (positional deltas).
+	if pe.OpName != "sql.bind" || st.old[pe.ID] == nil {
+		return false
+	}
+	cur := e.Result.Bat
+	if len(dead) > 0 {
+		cur = algebra.DeleteHeads(cur, dead)
+	}
+	var add *bat.BAT
+	if pDelta != nil {
+		lo, hi, il, ih := mal.SelectBounds(e.Args)
+		add = algebra.Select(pDelta, lo, hi, il, ih)
+		if add.Len() > 0 {
+			cur = bat.Append(cur, add)
+		}
+	}
+	r.refreshResult(e, mal.BatV(cur))
+	st.ok[e.ID] = true
+	if add != nil && add.Len() > 0 {
+		st.delta[e.ID] = add
+	}
+	return true
+}
+
+// propagateView re-derives the zero-cost viewpoint operators from the
+// parent's refreshed result and forwards the parent's delta through
+// the same viewpoint transformation.
+func (r *Recycler) propagateView(e *Entry, st *propState) bool {
+	pe, pDelta, _, ok := r.parentInfo(st, e.Args[0].Prov)
+	if !ok || pe.Result.Kind != mal.VBat {
+		return false
+	}
+	parent := pe.Result.Bat
+	var nb, nd *bat.BAT
+	switch e.OpName {
+	case "bat.reverse":
+		nb = parent.Reverse()
+		if pDelta != nil {
+			nd = pDelta.Reverse()
+		}
+	case "bat.mirror":
+		nb = parent.Mirror()
+		if pDelta != nil {
+			nd = pDelta.Mirror()
+		}
+	case "algebra.selectNotNil":
+		nb = algebra.SelectNotNil(parent)
+		if pDelta != nil {
+			nd = algebra.SelectNotNil(pDelta)
+		}
+	case "algebra.markT":
+		// The dense tail re-extends over the refreshed parent; since
+		// inserts append at the end, the prefix is unchanged and the
+		// delta is the appended slice (paper §6.3: the sequence
+		// continues with the next row identifier).
+		nb = parent.MarkT(e.Args[1].O)
+		if old := st.old[e.ID]; old != nil && nb.Len() > old.Len() {
+			nd = nb.Slice(old.Len(), nb.Len())
+		}
+	}
+	r.refreshResult(e, mal.BatV(nb))
+	st.ok[e.ID] = true
+	if nd != nil && nd.Len() > 0 {
+		st.delta[e.ID] = nd
+	}
+	return true
+}
+
+// propagateJoin implements differential insert re-evaluation
+// (Blakeley et al., via paper §6.3): δL⋈Rold ∪ Lold⋈δR ∪ δL⋈δR is
+// appended to the cached join result.
+func (r *Recycler) propagateJoin(e *Entry, st *propState) bool {
+	_, dL, oldL, okL := r.parentInfo(st, e.Args[0].Prov)
+	_, dR, oldR, okR := r.parentInfo(st, e.Args[1].Prov)
+	if !okL || !okR || oldL == nil || oldR == nil {
+		return false
+	}
+	cur := e.Result.Bat
+	var adds []*bat.BAT
+	if dL != nil {
+		adds = append(adds, algebra.Join(dL, oldR))
+	}
+	if dR != nil {
+		adds = append(adds, algebra.Join(oldL, dR))
+	}
+	if dL != nil && dR != nil {
+		adds = append(adds, algebra.Join(dL, dR))
+	}
+	var total *bat.BAT
+	for _, a := range adds {
+		if a.Len() == 0 {
+			continue
+		}
+		cur = bat.Append(cur, a)
+		if total == nil {
+			total = a
+		} else {
+			total = bat.Append(total, a)
+		}
+	}
+	r.refreshResult(e, mal.BatV(cur))
+	st.ok[e.ID] = true
+	if total != nil {
+		st.delta[e.ID] = total
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package recycler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/opt"
+)
+
+// fig3Catalog builds the paper's Fig. 3 setup: table with columns A
+// and B; the cached plan is bind A -> select A > 2 -> markT -> reverse
+// -> join with bind B.
+func fig3Catalog() (*catalog.Catalog, *catalog.Table) {
+	cat := catalog.New()
+	tb := cat.CreateTable("sys", "t", []catalog.ColDef{
+		{Name: "a", Kind: bat.KInt},
+		{Name: "b", Kind: bat.KFloat},
+	})
+	tb.Append([]catalog.Row{
+		{"a": int64(1), "b": 3.5},
+		{"a": int64(7), "b": 4.2},
+	})
+	return cat, tb
+}
+
+// fig3Template mirrors the cached MAL plan of Fig. 3.
+func fig3Template() *mal.Template {
+	b := mal.NewBuilder("fig3")
+	bindA := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("a")), mal.C(mal.IntV(0)))
+	sel := b.Op1("algebra", "select", bindA, mal.C(mal.IntV(2)), mal.C(mal.VoidV()), mal.C(mal.BoolV(false)), mal.C(mal.BoolV(true)))
+	mk := b.Op1("algebra", "markT", sel, mal.C(mal.OidV(0)))
+	rev := b.Op1("bat", "reverse", mk)
+	bindB := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("b")), mal.C(mal.IntV(0)))
+	// Fig. 3's join pairs the reversed mark (dense id -> row oid)
+	// with column B (row oid -> value).
+	j := b.Op1("algebra", "join", rev, bindB)
+	b.Do("sql", "exportCol", mal.C(mal.StrV("j")), j)
+	return opt.Optimize(b.Freeze(), opt.Options{})
+}
+
+type fig3Fix struct {
+	cat  *catalog.Catalog
+	tb   *catalog.Table
+	rec  *Recycler
+	tmpl *mal.Template
+	qid  uint64
+}
+
+func newFig3(t *testing.T) *fig3Fix {
+	t.Helper()
+	cat, tb := fig3Catalog()
+	rec := New(cat, Config{Admission: KeepAll, Sync: SyncPropagate})
+	return &fig3Fix{cat: cat, tb: tb, rec: rec, tmpl: fig3Template()}
+}
+
+func (f *fig3Fix) run(t *testing.T) *mal.Ctx {
+	t.Helper()
+	f.qid++
+	ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: f.qid}
+	f.rec.BeginQuery(f.qid, f.tmpl.ID)
+	if err := mal.Run(ctx, f.tmpl, nil...); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestFig3InsertPropagation(t *testing.T) {
+	f := newFig3(t)
+	ctx := f.run(t)
+	j := ctx.Results[0].Val.Bat
+	if j.Len() != 1 || j.Tail.Get(0) != 4.2 {
+		t.Fatalf("initial join wrong: %s", j.Dump(5))
+	}
+	entries := f.rec.Pool().Len()
+	if entries != 6 {
+		t.Fatalf("pool entries = %d, want 6", entries)
+	}
+
+	// The Fig. 3b update: insert (a=5, b=7.8).
+	f.tb.Append([]catalog.Row{{"a": int64(5), "b": 7.8}})
+
+	// The full chain must survive propagation — including markT and
+	// the join (the §6.3 extension).
+	if got := f.rec.Pool().Len(); got != entries {
+		t.Fatalf("propagation lost entries: %d -> %d", entries, got)
+	}
+
+	// The next run must fully hit and see the propagated row.
+	ctx2 := f.run(t)
+	if ctx2.Stats.HitsNonBind != 4 { // select, markT, reverse, join
+		t.Fatalf("hits after propagation = %d, want 4 (stats=%+v)", ctx2.Stats.HitsNonBind, ctx2.Stats)
+	}
+	j2 := ctx2.Results[0].Val.Bat
+	if j2.Len() != 2 {
+		t.Fatalf("join after insert: %s", j2.Dump(5))
+	}
+	// Row oids 1 (b=4.2) and 2 (b=7.8) qualify; markT assigns dense
+	// ids 0 and 1.
+	vals := map[float64]bool{}
+	for i := 0; i < j2.Len(); i++ {
+		vals[j2.Tail.Get(i).(float64)] = true
+	}
+	if !vals[4.2] || !vals[7.8] {
+		t.Fatalf("join content wrong: %s", j2.Dump(5))
+	}
+}
+
+func TestFig3PropagatedEqualsRecompute(t *testing.T) {
+	f := newFig3(t)
+	f.run(t)
+	f.tb.Append([]catalog.Row{
+		{"a": int64(5), "b": 7.8},
+		{"a": int64(0), "b": 9.9}, // a=0 fails the predicate
+	})
+	ctx := f.run(t)
+
+	// Recompute naively on the same catalog.
+	nctx := &mal.Ctx{Cat: f.cat}
+	if err := mal.Run(nctx, f.tmpl); err != nil {
+		t.Fatal(err)
+	}
+	a, b := ctx.Results[0].Val.Bat, nctx.Results[0].Val.Bat
+	if a.Len() != b.Len() {
+		t.Fatalf("propagated %d rows != recomputed %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Head.Get(i) != b.Head.Get(i) || a.Tail.Get(i) != b.Tail.Get(i) {
+			t.Fatalf("row %d: %v->%v vs %v->%v", i, a.Head.Get(i), a.Tail.Get(i), b.Head.Get(i), b.Tail.Get(i))
+		}
+	}
+}
+
+func TestJoinPropagationInvalidatedOnDelete(t *testing.T) {
+	f := newFig3(t)
+	f.run(t)
+	f.tb.Delete([]bat.Oid{1})
+	// Deletes invalidate the join (the paper flags differential
+	// deletes as complex); the select survives via head tombstoning.
+	var joinAlive, selAlive bool
+	for _, e := range f.rec.Pool().All() {
+		switch e.OpName {
+		case "algebra.join":
+			joinAlive = true
+		case "algebra.select":
+			selAlive = true
+		}
+	}
+	if joinAlive {
+		t.Fatal("join survived a delete")
+	}
+	if !selAlive {
+		t.Fatal("select did not survive the delete")
+	}
+	// Correctness on recompute.
+	ctx := f.run(t)
+	if ctx.Results[0].Val.Bat.Len() != 0 {
+		t.Fatalf("join after delete: %s", ctx.Results[0].Val.Bat.Dump(5))
+	}
+}
+
+// Property: repeated random insert batches keep the propagated chain
+// equal to a from-scratch evaluation.
+func TestPropagationEquivalenceProperty(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cat, tb := fig3Catalog()
+		rec := New(cat, Config{Admission: KeepAll, Sync: SyncPropagate})
+		tmpl := fig3Template()
+		qid := uint64(0)
+		run := func(hook mal.RecyclerHook) *mal.Ctx {
+			qid++
+			ctx := &mal.Ctx{Cat: cat, Hook: hook, QueryID: qid}
+			if hook != nil {
+				rec.BeginQuery(qid, tmpl.ID)
+			}
+			if err := mal.Run(ctx, tmpl); err != nil {
+				panic(err)
+			}
+			return ctx
+		}
+		run(rec)
+		for round := 0; round < 4; round++ {
+			n := rng.Intn(3) + 1
+			rows := make([]catalog.Row, n)
+			for i := range rows {
+				rows[i] = catalog.Row{"a": int64(rng.Intn(10)), "b": float64(rng.Intn(100)) / 10}
+			}
+			tb.Append(rows)
+			got := run(rec).Results[0].Val.Bat
+			want := run(nil).Results[0].Val.Bat
+			if got.Len() != want.Len() {
+				return false
+			}
+			for i := 0; i < got.Len(); i++ {
+				if got.Tail.Get(i) != want.Tail.Get(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagationJoinBothSidesDelta(t *testing.T) {
+	// A join whose left and right operands both gain delta rows:
+	// semijoin of two binds through selects on both columns.
+	cat := catalog.New()
+	tb := cat.CreateTable("sys", "t", []catalog.ColDef{
+		{Name: "a", Kind: bat.KInt},
+		{Name: "b", Kind: bat.KInt},
+	})
+	tb.Append([]catalog.Row{
+		{"a": int64(5), "b": int64(50)},
+		{"a": int64(6), "b": int64(60)},
+	})
+	b := mal.NewBuilder("both")
+	bindA := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("a")), mal.C(mal.IntV(0)))
+	selA := b.Op1("algebra", "select", bindA, mal.C(mal.IntV(5)), mal.C(mal.VoidV()), mal.C(mal.BoolV(true)), mal.C(mal.BoolV(true)))
+	mk := b.Op1("algebra", "markT", selA, mal.C(mal.OidV(0)))
+	rev := b.Op1("bat", "reverse", mk)
+	bindB := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("b")), mal.C(mal.IntV(0)))
+	j := b.Op1("algebra", "join", rev, bindB)
+	b.Do("sql", "exportCol", mal.C(mal.StrV("j")), j)
+	tmpl := opt.Optimize(b.Freeze(), opt.Options{})
+
+	rec := New(cat, Config{Admission: KeepAll, Sync: SyncPropagate})
+	qid := uint64(0)
+	run := func() *mal.Ctx {
+		qid++
+		ctx := &mal.Ctx{Cat: cat, Hook: rec, QueryID: qid}
+		rec.BeginQuery(qid, tmpl.ID)
+		if err := mal.Run(ctx, tmpl); err != nil {
+			t.Fatal(err)
+		}
+		return ctx
+	}
+	run()
+	tb.Append([]catalog.Row{{"a": int64(7), "b": int64(70)}})
+	ctx := run()
+	if ctx.Stats.HitsNonBind == 0 {
+		t.Fatal("nothing reused after both-sides delta")
+	}
+	got := ctx.Results[0].Val.Bat
+	if got.Len() != 3 {
+		t.Fatalf("join rows = %d, want 3: %s", got.Len(), got.Dump(10))
+	}
+}

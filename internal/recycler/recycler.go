@@ -1,0 +1,386 @@
+package recycler
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/mal"
+)
+
+// SyncMode selects how the pool reacts to updates of persistent data
+// (paper §6).
+type SyncMode int
+
+// Synchronisation modes.
+const (
+	// SyncInvalidate immediately invalidates every intermediate
+	// affected by an update, column-wise. This is the mode the paper's
+	// implementation evaluates (§6.4).
+	SyncInvalidate SyncMode = iota
+	// SyncPropagate pushes insert/delete deltas through the cheap
+	// operator classes (bind, select, reverse, mirror, markT) and
+	// invalidates the rest (§6.3, Fig. 3).
+	SyncPropagate
+)
+
+// Config parametrises a Recycler.
+type Config struct {
+	// Admission selects the admission policy; Credits is its k
+	// parameter (used by Credit and Adapt).
+	Admission AdmissionKind
+	Credits   int
+
+	// Eviction selects the eviction policy.
+	Eviction EvictionKind
+
+	// MaxBytes caps pooled intermediate memory (0 = unlimited).
+	MaxBytes int64
+	// MaxEntries caps the number of cache lines (0 = unlimited).
+	MaxEntries int
+
+	// Subsumption enables singleton subsumption (select, like,
+	// semijoin); CombinedSubsumption additionally enables the
+	// Algorithm 2 search over sets of overlapping selects.
+	Subsumption         bool
+	CombinedSubsumption bool
+	// MaxCombined caps the candidate set size fed to Algorithm 2.
+	MaxCombined int
+
+	// Sync selects update synchronisation behaviour.
+	Sync SyncMode
+}
+
+// Recycler is the run-time module: it implements mal.RecyclerHook
+// around marked instructions and catalog.UpdateListener for update
+// synchronisation.
+//
+// A single mutex serialises the hook and listener entry points, so
+// multiple interpreter sessions may share one recycler (concurrent
+// queries serialise only on pool operations, mirroring the shared
+// resource pool of the paper's multi-core setting). Catalog DDL/DML
+// must still not run concurrently with queries that read the same
+// tables — the storage layer itself is not versioned.
+type Recycler struct {
+	cfg  Config
+	pool *Pool
+	adm  *admission
+	cat  *catalog.Catalog
+
+	mu       sync.Mutex
+	curQuery uint64
+}
+
+// New creates a recycler over the given catalog.
+func New(cat *catalog.Catalog, cfg Config) *Recycler {
+	if cfg.MaxCombined <= 0 {
+		cfg.MaxCombined = 16
+	}
+	r := &Recycler{
+		cfg:  cfg,
+		pool: NewPool(),
+		adm:  newAdmission(cfg.Admission, cfg.Credits),
+		cat:  cat,
+	}
+	if cat != nil {
+		cat.AddListener(r)
+	}
+	return r
+}
+
+// Pool exposes the recycle pool for inspection and experiments.
+func (r *Recycler) Pool() *Pool { return r.pool }
+
+// Config returns the active configuration.
+func (r *Recycler) Config() Config { return r.cfg }
+
+// Stats is a point-in-time snapshot of the recycler's lifetime
+// counters and current pool utilisation.
+type Stats struct {
+	Entries       int
+	Bytes         int64
+	ReusedEntries int
+	ReusedBytes   int64
+	Admitted      int64
+	Evicted       int64
+	Invalidated   int64
+}
+
+// Snapshot captures the current statistics.
+func (r *Recycler) Snapshot() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	re, rb := r.pool.ReusedStats()
+	return Stats{
+		Entries:       r.pool.Len(),
+		Bytes:         r.pool.Bytes(),
+		ReusedEntries: re,
+		ReusedBytes:   rb,
+		Admitted:      r.pool.Admitted,
+		Evicted:       r.pool.Evicted,
+		Invalidated:   r.pool.Invalided,
+	}
+}
+
+// Reset empties the pool (the experiments' "clean RP between
+// batches"), going through the regular eviction path so credits of
+// globally reused instances are returned.
+func (r *Recycler) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.pool.All() {
+		r.evict(e)
+	}
+}
+
+// BeginQuery starts a query invocation: the recycler notes the
+// invocation for the adaptive admission policy and uses the id for
+// local/global reuse classification and eviction pinning.
+func (r *Recycler) BeginQuery(queryID uint64, templID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.curQuery = queryID
+	r.adm.beginQuery(templID)
+}
+
+// signature renders the canonical matching key of an instruction
+// instance: operation name plus the Key() of every argument. It
+// reports matchable=false when a BAT argument has unknown provenance,
+// in which case neither matching nor admission is possible (the
+// lineage was cut, e.g. by an exhausted credit).
+func signature(in *mal.Instr, args []mal.Value) (sig string, matchable bool) {
+	var sb strings.Builder
+	sb.WriteString(in.Name())
+	sb.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if a.IsBat() && a.Prov == 0 {
+			return "", false
+		}
+		sb.WriteString(a.Key())
+	}
+	sb.WriteByte(')')
+	return sb.String(), true
+}
+
+func render(in *mal.Instr, args []mal.Value) string {
+	var sb strings.Builder
+	sb.WriteString(in.Name())
+	sb.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if a.IsBat() {
+			sb.WriteString("e")
+			sb.WriteString(a.Key()[1:])
+		} else {
+			s := a.String()
+			if len(s) > 24 {
+				s = s[:24] + "…"
+			}
+			sb.WriteString(s)
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Entry implements recycleEntry (Algorithm 1, lines 9–17): exact
+// matching first, then subsumption.
+func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) mal.EntryResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sig, matchable := signature(in, args)
+	if matchable {
+		if e := r.pool.Lookup(sig); e != nil {
+			r.noteReuse(ctx, in, e)
+			ctx.Stats.Hits++
+			if in.Module != "sql" {
+				ctx.Stats.HitsNonBind++
+			}
+			return mal.EntryResult{Hit: true, Val: e.Result}
+		}
+	}
+	if r.cfg.Subsumption && matchable {
+		switch in.Name() {
+		case "algebra.select":
+			return r.subsumeSelect(ctx, pc, in, args)
+		case "algebra.likeselect":
+			return r.subsumeLike(ctx, in, args)
+		case "algebra.semijoin":
+			return r.subsumeSemijoin(ctx, in, args)
+		}
+	}
+	return mal.EntryResult{}
+}
+
+// noteReuse updates the entry's and the query's reuse statistics and
+// the credit bookkeeping.
+func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
+	e.ReuseCount++
+	e.LastUseTick = r.pool.Tick()
+	e.SavedTotal += e.Cost
+	e.pinnedQuery = r.curQuery
+	key := instrKey{templ: e.TemplID, pc: e.PC}
+	if e.QueryID == ctx.QueryID {
+		ctx.Stats.LocalHits++
+		ctx.Stats.SavedLocal += e.Cost
+		r.adm.onLocalReuse(key)
+	} else {
+		e.GlobalReuse = true
+		ctx.Stats.GlobalHits++
+		ctx.Stats.SavedGlobal += e.Cost
+		r.adm.onGlobalReuse(key)
+	}
+	ctx.Stats.SavedTime += e.Cost
+}
+
+// Exit implements recycleExit (Algorithm 1, lines 18–23): admission of
+// the freshly computed intermediate, after making room if needed.
+func (r *Recycler) Exit(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.exitLocked(ctx, pc, in, args, ret, elapsed, rw)
+}
+
+// exitLocked is the admission body; the caller holds r.mu. Combined
+// subsumption admits its computed result through this path while
+// already inside recycleEntry.
+func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
+	sig, matchable := signature(in, args)
+	if !matchable {
+		return 0
+	}
+	if existing := r.pool.Lookup(sig); existing != nil {
+		return existing.ID
+	}
+	key := instrKey{templ: ctx.Template.ID, pc: pc}
+	if !r.adm.admit(key) {
+		return 0
+	}
+	bytes := ret.Bytes()
+	if r.cfg.MaxBytes > 0 && bytes > r.cfg.MaxBytes {
+		r.adm.refund(key)
+		return 0
+	}
+	protect := protectSet(args)
+	if r.cfg.MaxBytes > 0 && r.pool.Bytes()+bytes > r.cfg.MaxBytes {
+		if !r.cleanCache(r.pool.Bytes()+bytes-r.cfg.MaxBytes, 0, protect) {
+			r.adm.refund(key)
+			return 0
+		}
+	}
+	if r.cfg.MaxEntries > 0 && r.pool.Len()+1 > r.cfg.MaxEntries {
+		if !r.cleanCache(0, r.pool.Len()+1-r.cfg.MaxEntries, protect) {
+			r.adm.refund(key)
+			return 0
+		}
+	}
+	e := r.buildEntry(ctx, pc, in, args, ret, elapsed, sig)
+	if rw != nil {
+		e.SubsetOf = rw.SubsetOf
+	}
+	r.pool.Add(e)
+	e.pinnedQuery = r.curQuery
+	return e.ID
+}
+
+func protectSet(args []mal.Value) map[uint64]bool {
+	m := make(map[uint64]bool, len(args))
+	for _, a := range args {
+		if a.IsBat() && a.Prov != 0 {
+			m[a.Prov] = true
+		}
+	}
+	return m
+}
+
+// buildEntry captures an executed instruction instance into a pool
+// entry, deriving lineage edges, column dependencies and subsumption
+// metadata.
+func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, sig string) *Entry {
+	now := r.pool.Tick()
+	e := &Entry{
+		Sig:         sig,
+		OpName:      in.Name(),
+		Render:      render(in, args),
+		Result:      ret,
+		Bytes:       ret.Bytes(),
+		Tuples:      ret.Tuples(),
+		Cost:        elapsed,
+		AdmitTick:   now,
+		LastUseTick: now,
+		QueryID:     ctx.QueryID,
+		TemplID:     ctx.Template.ID,
+		PC:          pc,
+		Args:        append([]mal.Value(nil), args...),
+	}
+	seen := map[uint64]bool{}
+	for _, a := range args {
+		if a.IsBat() && a.Prov != 0 && !seen[a.Prov] {
+			seen[a.Prov] = true
+			e.DependsOn = append(e.DependsOn, a.Prov)
+		}
+	}
+	e.Deps = r.columnDeps(in, args)
+
+	switch in.Name() {
+	case "algebra.select":
+		lo, hi, il, ih := mal.SelectBounds(args)
+		e.IsRangeSelect = true
+		e.SelColKey = args[0].Key()
+		e.SelLo, e.SelHi, e.SelIncLo, e.SelIncHi = lo, hi, il, ih
+	case "algebra.likeselect":
+		e.IsLike = true
+		e.LikeColKey = args[0].Key()
+		e.LikePat = args[1].S
+	case "algebra.semijoin":
+		e.IsSemijoin = true
+		e.SemiLeft = args[0].Prov
+		e.SemiRight = args[1].Prov
+	}
+	return e
+}
+
+// columnDeps derives the persistent columns an instruction's result
+// depends on: binds name them directly, join indices depend on both
+// tables wholesale, and derived instructions union their parents'.
+func (r *Recycler) columnDeps(in *mal.Instr, args []mal.Value) []ColumnRef {
+	switch in.Name() {
+	case "sql.bind":
+		return []ColumnRef{{Table: args[0].S + "." + args[1].S, Column: args[2].S}}
+	case "sql.bindIdxbat":
+		qname := args[0].S + "." + args[1].S
+		deps := []ColumnRef{{Table: qname, Column: "*"}}
+		if r.cat != nil {
+			if t := r.cat.Table(args[0].S, args[1].S); t != nil {
+				if parent := t.JoinIndexParent(args[2].S); parent != nil {
+					deps = append(deps, ColumnRef{Table: parent.QName(), Column: "*"})
+				}
+			}
+		}
+		return deps
+	}
+	set := map[ColumnRef]bool{}
+	var out []ColumnRef
+	for _, a := range args {
+		if !a.IsBat() || a.Prov == 0 {
+			continue
+		}
+		parent := r.pool.Get(a.Prov)
+		if parent == nil {
+			continue
+		}
+		for _, d := range parent.Deps {
+			if !set[d] {
+				set[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package recycler
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+// This file implements instruction subsumption (paper §5): reusing a
+// cached intermediate whose result set is a superset of — or a set of
+// intermediates whose union covers — the result the planned
+// instruction would compute.
+
+// rangeContains reports whether the candidate range [cLo, cHi]
+// contains the target range [tLo, tHi], honouring open bounds (nil)
+// and inclusiveness flags.
+func rangeContains(cLo any, cIncLo bool, cHi any, cIncHi bool, tLo any, tIncLo bool, tHi any, tIncHi bool) bool {
+	// Lower bound.
+	if cLo != nil {
+		if tLo == nil {
+			return false
+		}
+		switch c := algebra.Cmp(cLo, tLo); {
+		case c > 0:
+			return false
+		case c == 0:
+			if tIncLo && !cIncLo {
+				return false
+			}
+		}
+	}
+	// Upper bound.
+	if cHi != nil {
+		if tHi == nil {
+			return false
+		}
+		switch c := algebra.Cmp(cHi, tHi); {
+		case c < 0:
+			return false
+		case c == 0:
+			if tIncHi && !cIncHi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rangesOverlap reports whether two closed ranges intersect. Open
+// bounds count as infinite. Inclusiveness is treated conservatively
+// (closed-interval semantics), which can only cause a harmless extra
+// piece in a combined cover.
+func rangesOverlap(aLo, aHi, bLo, bHi any) bool {
+	if aLo != nil && bHi != nil && algebra.Cmp(aLo, bHi) > 0 {
+		return false
+	}
+	if bLo != nil && aHi != nil && algebra.Cmp(bLo, aHi) > 0 {
+		return false
+	}
+	return true
+}
+
+// subsumeSelect implements select subsumption: first the singleton
+// form (one superset intermediate, §5.1), then the combined form over
+// a set of overlapping intermediates (§5.2, Algorithm 2).
+func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) mal.EntryResult {
+	lo, hi, incLo, incHi := mal.SelectBounds(args)
+	colKey := args[0].Key()
+	cands := r.pool.SelectCandidates(colKey)
+	if len(cands) == 0 {
+		return mal.EntryResult{}
+	}
+
+	// Singleton: the cost model is the operand size, so pick the
+	// smallest superset intermediate.
+	var best *Entry
+	for _, e := range cands {
+		if !rangeContains(e.SelLo, e.SelIncLo, e.SelHi, e.SelIncHi, lo, incLo, hi, incHi) {
+			continue
+		}
+		if best == nil || e.Tuples < best.Tuples {
+			best = e
+		}
+	}
+	if best != nil {
+		r.noteReuse(ctx, in, best)
+		ctx.Stats.Subsumed++
+		newArgs := append([]mal.Value(nil), args...)
+		newArgs[0] = best.Result
+		return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
+	}
+
+	if !r.cfg.CombinedSubsumption || lo == nil || hi == nil {
+		return mal.EntryResult{}
+	}
+	return r.combinedSelect(ctx, pc, in, args, lo, hi, incLo, incHi, cands)
+}
+
+// combinedSelect runs Algorithm 2: build combinations of overlapping
+// cached selects, prune by cost against the best solution so far
+// (seeded with the regular execution cost = operand size), and if a
+// covering combination cheaper than the base scan exists, execute the
+// select piecewise over the pieces and merge with oid deduplication.
+func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, lo, hi any, incLo, incHi bool, cands []*Entry) mal.EntryResult {
+	searchStart := time.Now()
+
+	// R: candidates overlapping the target range, capped for safety.
+	var R []*Entry
+	for _, e := range cands {
+		if rangesOverlap(e.SelLo, e.SelHi, lo, hi) {
+			R = append(R, e)
+			if len(R) >= r.cfg.MaxCombined {
+				break
+			}
+		}
+	}
+	if len(R) < 2 {
+		ctx.Stats.SubsumeOverhead += time.Since(searchStart)
+		return mal.EntryResult{}
+	}
+
+	baseCost := args[0].Tuples() // C(A): size of the regular operand
+	type partial struct {
+		mask   uint32
+		lo, hi any // union interval (single interval by construction)
+		cost   int
+	}
+	ext := func(a, b any, min bool) any {
+		if a == nil || b == nil {
+			return nil
+		}
+		if (algebra.Cmp(a, b) < 0) == min {
+			return a
+		}
+		return b
+	}
+	covers := func(p partial) bool {
+		return rangeContains(p.lo, true, p.hi, true, lo, incLo, hi, incHi) ||
+			rangeContains(p.lo, incLo, p.hi, incHi, lo, incLo, hi, incHi)
+	}
+
+	var sol *partial
+	solCost := baseCost
+	// seen dedupes combinations by their member set: Algorithm 2
+	// builds subsets, so a mask reached through different insertion
+	// orders is the same partial solution and must be explored once.
+	seen := make(map[uint32]bool, 64)
+	// budget bounds the dynamic-programming frontier; the paper's
+	// micro-benchmarks stay at k < 10 entries, and the cost-based
+	// pruning usually cuts far earlier, but adversarial pools of many
+	// overlapping cheap selects must not stall the query.
+	budget := 4096
+	p1 := make([]partial, 0, len(R))
+	for i, e := range R {
+		p := partial{mask: 1 << uint(i), lo: e.SelLo, hi: e.SelHi, cost: e.Tuples}
+		seen[p.mask] = true
+		if p.cost < solCost && covers(p) {
+			// Degenerate: a single candidate covers (would have been
+			// caught by singleton subsumption with exact flags; keep
+			// for robustness).
+			q := p
+			sol, solCost = &q, p.cost
+			continue
+		}
+		p1 = append(p1, p)
+	}
+	for n := 1; n < len(R) && len(p1) > 0 && budget > 0; n++ {
+		var p2 []partial
+		for _, s := range p1 {
+			for i, e := range R {
+				bit := uint32(1) << uint(i)
+				if s.mask&bit != 0 || seen[s.mask|bit] {
+					continue
+				}
+				if !rangesOverlap(s.lo, s.hi, e.SelLo, e.SelHi) {
+					continue
+				}
+				seen[s.mask|bit] = true
+				if budget--; budget <= 0 {
+					break
+				}
+				u := partial{
+					mask: s.mask | bit,
+					lo:   ext(s.lo, e.SelLo, true),
+					hi:   ext(s.hi, e.SelHi, false),
+					cost: s.cost + e.Tuples,
+				}
+				if u.cost >= solCost {
+					continue // cut unpromising partial solutions
+				}
+				if covers(u) {
+					q := u
+					sol, solCost = &q, u.cost
+				} else {
+					p2 = append(p2, u)
+				}
+			}
+		}
+		p1 = p2
+	}
+	ctx.Stats.SubsumeOverhead += time.Since(searchStart)
+	if sol == nil {
+		return mal.EntryResult{}
+	}
+
+	// Execute piecewise over the chosen cover and merge.
+	execStart := time.Now()
+	var parts []*bat.BAT
+	for i, e := range R {
+		if sol.mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		r.noteReuse(ctx, in, e)
+		parts = append(parts, algebra.Select(e.Result.Bat, lo, hi, incLo, incHi))
+	}
+	merged := algebra.MergeDedupByHead(parts)
+	elapsed := time.Since(execStart)
+	ctx.Stats.CombinedExec += elapsed
+
+	ctx.Stats.Hits++
+	ctx.Stats.Combined++
+	if in.Module != "sql" {
+		ctx.Stats.HitsNonBind++
+	}
+
+	val := mal.BatV(merged)
+	// Admit the combined result under the original signature so later
+	// instances match exactly. The caller (Entry) holds the lock.
+	prov := r.exitLocked(ctx, pc, in, args, val, elapsed, nil)
+	val.Prov = prov
+	return mal.EntryResult{Hit: true, Val: val}
+}
+
+// subsumeLike implements the LIKE special case of select subsumption:
+// a cached pure-infix pattern %lit% subsumes the target pattern when
+// lit occurs inside one of the target's literal runs (every string the
+// target accepts then contains lit).
+func (r *Recycler) subsumeLike(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) mal.EntryResult {
+	colKey := args[0].Key()
+	target := args[1].S
+	var best *Entry
+	for _, e := range r.pool.LikeCandidates(colKey) {
+		lit, pure := algebra.LikeLiteral(e.LikePat)
+		if !pure || lit == "" {
+			continue
+		}
+		if !literalRunContains(target, lit) {
+			continue
+		}
+		if best == nil || e.Tuples < best.Tuples {
+			best = e
+		}
+	}
+	if best == nil {
+		return mal.EntryResult{}
+	}
+	r.noteReuse(ctx, in, best)
+	ctx.Stats.Subsumed++
+	newArgs := append([]mal.Value(nil), args...)
+	newArgs[0] = best.Result
+	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
+}
+
+// literalRunContains reports whether lit occurs inside a single
+// literal (wildcard-free) run of the pattern.
+func literalRunContains(pattern, lit string) bool {
+	for _, run := range strings.FieldsFunc(pattern, func(r rune) bool { return r == '%' || r == '_' }) {
+		if strings.Contains(run, lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// subsumeSemijoin implements semijoin subsumption (§5.1): semijoin(X, W)
+// can reuse a cached semijoin(X, V) when W ⊂ V. The subset test uses
+// the derivation edges recorded by earlier subsumptions plus range
+// containment between select entries.
+func (r *Recycler) subsumeSemijoin(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) mal.EntryResult {
+	px, pw := args[0].Prov, args[1].Prov
+	if px == 0 || pw == 0 {
+		return mal.EntryResult{}
+	}
+	var best *Entry
+	for _, e := range r.pool.SemijoinCandidates(px) {
+		if e.SemiRight == pw {
+			continue // exact match handled earlier; defensive
+		}
+		if !r.isSubsetOf(pw, e.SemiRight) {
+			continue
+		}
+		if best == nil || e.Tuples < best.Tuples {
+			best = e
+		}
+	}
+	if best == nil {
+		return mal.EntryResult{}
+	}
+	r.noteReuse(ctx, in, best)
+	ctx.Stats.Subsumed++
+	newArgs := append([]mal.Value(nil), args...)
+	newArgs[0] = best.Result
+	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
+}
+
+// isSubsetOf reports whether the result of entry a is a subset of the
+// result of entry b, established either through recorded derivation
+// edges (a was computed from b by subsumption) or through range
+// containment of selects over the same column operand.
+func (r *Recycler) isSubsetOf(a, b uint64) bool {
+	for id := a; id != 0; {
+		if id == b {
+			return true
+		}
+		e := r.pool.Get(id)
+		if e == nil {
+			break
+		}
+		id = e.SubsetOf
+	}
+	ea, eb := r.pool.Get(a), r.pool.Get(b)
+	if ea != nil && eb != nil && ea.IsRangeSelect && eb.IsRangeSelect && ea.SelColKey == eb.SelColKey {
+		return rangeContains(eb.SelLo, eb.SelIncLo, eb.SelHi, eb.SelIncHi,
+			ea.SelLo, ea.SelIncLo, ea.SelHi, ea.SelIncHi)
+	}
+	return false
+}

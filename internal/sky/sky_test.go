@@ -1,0 +1,183 @@
+package sky
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/recycler"
+)
+
+var testDB = Generate(5000, 17)
+
+func runQ(t *testing.T, db *DB, rec *recycler.Recycler, qid uint64, tmpl *mal.Template, params []mal.Value) *mal.Ctx {
+	t.Helper()
+	ctx := &mal.Ctx{Cat: db.Cat, QueryID: qid}
+	if rec != nil {
+		ctx.Hook = rec
+		rec.BeginQuery(qid, tmpl.ID)
+	}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestGenerateTables(t *testing.T) {
+	for _, name := range []string{"photoobj", "dbobjects", "elredshift"} {
+		tb := testDB.Cat.Table(Schema, name)
+		if tb == nil || tb.NumRows() == 0 {
+			t.Fatalf("table %s missing or empty", name)
+		}
+	}
+	if testDB.Table("photoobj").NumRows() != 5000 {
+		t.Fatalf("photoobj rows = %d", testDB.Table("photoobj").NumRows())
+	}
+}
+
+func TestNearbyObjCorrectness(t *testing.T) {
+	tmpl := NearbyObjTemplate()
+	params := []mal.Value{mal.FloatV(100), mal.FloatV(140), mal.FloatV(-10), mal.FloatV(30)}
+	ctx := runQ(t, testDB, nil, 1, tmpl, params)
+	// Reference count of primary objects in the box.
+	ra := testDB.Table("photoobj").MustColumn("ra").Bind().Tail.(*bat.Floats).V
+	dec := testDB.Table("photoobj").MustColumn("dec").Bind().Tail.(*bat.Floats).V
+	mode := testDB.Table("photoobj").MustColumn("mode").Bind().Tail.(*bat.Ints).V
+	want := 0
+	for i := range ra {
+		if ra[i] >= 100 && ra[i] <= 140 && dec[i] >= -10 && dec[i] <= 30 && mode[i] == 1 {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("test box selects nothing; enlarge it")
+	}
+	// The template exports LIMIT 1 columns: objid present iff matches.
+	if len(ctx.Results) != 1+len(propCols) {
+		t.Fatalf("results = %d, want %d", len(ctx.Results), 1+len(propCols))
+	}
+	if ctx.Results[0].Val.Bat.Len() != 1 {
+		t.Fatalf("objid rows = %d, want 1 (limit)", ctx.Results[0].Val.Bat.Len())
+	}
+}
+
+func TestDocsAndPointQueries(t *testing.T) {
+	dt := DocsTemplate()
+	ctx := runQ(t, testDB, nil, 1, dt, []mal.Value{mal.StrV("dbobj_007")})
+	if ctx.Results[0].Val.Bat.Len() != 1 {
+		t.Fatalf("docs result rows = %d", ctx.Results[0].Val.Bat.Len())
+	}
+	pt := PointTemplate()
+	ctx = runQ(t, testDB, nil, 2, pt, []mal.Value{mal.IntV(int64(0x0559000000000000) + 5)})
+	if ctx.Results[0].Val.Bat.Len() != 1 {
+		t.Fatalf("point result rows = %d", ctx.Results[0].Val.Bat.Len())
+	}
+}
+
+func TestSampleWorkloadMix(t *testing.T) {
+	w := SampleWorkload(testDB, 1000, 5)
+	counts := map[string]int{}
+	for _, q := range w.Batch {
+		counts[q.Kind]++
+	}
+	if counts["nearby"] < 550 || counts["nearby"] > 700 {
+		t.Fatalf("nearby fraction off: %d/1000", counts["nearby"])
+	}
+	if counts["docs"] < 280 || counts["docs"] > 430 {
+		t.Fatalf("docs fraction off: %d/1000", counts["docs"])
+	}
+	if counts["point"] == 0 || counts["point"] > 60 {
+		t.Fatalf("point fraction off: %d/1000", counts["point"])
+	}
+}
+
+func TestWorkloadHighReuseWithRecycler(t *testing.T) {
+	db := Generate(5000, 23)
+	rec := recycler.New(db.Cat, recycler.Config{Admission: recycler.KeepAll, Subsumption: true})
+	w := SampleWorkload(db, 100, 9)
+	var marked, hits int
+	for i, q := range w.Batch {
+		tmpl := w.Template(q.Kind)
+		ctx := runQ(t, db, rec, uint64(i+1), tmpl, q.Params)
+		marked += ctx.Stats.MarkedNonBind
+		hits += ctx.Stats.HitsNonBind
+	}
+	ratio := float64(hits) / float64(marked)
+	// The paper reports 95.6% reuse on the 100-query batch; our
+	// synthetic workload must reach a comparably high plateau.
+	if ratio < 0.80 {
+		t.Fatalf("workload hit ratio = %.2f, want >= 0.80", ratio)
+	}
+}
+
+func TestMicroBenchGeometry(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		mb := GenMicroBench(k, 5, 0.02, 3)
+		if len(mb.Queries) != 5*(k+1) {
+			t.Fatalf("k=%d: %d queries, want %d", k, len(mb.Queries), 5*(k+1))
+		}
+		for idx := range mb.SeedIdx {
+			seedLo := mb.Queries[idx][0].F
+			seedHi := mb.Queries[idx][1].F
+			// Union of the k preceding queries covers the seed...
+			unionLo, unionHi := mb.Queries[idx-k][0].F, mb.Queries[idx-k][1].F
+			for j := idx - k + 1; j < idx; j++ {
+				if mb.Queries[j][0].F > unionHi {
+					t.Fatalf("k=%d seed %d: gap in cover", k, idx)
+				}
+				if mb.Queries[j][1].F > unionHi {
+					unionHi = mb.Queries[j][1].F
+				}
+			}
+			if unionLo > seedLo || unionHi < seedHi {
+				t.Fatalf("k=%d seed %d: union [%f,%f] does not cover [%f,%f]", k, idx, unionLo, unionHi, seedLo, seedHi)
+			}
+			// ...but no single covering query does.
+			for j := idx - k; j < idx; j++ {
+				if mb.Queries[j][0].F <= seedLo && mb.Queries[j][1].F >= seedHi {
+					t.Fatalf("k=%d seed %d: query %d singleton-covers the seed", k, idx, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMicroBenchTriggersCombinedSubsumption(t *testing.T) {
+	db := Generate(20000, 31)
+	rec := recycler.New(db.Cat, recycler.Config{
+		Admission: recycler.KeepAll, Subsumption: true, CombinedSubsumption: true,
+	})
+	mb := GenMicroBench(2, 6, 0.02, 3)
+	combined := 0
+	for i, params := range mb.Queries {
+		ctx := runQ(t, db, rec, uint64(i+1), mb.Templ, params)
+		if mb.SeedIdx[i] {
+			if ctx.Stats.Combined > 0 {
+				combined++
+			}
+			// Whatever the path, the count must equal a naive run.
+			nctx := runQ(t, db, nil, uint64(1000+i), mb.Templ, params)
+			if ctx.Results[0].Val.I != nctx.Results[0].Val.I {
+				t.Fatalf("seed %d: combined count %d != naive %d", i, ctx.Results[0].Val.I, nctx.Results[0].Val.I)
+			}
+		}
+	}
+	if combined < 4 {
+		t.Fatalf("combined subsumption fired on %d/6 seeds", combined)
+	}
+}
+
+func TestSubsumedSelectionOnSecondFootprint(t *testing.T) {
+	// The two workload footprints overlap; a query over the second
+	// footprint cannot (in general) exactly match the first, but the
+	// dec semijoin path must still benefit through subsumption when
+	// one footprint contains the other.
+	db := Generate(5000, 41)
+	rec := recycler.New(db.Cat, recycler.Config{Admission: recycler.KeepAll, Subsumption: true})
+	tmpl := NearbyObjTemplate()
+	runQ(t, db, rec, 1, tmpl, []mal.Value{mal.FloatV(100), mal.FloatV(200), mal.FloatV(-20), mal.FloatV(40)})
+	ctx := runQ(t, db, rec, 2, tmpl, []mal.Value{mal.FloatV(120), mal.FloatV(180), mal.FloatV(-10), mal.FloatV(30)})
+	if ctx.Stats.Subsumed == 0 {
+		t.Fatalf("no subsumption on contained footprint: %+v", ctx.Stats)
+	}
+}

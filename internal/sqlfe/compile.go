@@ -1,0 +1,407 @@
+package sqlfe
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/opt"
+)
+
+// Compile translates a parsed query into an optimizer-marked template
+// plus the parameter values of this instance. All literals become
+// template parameters in a deterministic order (predicate literals
+// left to right, then LIMIT), so re-compiling a query with the same
+// shape yields an identical plan ready for template caching.
+func Compile(cat *catalog.Catalog, q *Query) (*mal.Template, []mal.Value, error) {
+	schema := q.Schema
+	if schema == "" {
+		schema = "sys"
+	}
+	tbl := cat.Table(schema, q.Table)
+	if tbl == nil {
+		return nil, nil, fmt.Errorf("sqlfe: unknown table %s.%s", schema, q.Table)
+	}
+
+	c := &compiler{
+		b:      mal.NewBuilder("sql:" + q.Shape()),
+		cat:    cat,
+		schema: schema,
+		tbl:    tbl,
+	}
+	// Declare parameters first (builder requirement): walk the
+	// literal positions.
+	var params []mal.Value
+	for pi := range q.Preds {
+		p := &q.Preds[pi]
+		col := tbl.Column(p.Col)
+		if col == nil {
+			return nil, nil, fmt.Errorf("sqlfe: unknown column %s", p.Col)
+		}
+		for ai, lit := range p.Args {
+			kind, val, err := paramFor(col.KindOf, lit)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sqlfe: predicate on %s: %w", p.Col, err)
+			}
+			name := fmt.Sprintf("A%d", len(params))
+			c.paramArgs = append(c.paramArgs, c.b.Param(name, kind))
+			params = append(params, val)
+			_ = ai
+		}
+	}
+	if q.Having != nil {
+		kind, val, err := havingParam(tbl, q.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.havingArg = c.b.Param(fmt.Sprintf("A%d", len(params)), kind)
+		params = append(params, val)
+	}
+	if q.Limit > 0 {
+		c.limitArg = c.b.Param(fmt.Sprintf("A%d", len(params)), mal.VInt)
+		params = append(params, mal.IntV(int64(q.Limit)))
+	}
+
+	if err := c.emit(q); err != nil {
+		return nil, nil, err
+	}
+	tmpl := opt.Optimize(c.b.Freeze(), opt.Options{})
+	return tmpl, params, nil
+}
+
+// paramFor types a literal against its column kind, promoting ints to
+// floats/dates where the column requires it.
+func paramFor(colKind bat.Kind, lit Lit) (mal.ValueKind, mal.Value, error) {
+	switch colKind {
+	case bat.KInt:
+		if lit.Kind != LInt {
+			return 0, mal.Value{}, fmt.Errorf("int column needs integer literal")
+		}
+		return mal.VInt, mal.IntV(lit.I), nil
+	case bat.KFloat:
+		switch lit.Kind {
+		case LFloat:
+			return mal.VFloat, mal.FloatV(lit.F), nil
+		case LInt:
+			return mal.VFloat, mal.FloatV(float64(lit.I)), nil
+		}
+		return 0, mal.Value{}, fmt.Errorf("float column needs numeric literal")
+	case bat.KStr:
+		if lit.Kind != LStr {
+			return 0, mal.Value{}, fmt.Errorf("string column needs string literal")
+		}
+		return mal.VStr, mal.StrV(lit.S), nil
+	case bat.KDate:
+		if lit.Kind != LDate && lit.Kind != LStr {
+			return 0, mal.Value{}, fmt.Errorf("date column needs DATE literal")
+		}
+		d, err := parseISODate(lit.S)
+		if err != nil {
+			return 0, mal.Value{}, err
+		}
+		return mal.VDate, mal.DateV(d), nil
+	}
+	return 0, mal.Value{}, fmt.Errorf("unsupported column kind %v", colKind)
+}
+
+func parseISODate(s string) (bat.Date, error) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return 0, fmt.Errorf("bad date %q", s)
+	}
+	y, e1 := strconv.Atoi(s[:4])
+	m, e2 := strconv.Atoi(s[5:7])
+	d, e3 := strconv.Atoi(s[8:])
+	if e1 != nil || e2 != nil || e3 != nil {
+		return 0, fmt.Errorf("bad date %q", s)
+	}
+	return algebra.MkDate(y, m, d), nil
+}
+
+type compiler struct {
+	b         *mal.Builder
+	cat       *catalog.Catalog
+	schema    string
+	tbl       *catalog.Table
+	paramArgs []mal.Arg
+	havingArg mal.Arg
+	limitArg  mal.Arg
+	nextParam int
+}
+
+// havingParam types the HAVING literal against the aggregate's result
+// type: COUNT and SUM over int columns produce ints, everything else
+// floats.
+func havingParam(tbl *catalog.Table, h *Having) (mal.ValueKind, mal.Value, error) {
+	isInt := h.Agg == "count"
+	if (h.Agg == "sum" || h.Agg == "min" || h.Agg == "max") && h.Col != "" {
+		col := tbl.Column(h.Col)
+		if col == nil {
+			return 0, mal.Value{}, fmt.Errorf("sqlfe: unknown HAVING column %s", h.Col)
+		}
+		isInt = col.KindOf == bat.KInt
+	}
+	if isInt {
+		if h.Arg.Kind != LInt {
+			return 0, mal.Value{}, fmt.Errorf("sqlfe: HAVING needs integer literal")
+		}
+		return mal.VInt, mal.IntV(h.Arg.I), nil
+	}
+	switch h.Arg.Kind {
+	case LFloat:
+		return mal.VFloat, mal.FloatV(h.Arg.F), nil
+	case LInt:
+		return mal.VFloat, mal.FloatV(float64(h.Arg.I)), nil
+	}
+	return 0, mal.Value{}, fmt.Errorf("sqlfe: HAVING needs numeric literal")
+}
+
+func (c *compiler) cs(s string) mal.Arg { return mal.C(mal.StrV(s)) }
+func (c *compiler) cb(v bool) mal.Arg   { return mal.C(mal.BoolV(v)) }
+func (c *compiler) open() mal.Arg       { return mal.C(mal.VoidV()) }
+func (c *compiler) bind(col string) mal.Arg {
+	return c.b.Op1("sql", "bind", c.cs(c.schema), c.cs(c.tbl.Name), c.cs(col), mal.C(mal.IntV(0)))
+}
+
+func (c *compiler) takeParam() mal.Arg {
+	a := c.paramArgs[c.nextParam]
+	c.nextParam++
+	return a
+}
+
+// emit generates the plan body.
+func (c *compiler) emit(q *Query) error {
+	rows, err := c.filter(q)
+	if err != nil {
+		return err
+	}
+	if len(q.GroupBy) > 0 {
+		return c.emitGrouped(q, rows)
+	}
+	return c.emitFlat(q, rows)
+}
+
+// filter compiles the WHERE conjunction into a chain of selections,
+// returning a BAT whose head holds the qualifying row oids.
+func (c *compiler) filter(q *Query) (mal.Arg, error) {
+	var rows mal.Arg
+	haveRows := false
+	for i := range q.Preds {
+		p := &q.Preds[i]
+		var colArg mal.Arg
+		if !haveRows {
+			colArg = c.bind(p.Col)
+		} else {
+			colArg = c.b.Op1("algebra", "semijoin", c.bind(p.Col), rows)
+		}
+		var out mal.Arg
+		switch p.Op {
+		case OpEq:
+			out = c.b.Op1("algebra", "uselect", colArg, c.takeParam())
+		case OpLt:
+			out = c.b.Op1("algebra", "select", colArg, c.open(), c.takeParam(), c.cb(true), c.cb(false))
+		case OpLe:
+			out = c.b.Op1("algebra", "select", colArg, c.open(), c.takeParam(), c.cb(true), c.cb(true))
+		case OpGt:
+			out = c.b.Op1("algebra", "select", colArg, c.takeParam(), c.open(), c.cb(false), c.cb(true))
+		case OpGe:
+			out = c.b.Op1("algebra", "select", colArg, c.takeParam(), c.open(), c.cb(true), c.cb(true))
+		case OpBetween:
+			lo := c.takeParam()
+			hi := c.takeParam()
+			out = c.b.Op1("algebra", "select", colArg, lo, hi, c.cb(true), c.cb(true))
+		case OpLike:
+			out = c.b.Op1("algebra", "likeselect", colArg, c.takeParam())
+		case OpNotLike:
+			out = c.b.Op1("algebra", "notlikeselect", colArg, c.takeParam())
+		case OpNe:
+			col := c.tbl.Column(p.Col)
+			if col.KindOf != bat.KStr {
+				return mal.Arg{}, fmt.Errorf("sqlfe: <> supported on string columns only")
+			}
+			out = c.b.Op1("algebra", "notlikeselect", colArg, c.takeParam())
+		default:
+			return mal.Arg{}, fmt.Errorf("sqlfe: unsupported operator")
+		}
+		rows = out
+		haveRows = true
+	}
+	if !haveRows {
+		// No predicates: the base is the first referenced column.
+		base := c.firstColumn(q)
+		if base == "" {
+			return mal.Arg{}, fmt.Errorf("sqlfe: query references no columns")
+		}
+		rows = c.bind(base)
+	}
+	return rows, nil
+}
+
+func (c *compiler) firstColumn(q *Query) string {
+	for _, g := range q.GroupBy {
+		return g
+	}
+	for _, it := range q.Items {
+		if it.Col != "" {
+			return it.Col
+		}
+	}
+	if len(c.tbl.Cols) > 0 {
+		return c.tbl.Cols[0].Name
+	}
+	return ""
+}
+
+// project semijoins a column onto the qualifying row set.
+func (c *compiler) project(col string, rows mal.Arg) mal.Arg {
+	return c.b.Op1("algebra", "semijoin", c.bind(col), rows)
+}
+
+func (c *compiler) emitGrouped(q *Query, rows mal.Arg) error {
+	g := c.b.Op1("group", "new", c.project(q.GroupBy[0], rows))
+	for _, col := range q.GroupBy[1:] {
+		g = c.b.Op1("group", "derive", g, c.project(col, rows))
+	}
+	groupBase := c.project(q.GroupBy[0], rows)
+	heads := c.b.Op1("group", "heads", g, groupBase)
+
+	groupAgg := func(agg, col string) (mal.Arg, error) {
+		if agg == "count" {
+			return c.b.Op1("aggr", "countGrp", g), nil
+		}
+		v := c.project(col, rows)
+		if agg == "avg" && c.tbl.MustColumn(col).KindOf == bat.KInt {
+			v = c.b.Op1("batcalc", "int2dbl", v)
+		}
+		return c.b.Op1("aggr", agg, v, g), nil
+	}
+
+	// HAVING: filter the group ids by the aggregate predicate; every
+	// exported column then semijoins onto the qualifying groups. This
+	// keeps the (parameter-independent) grouping machinery reusable
+	// with the parameter-dependent filter at the very end — the Q18
+	// structure the paper's inter-query experiments exploit.
+	var qual mal.Arg
+	haveQual := false
+	if q.Having != nil {
+		aggB, err := groupAgg(q.Having.Agg, q.Having.Col)
+		if err != nil {
+			return err
+		}
+		var sel mal.Arg
+		switch q.Having.Op {
+		case OpEq:
+			sel = c.b.Op1("algebra", "uselect", aggB, c.havingArg)
+		case OpLt:
+			sel = c.b.Op1("algebra", "select", aggB, c.open(), c.havingArg, c.cb(true), c.cb(false))
+		case OpLe:
+			sel = c.b.Op1("algebra", "select", aggB, c.open(), c.havingArg, c.cb(true), c.cb(true))
+		case OpGt:
+			sel = c.b.Op1("algebra", "select", aggB, c.havingArg, c.open(), c.cb(false), c.cb(true))
+		case OpGe:
+			sel = c.b.Op1("algebra", "select", aggB, c.havingArg, c.open(), c.cb(true), c.cb(true))
+		default:
+			return fmt.Errorf("sqlfe: unsupported HAVING operator")
+		}
+		qual = sel
+		haveQual = true
+	}
+	restrict := func(a mal.Arg) mal.Arg {
+		if !haveQual {
+			return a
+		}
+		return c.b.Op1("algebra", "semijoin", a, qual)
+	}
+
+	for _, it := range q.Items {
+		name := exportName(it)
+		switch it.Agg {
+		case "":
+			// Group key output: map each group's representative row to
+			// the column value.
+			keycol := c.b.Op1("algebra", "join", heads, c.bind(it.Col))
+			c.b.Do("sql", "exportCol", c.cs(name), restrict(keycol))
+		case "count", "sum", "avg", "min", "max":
+			aggB, err := groupAgg(it.Agg, it.Col)
+			if err != nil {
+				return err
+			}
+			c.b.Do("sql", "exportCol", c.cs(name), restrict(aggB))
+		default:
+			return fmt.Errorf("sqlfe: %s not supported with GROUP BY", it.Agg)
+		}
+	}
+	return nil
+}
+
+func (c *compiler) emitFlat(q *Query, rows mal.Arg) error {
+	hasAgg := false
+	for _, it := range q.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		for _, it := range q.Items {
+			name := exportName(it)
+			switch it.Agg {
+			case "count":
+				c.b.Do("sql", "exportValue", c.cs(name), c.b.Op1("aggr", "count", rows))
+			case "countd":
+				d := c.b.Op1("algebra", "kunique", c.b.Op1("bat", "reverse", c.project(it.Col, rows)))
+				c.b.Do("sql", "exportValue", c.cs(name), c.b.Op1("aggr", "count", d))
+			case "sum":
+				v := c.project(it.Col, rows)
+				if c.tbl.MustColumn(it.Col).KindOf == bat.KInt {
+					c.b.Do("sql", "exportValue", c.cs(name), c.b.Op1("aggr", "sumInt", v))
+				} else {
+					c.b.Do("sql", "exportValue", c.cs(name), c.b.Op1("aggr", "sumFlt", v))
+				}
+			case "avg":
+				v := c.project(it.Col, rows)
+				if c.tbl.MustColumn(it.Col).KindOf == bat.KInt {
+					v = c.b.Op1("batcalc", "int2dbl", v)
+				}
+				c.b.Do("sql", "exportValue", c.cs(name), c.b.Op1("aggr", "avgFlt", v))
+			case "min", "max":
+				v := c.project(it.Col, rows)
+				srt := c.b.Op1("algebra", "sort", v, c.cb(it.Agg == "min"))
+				c.b.Do("sql", "exportCol", c.cs(name), c.b.Op1("algebra", "topn", srt, mal.C(mal.IntV(1))))
+			default:
+				return fmt.Errorf("sqlfe: aggregate %q unsupported", it.Agg)
+			}
+		}
+		return nil
+	}
+
+	// Plain projection, with optional ORDER BY + LIMIT.
+	out := rows
+	if q.OrderBy != nil {
+		ord := c.project(q.OrderBy.Col, rows)
+		srt := c.b.Op1("algebra", "sort", ord, c.cb(!q.OrderBy.Desc))
+		out = srt
+	}
+	if q.Limit > 0 {
+		out = c.b.Op1("algebra", "topn", out, c.limitArg)
+	}
+	for _, it := range q.Items {
+		name := exportName(it)
+		c.b.Do("sql", "exportCol", c.cs(name), c.project(it.Col, out))
+	}
+	return nil
+}
+
+func exportName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg == "" {
+		return it.Col
+	}
+	if it.Col == "" {
+		return it.Agg
+	}
+	return it.Agg + "_" + it.Col
+}

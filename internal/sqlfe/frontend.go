@@ -1,0 +1,70 @@
+package sqlfe
+
+import (
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/mal"
+)
+
+// Frontend compiles SQL text into cached query templates. The cache
+// keys on the query *shape* — the text with literals stripped — so
+// different instances of the same parametrised query reuse one
+// template, exactly as the paper's SQL front end does (§2.2). This is
+// what lets the recycler match instructions across instances.
+type Frontend struct {
+	cat *catalog.Catalog
+
+	mu    sync.Mutex
+	cache map[string]*mal.Template
+	// hits/misses instrument the query cache.
+	Hits, Misses int
+}
+
+// NewFrontend creates a front end over the catalog.
+func NewFrontend(cat *catalog.Catalog) *Frontend {
+	return &Frontend{cat: cat, cache: make(map[string]*mal.Template)}
+}
+
+// Compile parses the SQL text and returns the (cached) template plus
+// this instance's parameter values.
+func (f *Frontend) Compile(src string) (*mal.Template, []mal.Value, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	shape := q.Shape()
+
+	f.mu.Lock()
+	cached, ok := f.cache[shape]
+	f.mu.Unlock()
+	if ok {
+		f.mu.Lock()
+		f.Hits++
+		f.mu.Unlock()
+		// Extract this instance's parameter values without rebuilding
+		// the plan.
+		_, params, err := Compile(f.cat, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cached, params, nil
+	}
+
+	tmpl, params, err := Compile(f.cat, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.mu.Lock()
+	f.Misses++
+	f.cache[shape] = tmpl
+	f.mu.Unlock()
+	return tmpl, params, nil
+}
+
+// CacheSize returns the number of cached templates.
+func (f *Frontend) CacheSize() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cache)
+}

@@ -1,0 +1,351 @@
+// Package tpch provides the TPC-H substrate of the reproduction: a
+// deterministic, scale-factor-driven data generator for the eight
+// benchmark tables, the 22 query templates hand-compiled to MAL plans
+// (as the SQL front end of the paper's system would produce them), the
+// benchmark's parameter generator, and the RF1/RF2 refresh functions
+// used by the update experiments (paper §7).
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+)
+
+// Schema name used for all TPC-H tables.
+const Schema = "sys"
+
+// Regions and nations follow the benchmark's fixed tables.
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationDefs = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP PACK", "JUMBO PKG"}
+	typeSyl1   = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2   = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3   = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	brandNums  = 5
+	nameParts  = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow"}
+)
+
+// Dates span 1992-01-01 .. 1998-12-31 as in the benchmark.
+var (
+	startDate = algebra.MkDate(1992, 1, 1)
+	endDate   = algebra.MkDate(1998, 12, 31)
+)
+
+// DB is a generated TPC-H database plus the bookkeeping the refresh
+// functions need.
+type DB struct {
+	Cat *catalog.Catalog
+	SF  float64
+
+	Customers int
+	Orders    int
+	Parts     int
+	Suppliers int
+	Lineitems int
+
+	rng          *rand.Rand
+	nextOrderKey int64
+	// liveOrderKeys tracks insertable/deletable keys for RF1/RF2.
+	liveOrderKeys []int64
+}
+
+// Generate builds a database at the given scale factor with a fixed
+// seed, loading all eight tables and defining the key and join
+// indices the query plans use.
+func Generate(sf float64, seed int64) *DB {
+	if sf <= 0 {
+		sf = 0.01
+	}
+	db := &DB{Cat: catalog.New(), SF: sf, rng: rand.New(rand.NewSource(seed))}
+	db.Customers = scaled(sf, 150000)
+	db.Suppliers = scaled(sf, 10000)
+	db.Parts = scaled(sf, 200000)
+	db.Orders = db.Customers * 10
+
+	db.genRegionNation()
+	db.genSupplier()
+	db.genCustomer()
+	db.genPart()
+	db.genPartsupp()
+	db.genOrdersLineitem()
+	db.defineIndices()
+	return db
+}
+
+func scaled(sf float64, base int) int {
+	n := int(sf * float64(base))
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+func (db *DB) pick(ss []string) string { return ss[db.rng.Intn(len(ss))] }
+
+func (db *DB) date() bat.Date {
+	span := int(endDate - startDate)
+	return startDate + bat.Date(db.rng.Intn(span))
+}
+
+func (db *DB) genRegionNation() {
+	region := db.Cat.CreateTable(Schema, "region", []catalog.ColDef{
+		{Name: "r_regionkey", Kind: bat.KInt, Sorted: true},
+		{Name: "r_name", Kind: bat.KStr},
+	})
+	rows := make([]catalog.Row, len(regionNames))
+	for i, n := range regionNames {
+		rows[i] = catalog.Row{"r_regionkey": int64(i), "r_name": n}
+	}
+	region.Append(rows)
+
+	nation := db.Cat.CreateTable(Schema, "nation", []catalog.ColDef{
+		{Name: "n_nationkey", Kind: bat.KInt, Sorted: true},
+		{Name: "n_name", Kind: bat.KStr},
+		{Name: "n_regionkey", Kind: bat.KInt},
+	})
+	rows = make([]catalog.Row, len(nationDefs))
+	for i, n := range nationDefs {
+		rows[i] = catalog.Row{"n_nationkey": int64(i), "n_name": n.name, "n_regionkey": int64(n.region)}
+	}
+	nation.Append(rows)
+}
+
+func (db *DB) genSupplier() {
+	t := db.Cat.CreateTable(Schema, "supplier", []catalog.ColDef{
+		{Name: "s_suppkey", Kind: bat.KInt, Sorted: true},
+		{Name: "s_name", Kind: bat.KStr},
+		{Name: "s_nationkey", Kind: bat.KInt},
+		{Name: "s_acctbal", Kind: bat.KFloat},
+		{Name: "s_comment", Kind: bat.KStr},
+	})
+	rows := make([]catalog.Row, db.Suppliers)
+	for i := range rows {
+		comment := "supplier " + db.pick(nameParts)
+		if db.rng.Intn(200) < 1 {
+			comment = "Customer Complaints " + comment
+		}
+		rows[i] = catalog.Row{
+			"s_suppkey":   int64(i + 1),
+			"s_name":      fmt.Sprintf("Supplier#%09d", i+1),
+			"s_nationkey": int64(db.rng.Intn(len(nationDefs))),
+			"s_acctbal":   float64(db.rng.Intn(110000))/10 - 1000,
+			"s_comment":   comment,
+		}
+	}
+	t.Append(rows)
+}
+
+func (db *DB) genCustomer() {
+	t := db.Cat.CreateTable(Schema, "customer", []catalog.ColDef{
+		{Name: "c_custkey", Kind: bat.KInt, Sorted: true},
+		{Name: "c_name", Kind: bat.KStr},
+		{Name: "c_nationkey", Kind: bat.KInt},
+		{Name: "c_mktsegment", Kind: bat.KStr},
+		{Name: "c_acctbal", Kind: bat.KFloat},
+		{Name: "c_phone", Kind: bat.KStr},
+	})
+	rows := make([]catalog.Row, db.Customers)
+	for i := range rows {
+		nk := db.rng.Intn(len(nationDefs))
+		rows[i] = catalog.Row{
+			"c_custkey":    int64(i + 1),
+			"c_name":       fmt.Sprintf("Customer#%09d", i+1),
+			"c_nationkey":  int64(nk),
+			"c_mktsegment": db.pick(segments),
+			"c_acctbal":    float64(db.rng.Intn(110000))/10 - 1000,
+			"c_phone":      fmt.Sprintf("%02d-%03d-%03d-%04d", nk+10, db.rng.Intn(1000), db.rng.Intn(1000), db.rng.Intn(10000)),
+		}
+	}
+	t.Append(rows)
+}
+
+func (db *DB) genPart() {
+	t := db.Cat.CreateTable(Schema, "part", []catalog.ColDef{
+		{Name: "p_partkey", Kind: bat.KInt, Sorted: true},
+		{Name: "p_name", Kind: bat.KStr},
+		{Name: "p_brand", Kind: bat.KStr},
+		{Name: "p_type", Kind: bat.KStr},
+		{Name: "p_size", Kind: bat.KInt},
+		{Name: "p_container", Kind: bat.KStr},
+		{Name: "p_retailprice", Kind: bat.KFloat},
+	})
+	rows := make([]catalog.Row, db.Parts)
+	for i := range rows {
+		rows[i] = catalog.Row{
+			"p_partkey":     int64(i + 1),
+			"p_name":        db.pick(nameParts) + " " + db.pick(nameParts) + " " + db.pick(nameParts),
+			"p_brand":       fmt.Sprintf("Brand#%d%d", db.rng.Intn(brandNums)+1, db.rng.Intn(brandNums)+1),
+			"p_type":        db.pick(typeSyl1) + " " + db.pick(typeSyl2) + " " + db.pick(typeSyl3),
+			"p_size":        int64(db.rng.Intn(50) + 1),
+			"p_container":   db.pick(containers),
+			"p_retailprice": 900 + float64(i%1000) + float64(db.rng.Intn(100))/100,
+		}
+	}
+	t.Append(rows)
+}
+
+func (db *DB) genPartsupp() {
+	t := db.Cat.CreateTable(Schema, "partsupp", []catalog.ColDef{
+		{Name: "ps_partkey", Kind: bat.KInt, Sorted: true},
+		{Name: "ps_suppkey", Kind: bat.KInt},
+		{Name: "ps_availqty", Kind: bat.KInt},
+		{Name: "ps_supplycost", Kind: bat.KFloat},
+	})
+	rows := make([]catalog.Row, 0, db.Parts*4)
+	for p := 1; p <= db.Parts; p++ {
+		for s := 0; s < 4; s++ {
+			rows = append(rows, catalog.Row{
+				"ps_partkey":    int64(p),
+				"ps_suppkey":    int64((p+s*(db.Suppliers/4+1))%db.Suppliers + 1),
+				"ps_availqty":   int64(db.rng.Intn(9999) + 1),
+				"ps_supplycost": 1 + float64(db.rng.Intn(99900))/100,
+			})
+		}
+	}
+	t.Append(rows)
+}
+
+func (db *DB) genOrdersLineitem() {
+	orders := db.Cat.CreateTable(Schema, "orders", []catalog.ColDef{
+		{Name: "o_orderkey", Kind: bat.KInt, Sorted: true},
+		{Name: "o_custkey", Kind: bat.KInt},
+		{Name: "o_orderstatus", Kind: bat.KStr},
+		{Name: "o_totalprice", Kind: bat.KFloat},
+		{Name: "o_orderdate", Kind: bat.KDate},
+		{Name: "o_orderpriority", Kind: bat.KStr},
+		{Name: "o_comment", Kind: bat.KStr},
+	})
+	li := db.Cat.CreateTable(Schema, "lineitem", []catalog.ColDef{
+		{Name: "l_orderkey", Kind: bat.KInt, Sorted: true},
+		{Name: "l_partkey", Kind: bat.KInt},
+		{Name: "l_suppkey", Kind: bat.KInt},
+		{Name: "l_quantity", Kind: bat.KInt},
+		{Name: "l_extendedprice", Kind: bat.KFloat},
+		{Name: "l_discount", Kind: bat.KFloat},
+		{Name: "l_tax", Kind: bat.KFloat},
+		{Name: "l_returnflag", Kind: bat.KStr},
+		{Name: "l_linestatus", Kind: bat.KStr},
+		{Name: "l_shipdate", Kind: bat.KDate},
+		{Name: "l_commitdate", Kind: bat.KDate},
+		{Name: "l_receiptdate", Kind: bat.KDate},
+		{Name: "l_shipinstruct", Kind: bat.KStr},
+		{Name: "l_shipmode", Kind: bat.KStr},
+	})
+
+	oRows := make([]catalog.Row, 0, db.Orders)
+	lRows := make([]catalog.Row, 0, db.Orders*4)
+	for o := 0; o < db.Orders; o++ {
+		key := int64(o + 1)
+		oRows = append(oRows, db.orderRow(key))
+		db.liveOrderKeys = append(db.liveOrderKeys, key)
+		nl := db.rng.Intn(7) + 1
+		for l := 0; l < nl; l++ {
+			lRows = append(lRows, db.lineitemRow(key, l, oRows[len(oRows)-1]["o_orderdate"].(bat.Date)))
+		}
+	}
+	db.nextOrderKey = int64(db.Orders + 1)
+	db.Lineitems = len(lRows)
+	orders.Append(oRows)
+	li.Append(lRows)
+}
+
+func (db *DB) orderRow(key int64) catalog.Row {
+	d := db.date()
+	status := "O"
+	if db.rng.Intn(2) == 0 {
+		status = "F"
+	}
+	return catalog.Row{
+		"o_orderkey":      key,
+		"o_custkey":       int64(db.rng.Intn(db.Customers) + 1),
+		"o_orderstatus":   status,
+		"o_totalprice":    1000 + float64(db.rng.Intn(400000))/100,
+		"o_orderdate":     d,
+		"o_orderpriority": db.pick(priorities),
+		"o_comment":       db.pick(nameParts) + " requests " + db.pick(nameParts),
+	}
+}
+
+func (db *DB) lineitemRow(orderKey int64, line int, orderDate bat.Date) catalog.Row {
+	ship := orderDate + bat.Date(db.rng.Intn(121)+1)
+	commit := orderDate + bat.Date(db.rng.Intn(91)+30)
+	receipt := ship + bat.Date(db.rng.Intn(30)+1)
+	rf := "N"
+	if receipt <= algebra.MkDate(1995, 6, 17) {
+		if db.rng.Intn(2) == 0 {
+			rf = "R"
+		} else {
+			rf = "A"
+		}
+	}
+	ls := "O"
+	if ship <= algebra.MkDate(1995, 6, 17) {
+		ls = "F"
+	}
+	qty := int64(db.rng.Intn(50) + 1)
+	price := float64(qty) * (900 + float64(db.rng.Intn(10000))/10)
+	return catalog.Row{
+		"l_orderkey":      orderKey,
+		"l_partkey":       int64(db.rng.Intn(db.Parts) + 1),
+		"l_suppkey":       int64(db.rng.Intn(db.Suppliers) + 1),
+		"l_quantity":      qty,
+		"l_extendedprice": price,
+		"l_discount":      float64(db.rng.Intn(11)) / 100,
+		"l_tax":           float64(db.rng.Intn(9)) / 100,
+		"l_returnflag":    rf,
+		"l_linestatus":    ls,
+		"l_shipdate":      ship,
+		"l_commitdate":    commit,
+		"l_receiptdate":   receipt,
+		"l_shipinstruct":  db.pick(instructs),
+		"l_shipmode":      db.pick(shipmodes),
+	}
+}
+
+func (db *DB) defineIndices() {
+	c := db.Cat
+	orders := c.MustTable(Schema, "orders")
+	li := c.MustTable(Schema, "lineitem")
+	cust := c.MustTable(Schema, "customer")
+	supp := c.MustTable(Schema, "supplier")
+	nation := c.MustTable(Schema, "nation")
+	region := c.MustTable(Schema, "region")
+	part := c.MustTable(Schema, "part")
+	ps := c.MustTable(Schema, "partsupp")
+
+	orders.DefineKeyIndex("o_orderkey")
+	li.DefineJoinIndex("li_fk_orders", "l_orderkey", orders, "o_orderkey")
+	li.DefineJoinIndex("li_fk_part", "l_partkey", part, "p_partkey")
+	li.DefineJoinIndex("li_fk_supp", "l_suppkey", supp, "s_suppkey")
+	orders.DefineJoinIndex("o_fk_cust", "o_custkey", cust, "c_custkey")
+	cust.DefineJoinIndex("c_fk_nation", "c_nationkey", nation, "n_nationkey")
+	supp.DefineJoinIndex("s_fk_nation", "s_nationkey", nation, "n_nationkey")
+	nation.DefineJoinIndex("n_fk_region", "n_regionkey", region, "r_regionkey")
+	ps.DefineJoinIndex("ps_fk_part", "ps_partkey", part, "p_partkey")
+	ps.DefineJoinIndex("ps_fk_supp", "ps_suppkey", supp, "s_suppkey")
+}
+
+// Table is a convenience accessor.
+func (db *DB) Table(name string) *catalog.Table { return db.Cat.MustTable(Schema, name) }

@@ -1,0 +1,676 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/opt"
+)
+
+// QueryDef bundles one benchmark query: its compiled template and a
+// parameter generator following the TPC-H substitution rules (which
+// drive how much overlap exists between instances — the inter-query
+// commonality of Table II).
+type QueryDef struct {
+	Num    int
+	Name   string
+	Templ  *mal.Template
+	Params func(rng *rand.Rand) []mal.Value
+}
+
+// Queries compiles all 22 query templates. Templates are simplified to
+// their core filter/join/aggregate structure but keep the parameter
+// positions and the (intra/inter) commonality profile of the paper's
+// workload analysis.
+func Queries() []*QueryDef {
+	defs := []*QueryDef{
+		q1(), q2(), q3(), q4(), q5(), q6(), q7(), q8(), q9(), q10(), q11(),
+		q12(), q13(), q14(), q15(), q16(), q17(), q18(), q19(), q20(), q21(), q22(),
+	}
+	for _, d := range defs {
+		opt.Optimize(d.Templ, opt.Options{})
+	}
+	return defs
+}
+
+// QueryMap returns the queries keyed by number.
+func QueryMap() map[int]*QueryDef {
+	m := make(map[int]*QueryDef, 22)
+	for _, d := range Queries() {
+		m[d.Num] = d
+	}
+	return m
+}
+
+// --- builder helpers -------------------------------------------------
+
+type qb struct{ b *mal.Builder }
+
+func newQ(name string) qb { return qb{b: mal.NewBuilder(name)} }
+
+func cs(s string) mal.Arg      { return mal.C(mal.StrV(s)) }
+func ci(i int64) mal.Arg       { return mal.C(mal.IntV(i)) }
+func cf(f float64) mal.Arg     { return mal.C(mal.FloatV(f)) }
+func cb(v bool) mal.Arg        { return mal.C(mal.BoolV(v)) }
+func cd(d bat.Date) mal.Arg    { return mal.C(mal.DateV(d)) }
+func co(o bat.Oid) mal.Arg     { return mal.C(mal.OidV(o)) }
+func openB() mal.Arg           { return mal.C(mal.VoidV()) }
+func date(y, m, d int) mal.Arg { return cd(algebra.MkDate(y, m, d)) }
+
+func (q qb) bind(table, col string) mal.Arg {
+	return q.b.Op1("sql", "bind", cs(Schema), cs(table), cs(col), ci(0))
+}
+func (q qb) bindIdx(table, idx string) mal.Arg {
+	return q.b.Op1("sql", "bindIdxbat", cs(Schema), cs(table), cs(idx))
+}
+func (q qb) sel(b, lo, hi mal.Arg, incLo, incHi bool) mal.Arg {
+	return q.b.Op1("algebra", "select", b, lo, hi, cb(incLo), cb(incHi))
+}
+func (q qb) uselect(b, v mal.Arg) mal.Arg  { return q.b.Op1("algebra", "uselect", b, v) }
+func (q qb) like(b, pat mal.Arg) mal.Arg   { return q.b.Op1("algebra", "likeselect", b, pat) }
+func (q qb) notlike(b, p mal.Arg) mal.Arg  { return q.b.Op1("algebra", "notlikeselect", b, p) }
+func (q qb) join(l, r mal.Arg) mal.Arg     { return q.b.Op1("algebra", "join", l, r) }
+func (q qb) semi(l, r mal.Arg) mal.Arg     { return q.b.Op1("algebra", "semijoin", l, r) }
+func (q qb) anti(l, r mal.Arg) mal.Arg     { return q.b.Op1("algebra", "antisemijoin", l, r) }
+func (q qb) union(l, r mal.Arg) mal.Arg    { return q.b.Op1("algebra", "union", l, r) }
+func (q qb) reverse(b mal.Arg) mal.Arg     { return q.b.Op1("bat", "reverse", b) }
+func (q qb) mirror(b mal.Arg) mal.Arg      { return q.b.Op1("bat", "mirror", b) }
+func (q qb) markT(b mal.Arg) mal.Arg       { return q.b.Op1("algebra", "markT", b, co(0)) }
+func (q qb) kunique(b mal.Arg) mal.Arg     { return q.b.Op1("algebra", "kunique", b) }
+func (q qb) groupNew(b mal.Arg) mal.Arg    { return q.b.Op1("group", "new", b) }
+func (q qb) groupDer(g, b mal.Arg) mal.Arg { return q.b.Op1("group", "derive", g, b) }
+func (q qb) groupHeads(g, b mal.Arg) mal.Arg {
+	return q.b.Op1("group", "heads", g, b)
+}
+func (q qb) aggrSum(v, g mal.Arg) mal.Arg { return q.b.Op1("aggr", "sum", v, g) }
+func (q qb) aggrAvg(v, g mal.Arg) mal.Arg { return q.b.Op1("aggr", "avg", v, g) }
+func (q qb) aggrCountG(g mal.Arg) mal.Arg { return q.b.Op1("aggr", "countGrp", g) }
+func (q qb) count(b mal.Arg) mal.Arg      { return q.b.Op1("aggr", "count", b) }
+func (q qb) sumFlt(b mal.Arg) mal.Arg     { return q.b.Op1("aggr", "sumFlt", b) }
+func (q qb) avgFlt(b mal.Arg) mal.Arg     { return q.b.Op1("aggr", "avgFlt", b) }
+func (q qb) mul(a, b mal.Arg) mal.Arg     { return q.b.Op1("batcalc", "mul", a, b) }
+func (q qb) oneMinus(b mal.Arg) mal.Arg   { return q.b.Op1("batcalc", "csub", cf(1), b) }
+func (q qb) int2dbl(b mal.Arg) mal.Arg    { return q.b.Op1("batcalc", "int2dbl", b) }
+func (q qb) lt(a, b mal.Arg) mal.Arg      { return q.b.Op1("batcalc", "lt", a, b) }
+func (q qb) sort(b mal.Arg, asc bool) mal.Arg {
+	return q.b.Op1("algebra", "sort", b, cb(asc))
+}
+func (q qb) topn(b mal.Arg, n int64) mal.Arg { return q.b.Op1("algebra", "topn", b, ci(n)) }
+func (q qb) addMonths(d, n mal.Arg) mal.Arg  { return q.b.Op1("mtime", "addmonths", d, n) }
+func (q qb) exportVal(name string, v mal.Arg) {
+	q.b.Do("sql", "exportValue", cs(name), v)
+}
+func (q qb) exportCol(name string, v mal.Arg) {
+	q.b.Do("sql", "exportCol", cs(name), v)
+}
+
+// revenue computes extendedprice*(1-discount) for the qualifying rows
+// Q (a BAT whose head holds lineitem oids).
+func (q qb) revenue(rows mal.Arg) mal.Arg {
+	price := q.semi(q.bind("lineitem", "l_extendedprice"), rows)
+	disc := q.semi(q.bind("lineitem", "l_discount"), rows)
+	return q.mul(price, q.oneMinus(disc))
+}
+
+func rdate(rng *rand.Rand, yLo, yHi int) mal.Value {
+	y := yLo + rng.Intn(yHi-yLo+1)
+	m := rng.Intn(12) + 1
+	return mal.DateV(algebra.MkDate(y, m, 1))
+}
+
+// --- the 22 queries ----------------------------------------------------
+
+// Q1: pricing summary report. Param: shipdate upper bound
+// (1998-12-01 - delta days).
+func q1() *QueryDef {
+	q := newQ("q01")
+	a0 := q.b.Param("A0", mal.VDate)
+	ship := q.bind("lineitem", "l_shipdate")
+	rows := q.sel(ship, openB(), a0, true, true)
+	rf := q.semi(q.bind("lineitem", "l_returnflag"), rows)
+	ls := q.semi(q.bind("lineitem", "l_linestatus"), rows)
+	g1 := q.groupNew(rf)
+	g2 := q.groupDer(g1, ls)
+	qty := q.int2dbl(q.semi(q.bind("lineitem", "l_quantity"), rows))
+	price := q.semi(q.bind("lineitem", "l_extendedprice"), rows)
+	disc := q.semi(q.bind("lineitem", "l_discount"), rows)
+	rev := q.mul(price, q.oneMinus(disc))
+	q.exportCol("sum_qty", q.aggrSum(qty, g2))
+	q.exportCol("sum_base_price", q.aggrSum(price, g2))
+	q.exportCol("sum_disc_price", q.aggrSum(rev, g2))
+	q.exportCol("avg_qty", q.aggrAvg(qty, g2))
+	q.exportCol("count_order", q.aggrCountG(g2))
+	return &QueryDef{Num: 1, Name: "q01", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		delta := 60 + rng.Intn(61)
+		return []mal.Value{mal.DateV(algebra.MkDate(1998, 12, 1) - bat.Date(delta))}
+	}}
+}
+
+// Q2: minimum cost supplier. Params: size, type suffix, region.
+func q2() *QueryDef {
+	q := newQ("q02")
+	a0 := q.b.Param("A0", mal.VInt)
+	a1 := q.b.Param("A1", mal.VStr)
+	a2 := q.b.Param("A2", mal.VStr)
+	psize := q.uselect(q.bind("part", "p_size"), a0)
+	ptype := q.semi(q.bind("part", "p_type"), psize)
+	psel := q.like(ptype, a1)
+	psIdxP := q.bindIdx("partsupp", "ps_fk_part")
+	psRows := q.join(psIdxP, psel)
+	cost := q.semi(q.bind("partsupp", "ps_supplycost"), psRows)
+	rsel := q.uselect(q.bind("region", "r_name"), a2)
+	nInR := q.join(q.bindIdx("nation", "n_fk_region"), rsel)
+	sInR := q.join(q.bindIdx("supplier", "s_fk_nation"), nInR)
+	psSupp := q.join(q.bindIdx("partsupp", "ps_fk_supp"), sInR)
+	qual := q.semi(cost, psSupp)
+	top := q.topn(q.sort(qual, true), 1)
+	q.exportCol("min_cost", top)
+	return &QueryDef{Num: 2, Name: "q02", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.IntV(int64(rng.Intn(50) + 1)),
+			mal.StrV("%" + typeSyl3[rng.Intn(len(typeSyl3))]),
+			mal.StrV(regionNames[rng.Intn(len(regionNames))]),
+		}
+	}}
+}
+
+// Q3: shipping priority. Params: segment, date.
+func q3() *QueryDef {
+	q := newQ("q03")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VDate)
+	cseg := q.uselect(q.bind("customer", "c_mktsegment"), a0)
+	oCust := q.join(q.bindIdx("orders", "o_fk_cust"), cseg)
+	odate := q.semi(q.bind("orders", "o_orderdate"), oCust)
+	osel := q.sel(odate, openB(), a1, true, false)
+	liOrd := q.join(q.bindIdx("lineitem", "li_fk_orders"), osel)
+	lship := q.semi(q.bind("lineitem", "l_shipdate"), liOrd)
+	rows := q.sel(lship, a1, openB(), false, true)
+	rev := q.revenue(rows)
+	q.exportVal("revenue", q.sumFlt(rev))
+	return &QueryDef{Num: 3, Name: "q03", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.StrV(segments[rng.Intn(len(segments))]),
+			mal.DateV(algebra.MkDate(1995, 3, 1) + bat.Date(rng.Intn(31))),
+		}
+	}}
+}
+
+// Q4: order priority checking. Param: quarter start. The
+// commit<receipt scan is parameter independent, giving Q4 its large
+// inter-query overlap (41.7% in Table II).
+func q4() *QueryDef {
+	q := newQ("q04")
+	a0 := q.b.Param("A0", mal.VDate)
+	late := q.uselect(q.lt(q.bind("lineitem", "l_commitdate"), q.bind("lineitem", "l_receiptdate")), cb(true))
+	lo := q.semi(q.bindIdx("lineitem", "li_fk_orders"), late)
+	lateOrds := q.kunique(q.reverse(lo))
+	hi := q.addMonths(a0, ci(3))
+	osel := q.sel(q.bind("orders", "o_orderdate"), a0, hi, true, false)
+	qual := q.semi(osel, lateOrds)
+	prio := q.semi(q.bind("orders", "o_orderpriority"), qual)
+	g := q.groupNew(prio)
+	q.exportCol("order_count", q.aggrCountG(g))
+	return &QueryDef{Num: 4, Name: "q04", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{rdate(rng, 1993, 1997)}
+	}}
+}
+
+// Q5: local supplier volume. Params: region, year start.
+func q5() *QueryDef {
+	q := newQ("q05")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VDate)
+	rsel := q.uselect(q.bind("region", "r_name"), a0)
+	nInR := q.join(q.bindIdx("nation", "n_fk_region"), rsel)
+	custInR := q.join(q.bindIdx("customer", "c_fk_nation"), nInR)
+	ordOfCust := q.join(q.bindIdx("orders", "o_fk_cust"), custInR)
+	odate := q.semi(q.bind("orders", "o_orderdate"), ordOfCust)
+	hi := q.addMonths(a1, ci(12))
+	osel := q.sel(odate, a1, hi, true, false)
+	li := q.join(q.bindIdx("lineitem", "li_fk_orders"), osel)
+	suppInR := q.join(q.bindIdx("supplier", "s_fk_nation"), nInR)
+	liSupp := q.semi(q.bindIdx("lineitem", "li_fk_supp"), li)
+	rows := q.join(liSupp, suppInR)
+	rev := q.revenue(rows)
+	q.exportVal("revenue", q.sumFlt(rev))
+	return &QueryDef{Num: 5, Name: "q05", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.StrV(regionNames[rng.Intn(len(regionNames))]),
+			mal.DateV(algebra.MkDate(1993+rng.Intn(5), 1, 1)),
+		}
+	}}
+}
+
+// Q6: forecasting revenue change. Params: year start, discount
+// bounds, quantity cap. Fully parameter dependent: no reuse (Table II
+// shows 0/0).
+func q6() *QueryDef {
+	q := newQ("q06")
+	a0 := q.b.Param("A0", mal.VDate)
+	a1 := q.b.Param("A1", mal.VFloat)
+	a2 := q.b.Param("A2", mal.VFloat)
+	a3 := q.b.Param("A3", mal.VInt)
+	hi := q.addMonths(a0, ci(12))
+	s1 := q.sel(q.bind("lineitem", "l_shipdate"), a0, hi, true, false)
+	disc := q.semi(q.bind("lineitem", "l_discount"), s1)
+	s2 := q.sel(disc, a1, a2, true, true)
+	qty := q.semi(q.bind("lineitem", "l_quantity"), s2)
+	s3 := q.sel(qty, openB(), a3, true, false)
+	price := q.semi(q.bind("lineitem", "l_extendedprice"), s3)
+	discQ := q.semi(s2, s3)
+	rev := q.mul(price, discQ)
+	q.exportVal("revenue", q.sumFlt(rev))
+	return &QueryDef{Num: 6, Name: "q06", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		d := float64(2+rng.Intn(8)) / 100
+		return []mal.Value{
+			mal.DateV(algebra.MkDate(1993+rng.Intn(5), 1, 1)),
+			mal.FloatV(d - 0.01), mal.FloatV(d + 0.01),
+			mal.IntV(int64(24 + rng.Intn(2))),
+		}
+	}}
+}
+
+// Q7: volume shipping between two nations. Params: the two nations.
+// The 1995-1996 shipdate window is constant, and the two symmetric
+// directions share structure (intra + inter overlap).
+func q7() *QueryDef {
+	q := newQ("q07")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VStr)
+	nname := q.bind("nation", "n_name")
+	direction := func(suppNation, custNation mal.Arg) mal.Arg {
+		ns := q.uselect(nname, suppNation)
+		nc := q.uselect(nname, custNation)
+		suppN := q.join(q.bindIdx("supplier", "s_fk_nation"), ns)
+		custN := q.join(q.bindIdx("customer", "c_fk_nation"), nc)
+		shipsel := q.sel(q.bind("lineitem", "l_shipdate"), date(1995, 1, 1), date(1996, 12, 31), true, true)
+		lis := q.semi(q.bindIdx("lineitem", "li_fk_supp"), shipsel)
+		lisN := q.join(lis, suppN)
+		ordC := q.join(q.bindIdx("orders", "o_fk_cust"), custN)
+		liOrd := q.semi(q.bindIdx("lineitem", "li_fk_orders"), lisN)
+		rows := q.join(liOrd, ordC)
+		return q.sumFlt(q.revenue(rows))
+	}
+	v1 := direction(a0, a1)
+	v2 := direction(a1, a0)
+	q.exportVal("volume1", v1)
+	q.exportVal("volume2", v2)
+	return &QueryDef{Num: 7, Name: "q07", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		i := rng.Intn(len(nationDefs))
+		j := (i + 1 + rng.Intn(len(nationDefs)-1)) % len(nationDefs)
+		return []mal.Value{mal.StrV(nationDefs[i].name), mal.StrV(nationDefs[j].name)}
+	}}
+}
+
+// Q8: national market share. Params: nation, type. The order-date
+// window 1995..1996 is constant.
+func q8() *QueryDef {
+	q := newQ("q08")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VStr)
+	psel := q.uselect(q.bind("part", "p_type"), a1)
+	liPart := q.join(q.bindIdx("lineitem", "li_fk_part"), psel)
+	osel := q.sel(q.bind("orders", "o_orderdate"), date(1995, 1, 1), date(1996, 12, 31), true, true)
+	liOrd := q.semi(q.bindIdx("lineitem", "li_fk_orders"), liPart)
+	rows := q.join(liOrd, osel)
+	revAll := q.sumFlt(q.revenue(rows))
+	nsel := q.uselect(q.bind("nation", "n_name"), a0)
+	suppN := q.join(q.bindIdx("supplier", "s_fk_nation"), nsel)
+	liSupp := q.semi(q.bindIdx("lineitem", "li_fk_supp"), rows)
+	rowsN := q.join(liSupp, suppN)
+	revN := q.sumFlt(q.revenue(rowsN))
+	q.exportVal("total_volume", revAll)
+	q.exportVal("nation_volume", revN)
+	return &QueryDef{Num: 8, Name: "q08", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		n := nationDefs[rng.Intn(len(nationDefs))]
+		ptype := typeSyl1[rng.Intn(len(typeSyl1))] + " " + typeSyl2[rng.Intn(len(typeSyl2))] + " " + typeSyl3[rng.Intn(len(typeSyl3))]
+		return []mal.Value{mal.StrV(n.name), mal.StrV(ptype)}
+	}}
+}
+
+// Q9: product type profit. Param: part-name fragment.
+func q9() *QueryDef {
+	q := newQ("q09")
+	a0 := q.b.Param("A0", mal.VStr)
+	psel := q.like(q.bind("part", "p_name"), a0)
+	rows := q.join(q.bindIdx("lineitem", "li_fk_part"), psel)
+	rev := q.revenue(rows)
+	liNat := q.join(q.semi(q.bindIdx("lineitem", "li_fk_supp"), rows), q.bindIdx("supplier", "s_fk_nation"))
+	liNatName := q.join(liNat, q.bind("nation", "n_name"))
+	g := q.groupNew(liNatName)
+	q.exportCol("profit_by_nation", q.aggrSum(rev, g))
+	return &QueryDef{Num: 9, Name: "q09", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{mal.StrV("%" + nameParts[rng.Intn(len(nameParts))] + "%")}
+	}}
+}
+
+// Q10: returned item reporting. Param: quarter start. The
+// returnflag='R' selection is constant and expensive.
+func q10() *QueryDef {
+	q := newQ("q10")
+	a0 := q.b.Param("A0", mal.VDate)
+	rf := q.uselect(q.bind("lineitem", "l_returnflag"), cs("R"))
+	hi := q.addMonths(a0, ci(3))
+	osel := q.sel(q.bind("orders", "o_orderdate"), a0, hi, true, false)
+	liOrd := q.semi(q.bindIdx("lineitem", "li_fk_orders"), rf)
+	rows := q.join(liOrd, osel)
+	rev := q.revenue(rows)
+	liCust := q.join(q.semi(q.bindIdx("lineitem", "li_fk_orders"), rows), q.bindIdx("orders", "o_fk_cust"))
+	g := q.groupNew(liCust)
+	q.exportCol("revenue_by_cust", q.aggrSum(rev, g))
+	return &QueryDef{Num: 10, Name: "q10", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		y := 1993 + rng.Intn(3)
+		m := []int{1, 4, 7, 10}[rng.Intn(4)]
+		return []mal.Value{mal.DateV(algebra.MkDate(y, m, 1))}
+	}}
+}
+
+// Q11: important stock identification. Param: nation. The value chain
+// is emitted twice (sub-query and outer block), yielding Q11's large
+// intra-query overlap (33.3% in Table II).
+func q11() *QueryDef {
+	q := newQ("q11")
+	a0 := q.b.Param("A0", mal.VStr)
+	valueChain := func() (mal.Arg, mal.Arg) {
+		nsel := q.uselect(q.bind("nation", "n_name"), a0)
+		suppN := q.join(q.bindIdx("supplier", "s_fk_nation"), nsel)
+		psRows := q.join(q.bindIdx("partsupp", "ps_fk_supp"), suppN)
+		cost := q.semi(q.bind("partsupp", "ps_supplycost"), psRows)
+		qty := q.int2dbl(q.semi(q.bind("partsupp", "ps_availqty"), psRows))
+		return q.mul(cost, qty), psRows
+	}
+	// Sub-query: total value.
+	valInner, _ := valueChain()
+	total := q.sumFlt(valInner)
+	thr := q.b.Op1("calc", "mulFlt", total, cf(0.0001))
+	// Outer block: per-part value (same chain re-emitted).
+	valOuter, psRows := valueChain()
+	pk := q.semi(q.bind("partsupp", "ps_partkey"), psRows)
+	g := q.groupNew(pk)
+	sums := q.aggrSum(valOuter, g)
+	bigs := q.sel(sums, thr, openB(), false, true)
+	q.exportVal("num_big_parts", q.count(bigs))
+	return &QueryDef{Num: 11, Name: "q11", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{mal.StrV(nationDefs[rng.Intn(len(nationDefs))].name)}
+	}}
+}
+
+// Q12: shipping modes and order priority. Params: two shipmodes,
+// year. The commit/receipt/ship comparisons are constant scans shared
+// with Q4/Q21 instances.
+func q12() *QueryDef {
+	q := newQ("q12")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VStr)
+	a2 := q.b.Param("A2", mal.VDate)
+	sm := q.bind("lineitem", "l_shipmode")
+	mm := q.union(q.uselect(sm, a0), q.uselect(sm, a1))
+	late := q.uselect(q.lt(q.bind("lineitem", "l_commitdate"), q.bind("lineitem", "l_receiptdate")), cb(true))
+	early := q.uselect(q.lt(q.bind("lineitem", "l_shipdate"), q.bind("lineitem", "l_commitdate")), cb(true))
+	x1 := q.semi(mm, late)
+	x2 := q.semi(x1, early)
+	rdte := q.semi(q.bind("lineitem", "l_receiptdate"), x2)
+	hi := q.addMonths(a2, ci(12))
+	rows := q.sel(rdte, a2, hi, true, false)
+	liOrd := q.semi(q.bindIdx("lineitem", "li_fk_orders"), rows)
+	prio := q.join(liOrd, q.bind("orders", "o_orderpriority"))
+	g := q.groupNew(prio)
+	q.exportCol("line_count", q.aggrCountG(g))
+	return &QueryDef{Num: 12, Name: "q12", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		i := rng.Intn(len(shipmodes))
+		j := (i + 1 + rng.Intn(len(shipmodes)-1)) % len(shipmodes)
+		return []mal.Value{mal.StrV(shipmodes[i]), mal.StrV(shipmodes[j]),
+			mal.DateV(algebra.MkDate(1993+rng.Intn(5), 1, 1))}
+	}}
+}
+
+// Q13: customer distribution. Param: comment pattern from a small
+// domain, so instances repeat (Table II inter 11.8%).
+func q13() *QueryDef {
+	q := newQ("q13")
+	a0 := q.b.Param("A0", mal.VStr)
+	notl := q.notlike(q.bind("orders", "o_comment"), a0)
+	ocust := q.semi(q.bind("orders", "o_custkey"), notl)
+	g := q.groupNew(ocust)
+	cnt := q.aggrCountG(g)
+	g2 := q.groupNew(cnt)
+	q.exportCol("custdist", q.aggrCountG(g2))
+	return &QueryDef{Num: 13, Name: "q13", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		w1 := []string{"special", "pending", "unusual", "express"}[rng.Intn(4)]
+		w2 := []string{"packages", "requests", "accounts", "deposits"}[rng.Intn(4)]
+		return []mal.Value{mal.StrV("%" + w1 + "%" + w2 + "%")}
+	}}
+}
+
+// Q14: promotion effect. Param: month. Nearly fully parameter
+// dependent; the recycler only stores overhead (Fig. 5b).
+func q14() *QueryDef {
+	q := newQ("q14")
+	a0 := q.b.Param("A0", mal.VDate)
+	hi := q.addMonths(a0, ci(1))
+	rows := q.sel(q.bind("lineitem", "l_shipdate"), a0, hi, true, false)
+	liPart := q.semi(q.bindIdx("lineitem", "li_fk_part"), rows)
+	ptypes := q.join(liPart, q.bind("part", "p_type"))
+	promo := q.like(ptypes, cs("PROMO%"))
+	rev := q.revenue(rows)
+	revPromo := q.semi(rev, promo)
+	q.exportVal("promo_revenue", q.sumFlt(revPromo))
+	q.exportVal("total_revenue", q.sumFlt(rev))
+	return &QueryDef{Num: 14, Name: "q14", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{mal.DateV(algebra.MkDate(1993+rng.Intn(5), rng.Intn(12)+1, 1))}
+	}}
+}
+
+// Q15: top supplier. Param: quarter start.
+func q15() *QueryDef {
+	q := newQ("q15")
+	a0 := q.b.Param("A0", mal.VDate)
+	hi := q.addMonths(a0, ci(3))
+	rows := q.sel(q.bind("lineitem", "l_shipdate"), a0, hi, true, false)
+	rev := q.revenue(rows)
+	sk := q.semi(q.bind("lineitem", "l_suppkey"), rows)
+	g := q.groupNew(sk)
+	sums := q.aggrSum(rev, g)
+	q.exportCol("top_supplier", q.topn(q.sort(sums, false), 1))
+	return &QueryDef{Num: 15, Name: "q15", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		y := 1993 + rng.Intn(5)
+		m := []int{1, 4, 7, 10}[rng.Intn(4)]
+		return []mal.Value{mal.DateV(algebra.MkDate(y, m, 1))}
+	}}
+}
+
+// Q16: parts/supplier relationship. Params: brand, type prefix, two
+// sizes. The complaint-supplier scan is constant (inter 42.9%).
+func q16() *QueryDef {
+	q := newQ("q16")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VStr)
+	a2 := q.b.Param("A2", mal.VInt)
+	a3 := q.b.Param("A3", mal.VInt)
+	compl := q.like(q.bind("supplier", "s_comment"), cs("%Customer%Complaints%"))
+	pb := q.notlike(q.bind("part", "p_brand"), a0)
+	pt := q.notlike(q.semi(q.bind("part", "p_type"), pb), a1)
+	sz := q.semi(q.bind("part", "p_size"), pt)
+	ss := q.union(q.uselect(sz, a2), q.uselect(sz, a3))
+	psPart := q.join(q.bindIdx("partsupp", "ps_fk_part"), ss)
+	psSuppOid := q.semi(q.bindIdx("partsupp", "ps_fk_supp"), psPart)
+	good := q.reverse(q.anti(q.reverse(psSuppOid), compl))
+	distinct := q.kunique(q.reverse(q.semi(q.bind("partsupp", "ps_suppkey"), good)))
+	q.exportVal("supplier_cnt", q.count(distinct))
+	return &QueryDef{Num: 16, Name: "q16", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.StrV(fmt.Sprintf("Brand#%d%d", rng.Intn(brandNums)+1, rng.Intn(brandNums)+1)),
+			mal.StrV(typeSyl1[rng.Intn(len(typeSyl1))] + " " + typeSyl2[rng.Intn(len(typeSyl2))] + "%"),
+			mal.IntV(int64(rng.Intn(50) + 1)), mal.IntV(int64(rng.Intn(50) + 1)),
+		}
+	}}
+}
+
+// Q17: small-quantity-order revenue. Params: brand, container.
+func q17() *QueryDef {
+	q := newQ("q17")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VStr)
+	bsel := q.uselect(q.bind("part", "p_brand"), a0)
+	csel := q.uselect(q.semi(q.bind("part", "p_container"), bsel), a1)
+	liP := q.join(q.bindIdx("lineitem", "li_fk_part"), csel)
+	qtyf := q.int2dbl(q.semi(q.bind("lineitem", "l_quantity"), liP))
+	avg := q.avgFlt(qtyf)
+	thr := q.b.Op1("calc", "mulFlt", avg, cf(0.2))
+	small := q.sel(qtyf, openB(), thr, true, false)
+	price := q.semi(q.bind("lineitem", "l_extendedprice"), small)
+	q.exportVal("avg_yearly", q.sumFlt(price))
+	return &QueryDef{Num: 17, Name: "q17", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.StrV(fmt.Sprintf("Brand#%d%d", rng.Intn(brandNums)+1, rng.Intn(brandNums)+1)),
+			mal.StrV(containers[rng.Intn(len(containers))]),
+		}
+	}}
+}
+
+// Q18: large volume customer. Param: quantity level. Grouping and
+// aggregation over lineitem are parameter independent — the paper's
+// flagship inter-query case (75%, Fig. 4b).
+func q18() *QueryDef {
+	q := newQ("q18")
+	a0 := q.b.Param("A0", mal.VInt)
+	lok := q.bind("lineitem", "l_orderkey")
+	g := q.groupNew(lok)
+	qty := q.bind("lineitem", "l_quantity")
+	sums := q.aggrSum(qty, g)
+	// Parameter-independent order/customer machinery: orderkey, order
+	// row and customer per group — all reusable across instances.
+	gh := q.groupHeads(g, lok)
+	keyval := q.join(gh, lok)
+	orev := q.reverse(q.bind("orders", "o_orderkey"))
+	gOrd := q.join(keyval, orev)
+	gCust := q.join(gOrd, q.bind("orders", "o_custkey"))
+	// Parameter-dependent tail: filter the groups by quantity level.
+	bigs := q.sel(sums, a0, openB(), false, true)
+	bigKeys := q.semi(keyval, bigs)
+	bigCust := q.semi(gCust, bigs)
+	q.exportVal("num_big_orders", q.count(bigKeys))
+	q.exportCol("orderkeys", bigKeys)
+	q.exportCol("custkeys", bigCust)
+	return &QueryDef{Num: 18, Name: "q18", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{mal.IntV(int64(150 + rng.Intn(51)))}
+	}}
+}
+
+// Q19: discounted revenue, three OR branches over brand/quantity with
+// shared constant shipmode/shipinstruct filters — intra- and
+// inter-query overlap (Fig. 5a).
+func q19() *QueryDef {
+	q := newQ("q19")
+	brands := []mal.Arg{q.b.Param("A0", mal.VStr), q.b.Param("A1", mal.VStr), q.b.Param("A2", mal.VStr)}
+	qtys := []mal.Arg{q.b.Param("A3", mal.VInt), q.b.Param("A4", mal.VInt), q.b.Param("A5", mal.VInt)}
+	var sums []mal.Arg
+	for i := 0; i < 3; i++ {
+		// Each OR branch re-emits the constant filters, which the
+		// recycler reuses locally after the first branch.
+		inst := q.uselect(q.bind("lineitem", "l_shipinstruct"), cs("DELIVER IN PERSON"))
+		sm := q.bind("lineitem", "l_shipmode")
+		modes := q.union(q.uselect(sm, cs("AIR")), q.uselect(sm, cs("REG AIR")))
+		base := q.semi(modes, inst)
+		bsel := q.uselect(q.bind("part", "p_brand"), brands[i])
+		liP := q.join(q.bindIdx("lineitem", "li_fk_part"), bsel)
+		liBase := q.semi(liP, base)
+		qtyCol := q.semi(q.bind("lineitem", "l_quantity"), liBase)
+		hi := q.b.Op1("calc", "addInt", qtys[i], ci(10))
+		rows := q.sel(qtyCol, qtys[i], hi, true, true)
+		sums = append(sums, q.sumFlt(q.revenue(rows)))
+	}
+	s12 := q.b.Op1("calc", "addFlt", sums[0], sums[1])
+	q.exportVal("revenue", q.b.Op1("calc", "addFlt", s12, sums[2]))
+	return &QueryDef{Num: 19, Name: "q19", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.StrV(fmt.Sprintf("Brand#%d%d", rng.Intn(brandNums)+1, rng.Intn(brandNums)+1)),
+			mal.StrV(fmt.Sprintf("Brand#%d%d", rng.Intn(brandNums)+1, rng.Intn(brandNums)+1)),
+			mal.StrV(fmt.Sprintf("Brand#%d%d", rng.Intn(brandNums)+1, rng.Intn(brandNums)+1)),
+			mal.IntV(int64(1 + rng.Intn(10))), mal.IntV(int64(10 + rng.Intn(10))), mal.IntV(int64(20 + rng.Intn(10))),
+		}
+	}}
+}
+
+// Q20: potential part promotion. Params: name prefix, year.
+func q20() *QueryDef {
+	q := newQ("q20")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VDate)
+	psel := q.like(q.bind("part", "p_name"), a0)
+	psP := q.join(q.bindIdx("partsupp", "ps_fk_part"), psel)
+	hi := q.addMonths(a1, ci(12))
+	shipped := q.sel(q.bind("lineitem", "l_shipdate"), a1, hi, true, false)
+	_ = shipped // the shipped-quantity correlation is approximated by the availqty filter below
+	avail := q.semi(q.bind("partsupp", "ps_availqty"), psP)
+	asel := q.sel(avail, ci(5000), openB(), false, true)
+	sk := q.semi(q.bind("partsupp", "ps_suppkey"), asel)
+	distinct := q.kunique(q.reverse(sk))
+	q.exportVal("num_suppliers", q.count(distinct))
+	return &QueryDef{Num: 20, Name: "q20", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{
+			mal.StrV(nameParts[rng.Intn(len(nameParts))] + "%"),
+			mal.DateV(algebra.MkDate(1993+rng.Intn(5), 1, 1)),
+		}
+	}}
+}
+
+// Q21: suppliers who kept orders waiting. Param: nation. The late-
+// lineitem scan appears in the main block and in the (anti-join)
+// subquery, so it is emitted twice: intra + inter overlap.
+func q21() *QueryDef {
+	q := newQ("q21")
+	a0 := q.b.Param("A0", mal.VStr)
+	lateChain := func() mal.Arg {
+		return q.uselect(q.lt(q.bind("lineitem", "l_commitdate"), q.bind("lineitem", "l_receiptdate")), cb(true))
+	}
+	late := lateChain()
+	nsel := q.uselect(q.bind("nation", "n_name"), a0)
+	suppN := q.join(q.bindIdx("supplier", "s_fk_nation"), nsel)
+	ordF := q.uselect(q.bind("orders", "o_orderstatus"), cs("F"))
+	liSupp := q.semi(q.bindIdx("lineitem", "li_fk_supp"), late)
+	liSuppN := q.join(liSupp, suppN)
+	liOrd := q.semi(q.bindIdx("lineitem", "li_fk_orders"), liSuppN)
+	rows := q.join(liOrd, ordF)
+	// Anti-join subquery: re-emits the late chain (reused locally).
+	late2 := lateChain()
+	rows2 := q.semi(rows, late2)
+	snm := q.join(q.semi(q.bindIdx("lineitem", "li_fk_supp"), rows2), q.bind("supplier", "s_name"))
+	g := q.groupNew(snm)
+	cnt := q.aggrCountG(g)
+	q.exportCol("numwait", q.topn(q.sort(cnt, false), 100))
+	return &QueryDef{Num: 21, Name: "q21", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		return []mal.Value{mal.StrV(nationDefs[rng.Intn(len(nationDefs))].name)}
+	}}
+}
+
+// Q22: global sales opportunity. Params: two phone country codes from
+// a small domain. The positive-balance average and the customers-with-
+// orders scan are constant (inter 75%).
+func q22() *QueryDef {
+	q := newQ("q22")
+	a0 := q.b.Param("A0", mal.VStr)
+	a1 := q.b.Param("A1", mal.VStr)
+	phone := q.bind("customer", "c_phone")
+	pp := q.union(q.like(phone, a0), q.like(phone, a1))
+	acct := q.semi(q.bind("customer", "c_acctbal"), pp)
+	pos := q.sel(q.bind("customer", "c_acctbal"), cf(0), openB(), false, true)
+	avg := q.avgFlt(pos)
+	rich := q.sel(acct, avg, openB(), false, true)
+	withOrders := q.kunique(q.reverse(q.bindIdx("orders", "o_fk_cust")))
+	noOrders := q.anti(rich, withOrders)
+	q.exportVal("numcust", q.count(noOrders))
+	q.exportVal("totacctbal", q.sumFlt(noOrders))
+	return &QueryDef{Num: 22, Name: "q22", Templ: q.b.Freeze(), Params: func(rng *rand.Rand) []mal.Value {
+		i := rng.Intn(7)
+		j := (i + 1 + rng.Intn(6)) % 7
+		return []mal.Value{
+			mal.StrV(fmt.Sprintf("%02d-%%", i+10)),
+			mal.StrV(fmt.Sprintf("%02d-%%", j+10)),
+		}
+	}}
+}
