@@ -89,6 +89,9 @@ func main() {
 		if err := mal.Run(ctx, tmpl, vals...); err != nil {
 			fatal(err)
 		}
+		if rec != nil {
+			rec.EndQuery(uint64(i))
+		}
 		elapsed := time.Since(start)
 		fmt.Printf("run %d: %v (hits %d/%d, subsumed %d)\n", i,
 			elapsed.Round(time.Microsecond), ctx.Stats.Hits, ctx.Stats.Marked, ctx.Stats.Subsumed)

@@ -11,6 +11,8 @@
 //	batch    batch splits 4x25 / 2x50 / 1x100 (+ -n scaling) (Fig. 14)
 //	table3   recycle pool breakdown after the batch (Table III)
 //	subsume  B2/B4 combined-subsumption micro-benchmarks (Fig. 15)
+//	mt       multi-client throughput over one shared recycler pool,
+//	         sequential interpreter vs dataflow scheduler (§6 multi-user)
 //	all      everything above
 package main
 
@@ -18,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/recycler"
 	"repro/internal/sky"
 )
 
@@ -29,6 +33,8 @@ func main() {
 	seeds := flag.Int("seeds", 12, "seed queries per micro-benchmark")
 	sel := flag.Float64("s", 0.02, "seed query selectivity (micro-benchmarks)")
 	seed := flag.Int64("seed", 42, "workload random seed")
+	clients := flag.Int("clients", max(4, runtime.GOMAXPROCS(0)), "max concurrent clients (mt experiment)")
+	workers := flag.Int("workers", 0, "per-query dataflow workers (mt experiment; 0 = max(2, GOMAXPROCS))")
 	flag.Parse()
 
 	exp := flag.Arg(0)
@@ -46,10 +52,13 @@ func main() {
 		runTable3(db, *n, *seed)
 	case "subsume":
 		runSubsume(db, *seeds, *sel, *seed)
+	case "mt":
+		runMT(db, *n, *clients, *workers, *seed)
 	case "all":
 		runBatch(db, *n, *seed)
 		runTable3(db, *n, *seed)
 		runSubsume(db, *seeds, *sel, *seed)
+		runMT(db, *n, *clients, *workers, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
@@ -71,6 +80,61 @@ func runTable3(db *sky.DB, n int, seed int64) {
 	fmt.Println("== Table III: recycle pool content after the batch ==")
 	w := sky.SampleWorkload(db, n, seed)
 	bench.PrintTable3(os.Stdout, bench.Table3(db, w))
+	fmt.Println()
+}
+
+// runMT measures multi-client throughput: the sampled workload driven
+// by 1..maxClients concurrent sessions sharing one recycler pool, with
+// the sequential interpreter and the dataflow scheduler, naive and
+// recycled. Each configuration starts from a warmed catalog and an
+// empty pool.
+func runMT(db *sky.DB, n, maxClients, workers int, seed int64) {
+	if workers <= 0 {
+		// Force at least two workers so the scheduler path is exercised
+		// even on single-core hosts (where it cannot win wall-clock,
+		// only stay close to the sequential loop).
+		workers = max(2, runtime.GOMAXPROCS(0))
+	}
+	fmt.Printf("== Multi-client throughput: %d queries, shared recycler pool, up to %d clients, %d dataflow workers ==\n",
+		n, maxClients, workers)
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("   (GOMAXPROCS=1: goroutines interleave on one core; expect parity, not speedup)")
+	}
+	w := sky.SampleWorkload(db, n, seed)
+	warm := bench.SkyWarmup(w)
+
+	counts := []int{1}
+	for c := 2; c < maxClients; c *= 2 {
+		counts = append(counts, c)
+	}
+	if maxClients > 1 {
+		counts = append(counts, maxClients)
+	}
+
+	var rows []bench.MTRow
+	for _, recycled := range []bool{false, true} {
+		for _, c := range counts {
+			for _, seq := range []bool{true, false} {
+				var r *bench.Runner
+				if recycled {
+					r = bench.NewRecycled(db.Cat, recycler.Config{Admission: recycler.KeepAll, Subsumption: true})
+				} else {
+					r = bench.NewNaive(db.Cat, false)
+				}
+				if seq {
+					r.Workers = 1
+				} else {
+					r.Workers = workers
+				}
+				r.Warmup(warm)
+				rows = append(rows, bench.SkyMultiClient(r, w, c))
+				if r.Rec != nil {
+					r.Rec.Close()
+				}
+			}
+		}
+	}
+	bench.PrintMT(os.Stdout, rows)
 	fmt.Println()
 }
 

@@ -107,6 +107,7 @@ func runSQL(fe *sqlfe.Frontend, cat *catalog.Catalog, rec *recycler.Recycler, qi
 	if rec != nil {
 		ctx.Hook = rec
 		rec.BeginQuery(qid, tmpl.ID)
+		defer rec.EndQuery(qid)
 	}
 	start := time.Now()
 	if err := mal.Run(ctx, tmpl, params...); err != nil {

@@ -22,6 +22,10 @@
 package repro
 
 import (
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"repro/internal/catalog"
 	"repro/internal/mal"
 	"repro/internal/opt"
@@ -35,12 +39,20 @@ func NewCatalog() *catalog.Catalog { return catalog.New() }
 
 // Engine executes compiled query templates against a catalog,
 // optionally with the recycler enabled.
+//
+// An Engine is safe for concurrent use: many goroutines (or Session
+// handles) may call Exec/ExecSQL against one engine sharing a single
+// recycle pool, the paper's multi-user setting. Each query itself runs
+// on the dataflow scheduler, executing independent plan instructions
+// in parallel; WithSeqExec restores the classical sequential
+// interpreter loop.
 type Engine struct {
 	cat     *catalog.Catalog
 	rec     *recycler.Recycler
 	fe      *sqlfe.Frontend
-	queryID uint64
+	queryID atomic.Uint64
 	measure bool
+	workers int
 }
 
 // Option configures an Engine.
@@ -57,9 +69,24 @@ func WithMeasure() Option {
 	return func(e *Engine) { e.measure = true }
 }
 
+// WithSeqExec selects the sequential interpreter (mal.RunSeq) instead
+// of the dataflow scheduler — the paper's original single-threaded
+// execution model, and the baseline the scheduler is benchmarked
+// against. It is shorthand for WithWorkers(1): a single worker is the
+// one source of truth for sequential execution.
+func WithSeqExec() Option {
+	return WithWorkers(1)
+}
+
+// WithWorkers bounds the per-query dataflow parallelism (0 = one
+// worker per CPU, 1 = sequential execution).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
 // NewEngine creates an engine over the catalog.
 func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
-	e := &Engine{cat: cat}
+	e := &Engine{cat: cat, fe: sqlfe.NewFrontend(cat)}
 	for _, o := range opts {
 		o(e)
 	}
@@ -89,9 +116,6 @@ type ExecResult struct {
 // template parameters, so repeated shapes share one template and the
 // recycler can match across instances (paper §2.2).
 func (e *Engine) ExecSQL(src string) (*ExecResult, error) {
-	if e.fe == nil {
-		e.fe = sqlfe.NewFrontend(e.cat)
-	}
 	tmpl, params, err := e.fe.Compile(src)
 	if err != nil {
 		return nil, err
@@ -101,14 +125,73 @@ func (e *Engine) ExecSQL(src string) (*ExecResult, error) {
 
 // Exec runs a compiled template with the given parameters.
 func (e *Engine) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error) {
-	e.queryID++
-	ctx := &mal.Ctx{Cat: e.cat, QueryID: e.queryID, Measure: e.measure}
+	qid := e.queryID.Add(1)
+	ctx := &mal.Ctx{Cat: e.cat, QueryID: qid, Measure: e.measure, Workers: e.workers}
 	if e.rec != nil {
 		ctx.Hook = e.rec
-		e.rec.BeginQuery(e.queryID, t.ID)
+		e.rec.BeginQuery(qid, t.ID)
+		defer e.rec.EndQuery(qid)
 	}
 	if err := mal.Run(ctx, t, params...); err != nil {
 		return nil, err
 	}
 	return &ExecResult{Results: ctx.Results, Stats: ctx.Stats}, nil
+}
+
+// Session is a lightweight per-client handle onto a shared Engine —
+// the unit the multi-user experiments hand to each simulated client.
+// Sessions add per-client counters on top of the engine's shared
+// state; any number of sessions may execute concurrently.
+type Session struct {
+	e *Engine
+
+	mu      sync.Mutex
+	queries int
+	hits    int
+	marked  int
+	elapsed time.Duration
+}
+
+// NewSession opens a client session on the engine.
+func (e *Engine) NewSession() *Session { return &Session{e: e} }
+
+// ExecSQL executes one SQL query on the session's engine.
+func (s *Session) ExecSQL(src string) (*ExecResult, error) {
+	res, err := s.e.ExecSQL(src)
+	s.note(res)
+	return res, err
+}
+
+// Exec runs a compiled template on the session's engine.
+func (s *Session) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error) {
+	res, err := s.e.Exec(t, params...)
+	s.note(res)
+	return res, err
+}
+
+func (s *Session) note(res *ExecResult) {
+	if res == nil {
+		return
+	}
+	s.mu.Lock()
+	s.queries++
+	s.hits += res.Stats.HitsNonBind
+	s.marked += res.Stats.MarkedNonBind
+	s.elapsed += res.Stats.Elapsed
+	s.mu.Unlock()
+}
+
+// SessionStats summarises the queries a session has executed.
+type SessionStats struct {
+	Queries      int
+	Hits         int           // non-bind pool hits
+	Marked       int           // non-bind monitored instructions (potential hits)
+	SumQueryTime time.Duration // sum of per-query elapsed times
+}
+
+// Stats returns the session's accumulated counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{Queries: s.queries, Hits: s.hits, Marked: s.marked, SumQueryTime: s.elapsed}
 }

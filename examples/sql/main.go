@@ -49,6 +49,7 @@ func main() {
 		if err := mal.Run(ctx, tmpl, params...); err != nil {
 			panic(err)
 		}
+		rec.EndQuery(qid)
 		elapsed := time.Since(start)
 		fmt.Printf("\n%s\n", src)
 		fmt.Printf("  -> %v  hits=%d/%d subsumed=%d combined=%d\n",

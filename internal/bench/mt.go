@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/sky"
+)
+
+// This file implements the multi-client throughput harness: the
+// paper's multi-user setting (§6, SkyServer traffic) where N
+// concurrent sessions share one engine and one recycle pool. It is
+// also the measurement surface for the dataflow scheduler — the same
+// workload is driven with the sequential interpreter and with
+// intra-query parallelism, with and without recycling.
+
+// MTRow is one multi-client configuration's outcome.
+type MTRow struct {
+	Exec     string // "seq" or "dataflow"
+	Recycled bool
+	Clients  int
+	Queries  int
+	Wall     time.Duration // wall-clock time for the whole batch
+	QPS      float64
+	SumQuery time.Duration // summed per-query elapsed (total work done)
+	Hits     int           // non-bind pool hits across all clients
+	Pot      int           // non-bind monitored instructions (potential)
+	PoolMem  int64         // recycle pool bytes after the batch
+}
+
+// HitRatio returns pool hits over potential hits for the whole batch.
+func (r *MTRow) HitRatio() float64 {
+	if r.Pot == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Pot)
+}
+
+// SkyMultiClient drives the sampled workload from `clients` concurrent
+// client goroutines sharing one runner (and therefore one recycle
+// pool). The batch is partitioned round-robin, so every client mixes
+// the query kinds and overlapping parameter regions — the condition
+// under which cross-client (global) reuse appears.
+func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
+	if clients < 1 {
+		clients = 1
+	}
+	type tally struct {
+		n, hits, pot int
+		sum          time.Duration
+	}
+	tallies := make([]tally, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			for i := c; i < len(w.Batch); i += clients {
+				q := w.Batch[i]
+				ctx := r.MustRun(w.Template(q.Kind), q.Params...)
+				t.n++
+				t.hits += ctx.Stats.HitsNonBind
+				t.pot += ctx.Stats.MarkedNonBind
+				t.sum += ctx.Stats.Elapsed
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Label from the *effective* execution mode: mal.Run falls back to
+	// the sequential loop whenever it resolves to a single worker, so
+	// a "dataflow" label must mean the scheduler actually ran.
+	eff := r.Workers
+	if eff <= 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
+	row := MTRow{
+		Exec:     "dataflow",
+		Recycled: r.Rec != nil,
+		Clients:  clients,
+		Wall:     wall,
+		PoolMem:  r.PoolBytes(),
+	}
+	if eff <= 1 {
+		row.Exec = "seq"
+	}
+	for _, t := range tallies {
+		row.Queries += t.n
+		row.Hits += t.hits
+		row.Pot += t.pot
+		row.SumQuery += t.sum
+	}
+	if wall > 0 {
+		row.QPS = float64(row.Queries) / wall.Seconds()
+	}
+	return row
+}
+
+// SkyWarmup derives the warmup list touching every distinct template
+// of the batch once (the experimental preparation of §7: factor out
+// cold IO, start from an empty pool).
+func SkyWarmup(batch *sky.Workload) []WarmupQuery {
+	var warm []WarmupQuery
+	seen := map[string]bool{}
+	for _, q := range batch.Batch {
+		if !seen[q.Kind] {
+			seen[q.Kind] = true
+			warm = append(warm, WarmupQuery{Templ: batch.Template(q.Kind), Params: q.Params})
+		}
+	}
+	return warm
+}
+
+// PrintMT renders the multi-client comparison. Speedup is each row's
+// wall-clock gain over the 1-client sequential row of the same
+// recycler setting.
+func PrintMT(w io.Writer, rows []MTRow) {
+	base := map[bool]time.Duration{}
+	for _, r := range rows {
+		if r.Clients == 1 && r.Exec == "seq" {
+			base[r.Recycled] = r.Wall
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Clients\tExec\tRecycler\tWall\tQPS\tHitRatio\tPoolMem(KB)\tSpeedup")
+	for _, r := range rows {
+		rec := "off"
+		if r.Recycled {
+			rec = "shared"
+		}
+		speedup := ""
+		if b := base[r.Recycled]; b > 0 && r.Wall > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(b)/float64(r.Wall))
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%.0f\t%.1f%%\t%d\t%s\n",
+			r.Clients, r.Exec, rec, r.Wall.Round(time.Millisecond), r.QPS,
+			100*r.HitRatio(), r.PoolMem/1024, speedup)
+	}
+	tw.Flush()
+}

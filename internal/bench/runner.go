@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -13,33 +14,44 @@ import (
 	"repro/internal/recycler"
 )
 
-// Runner executes templates against one engine configuration.
+// Runner executes templates against one engine configuration. A single
+// runner may be shared by many client goroutines (the multi-user
+// experiments): query ids are drawn atomically and each Run builds a
+// fresh context.
 type Runner struct {
 	Cat     *catalog.Catalog
 	Rec     *recycler.Recycler // nil = naive execution
 	Measure bool               // time marked instructions in naive mode
-	queryID uint64
+	Workers int                // per-query dataflow parallelism (0 = GOMAXPROCS, 1 = sequential)
+	queryID atomic.Uint64
 }
 
 // NewNaive builds a runner without recycling (optionally measuring
 // marked-instruction time for potential-savings reporting).
+//
+// Runners reproduce the paper's single-threaded experiments, whose
+// admission/eviction bookkeeping is defined in terms of program-order
+// execution, so they default to the sequential interpreter
+// (Workers = 1). The multi-client harness sets Workers explicitly.
 func NewNaive(cat *catalog.Catalog, measure bool) *Runner {
-	return &Runner{Cat: cat, Measure: measure}
+	return &Runner{Cat: cat, Measure: measure, Workers: 1}
 }
 
-// NewRecycled builds a runner with a fresh recycler.
+// NewRecycled builds a runner with a fresh recycler. Sequential by
+// default, like NewNaive.
 func NewRecycled(cat *catalog.Catalog, cfg recycler.Config) *Runner {
-	return &Runner{Cat: cat, Rec: recycler.New(cat, cfg)}
+	return &Runner{Cat: cat, Rec: recycler.New(cat, cfg), Workers: 1}
 }
 
 // Run executes one query instance and returns its context (with
 // statistics filled in).
 func (r *Runner) Run(tmpl *mal.Template, params ...mal.Value) (*mal.Ctx, error) {
-	r.queryID++
-	ctx := &mal.Ctx{Cat: r.Cat, QueryID: r.queryID, Measure: r.Measure}
+	qid := r.queryID.Add(1)
+	ctx := &mal.Ctx{Cat: r.Cat, QueryID: qid, Measure: r.Measure, Workers: r.Workers}
 	if r.Rec != nil {
 		ctx.Hook = r.Rec
-		r.Rec.BeginQuery(r.queryID, tmpl.ID)
+		r.Rec.BeginQuery(qid, tmpl.ID)
+		defer r.Rec.EndQuery(qid)
 	}
 	err := mal.Run(ctx, tmpl, params...)
 	return ctx, err

@@ -32,14 +32,7 @@ func SkyBatch(db *sky.DB, batch *sky.Workload, segments int, seed int64) Fig14Ro
 	n := len(batch.Batch)
 	segLen := n / segments
 
-	warm := []WarmupQuery{}
-	seen := map[string]bool{}
-	for _, q := range batch.Batch {
-		if !seen[q.Kind] {
-			seen[q.Kind] = true
-			warm = append(warm, WarmupQuery{Templ: batch.Template(q.Kind), Params: q.Params})
-		}
-	}
+	warm := SkyWarmup(batch)
 
 	runSegments := func(r *Runner) (time.Duration, int, int, int64) {
 		var total time.Duration
@@ -75,6 +68,7 @@ func SkyBatch(db *sky.DB, batch *sky.Workload, segments int, seed int64) Fig14Ro
 	keepall := NewRecycled(db.Cat, recycler.Config{Admission: recycler.KeepAll, Subsumption: true})
 	keepall.Warmup(warm)
 	kTime, kHits, kPot, kPeak := runSegments(keepall)
+	keepall.Rec.Close()
 
 	crd := NewRecycled(db.Cat, recycler.Config{
 		Admission: recycler.Credit, Credits: 5,
@@ -83,6 +77,7 @@ func SkyBatch(db *sky.DB, batch *sky.Workload, segments int, seed int64) Fig14Ro
 	})
 	crd.Warmup(warm)
 	cTime, _, _, _ := runSegments(crd)
+	crd.Rec.Close()
 
 	reused := 0.0
 	if kPot > 0 {
@@ -120,7 +115,9 @@ func Table3(db *sky.DB, batch *sky.Workload) []recycler.TypeRow {
 	for _, q := range batch.Batch {
 		r.MustRun(batch.Template(q.Kind), q.Params...)
 	}
-	return r.Rec.Pool().TypeBreakdown()
+	rows := r.Rec.Pool().TypeBreakdown()
+	r.Rec.Close()
+	return rows
 }
 
 // PrintTable3 renders the pool breakdown in the paper's Table III
@@ -191,6 +188,7 @@ func SkySubsume(db *sky.DB, mb *sky.MicroBench) []Fig15Point {
 		}
 		out = append(out, p)
 	}
+	rec.Rec.Close()
 	return out
 }
 

@@ -10,12 +10,29 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bat"
 )
 
 // Catalog is the collection of tables, keyed by schema-qualified name.
+//
+// A single RWMutex covers the whole catalog: binds and index lookups
+// take it shared, DDL/DML take it exclusively, so concurrent sessions
+// may query while updates serialise against them. Update listeners are
+// notified after the lock is released — they may freely read the
+// catalog, and pool invalidation therefore lands momentarily after the
+// commit itself (the recycler's epoch guard keeps queries that straddle
+// a commit from polluting or consuming the pool inconsistently).
+//
+// Isolation is per *bind*, not per query: each bind snapshots its
+// column consistently, but a query that binds two columns around a
+// concurrent commit observes the table at two different versions —
+// the storage layer is not multi-versioned. Workloads needing
+// cross-column consistency within one query must not run DML
+// concurrently with queries reading the same table.
 type Catalog struct {
+	mu        sync.RWMutex
 	tables    map[string]*Table
 	listeners []UpdateListener
 }
@@ -23,6 +40,17 @@ type Catalog struct {
 // UpdateListener observes committed changes to persistent tables. The
 // recycler registers one to keep the recycle pool synchronised.
 type UpdateListener interface {
+	// OnBeforeUpdate is called before a DML statement's mutation
+	// becomes visible (and outside the catalog lock). The recycler
+	// marks the table as having a commit in flight, so queries running
+	// or beginning between this point and OnUpdate's invalidation are
+	// treated as straddling the commit and refused stale pool
+	// interactions. Every OnBeforeUpdate is followed by exactly one
+	// OnUpdate, OnDrop or OnAbortUpdate for the same table.
+	OnBeforeUpdate(table *Table)
+	// OnAbortUpdate closes an OnBeforeUpdate whose statement turned
+	// out to be a no-op (nothing committed).
+	OnAbortUpdate(table *Table)
 	// OnUpdate is called once per committed update with the table
 	// changed, the columns affected (all columns for inserts/deletes,
 	// the touched ones for in-place updates), the per-column insert
@@ -51,12 +79,38 @@ func New() *Catalog {
 }
 
 // AddListener registers an update listener.
-func (c *Catalog) AddListener(l UpdateListener) { c.listeners = append(c.listeners, l) }
+func (c *Catalog) AddListener(l UpdateListener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, l)
+}
+
+// RemoveListener unregisters a listener. Benchmarks that cycle many
+// recycler configurations over one catalog use it so retired pools
+// stop receiving (and surviving for) update notifications.
+func (c *Catalog) RemoveListener(l UpdateListener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, x := range c.listeners {
+		if x == l {
+			c.listeners = append(c.listeners[:i], c.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+// listenersLocked copies the registered listeners for notification
+// after the lock is released. Caller holds c.mu (read or write).
+func (c *Catalog) listenersLocked() []UpdateListener {
+	return append([]UpdateListener(nil), c.listeners...)
+}
 
 func key(schema, name string) string { return schema + "." + name }
 
 // CreateTable registers a new table with the given column definitions.
 func (c *Catalog) CreateTable(schema, name string, cols []ColDef) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t := &Table{
 		Schema:    schema,
 		Name:      name,
@@ -74,18 +128,34 @@ func (c *Catalog) CreateTable(schema, name string, cols []ColDef) *Table {
 
 // DropTable removes a table and notifies listeners.
 func (c *Catalog) DropTable(schema, name string) {
-	t, ok := c.tables[key(schema, name)]
-	if !ok {
+	t := c.Table(schema, name)
+	if t == nil {
 		return
 	}
-	delete(c.tables, key(schema, name))
-	for _, l := range c.listeners {
+	ls := t.preNotify()
+	c.mu.Lock()
+	cur, ok := c.tables[key(schema, name)]
+	ok = ok && cur == t // a recreated table under the same name is not ours to drop
+	if ok {
+		delete(c.tables, key(schema, name))
+	}
+	c.mu.Unlock()
+	if !ok {
+		// Lost a race with a concurrent drop (or drop+recreate).
+		t.abortNotify(ls)
+		return
+	}
+	for _, l := range ls {
 		l.OnDrop(t)
 	}
 }
 
 // Table returns the named table or nil.
-func (c *Catalog) Table(schema, name string) *Table { return c.tables[key(schema, name)] }
+func (c *Catalog) Table(schema, name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[key(schema, name)]
+}
 
 // MustTable returns the named table or panics.
 func (c *Catalog) MustTable(schema, name string) *Table {
@@ -98,6 +168,8 @@ func (c *Catalog) MustTable(schema, name string) *Table {
 
 // Tables returns all tables in deterministic order.
 func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)
@@ -155,10 +227,18 @@ func (t *Table) MustColumn(name string) *Column {
 }
 
 // NumRows returns the number of live rows.
-func (t *Table) NumRows() int { return t.nrows - len(t.deleted) }
+func (t *Table) NumRows() int {
+	t.catalog.mu.RLock()
+	defer t.catalog.mu.RUnlock()
+	return t.nrows - len(t.deleted)
+}
 
 // HasDeletes reports whether the table carries tombstones.
-func (t *Table) HasDeletes() bool { return len(t.deleted) > 0 }
+func (t *Table) HasDeletes() bool {
+	t.catalog.mu.RLock()
+	defer t.catalog.mu.RUnlock()
+	return len(t.deleted) > 0
+}
 
 // Column is one typed column of a table.
 type Column struct {
@@ -177,9 +257,13 @@ func (c *Column) QName() string { return c.Table.QName() + "." + c.Name }
 
 // Bind returns a BAT over the live rows of the column, the engine's
 // sql.bind. Without deletions this is a zero-copy dense-headed view;
-// with tombstones the head materialises the surviving oids.
+// with tombstones the head materialises the surviving oids. The view
+// snapshots the column under the shared lock, so a bind taken before a
+// concurrent append keeps its consistent pre-update length.
 func (c *Column) Bind() *bat.BAT {
 	t := c.Table
+	t.catalog.mu.RLock()
+	defer t.catalog.mu.RUnlock()
 	if len(t.deleted) == 0 {
 		// The tail is a view over the committed column: binding
 		// materialises nothing, so recycle pool accounting must not
@@ -208,28 +292,46 @@ func (c *Column) Bind() *bat.BAT {
 // Row is a tuple addressed by column name, used by bulk loads and DML.
 type Row map[string]any
 
+// commitLocked finalises one DML statement under the write lock.
+func (t *Table) commitLocked() { t.Version++ }
+
 // Append inserts rows and commits them as one update event.
 // It returns the oid of the first inserted row.
 func (t *Table) Append(rows []Row) bat.Oid {
 	if len(rows) == 0 {
+		t.catalog.mu.RLock()
+		defer t.catalog.mu.RUnlock()
 		return bat.Oid(t.nrows)
 	}
-	first := bat.Oid(t.nrows)
-	inserts := make(map[string]*bat.BAT, len(t.Cols))
-	cols := make([]string, 0, len(t.Cols))
-	for _, c := range t.Cols {
-		delta := buildDelta(c.KindOf, rows, c.Name)
-		c.Data = bat.AppendVectors(c.Data, delta)
-		db := bat.New(bat.NewDense(first, len(rows)), delta)
-		inserts[c.Name] = db
-		cols = append(cols, c.Name)
-		if c.Sorted {
-			c.Sorted = stillSorted(c.Data)
+	ls := t.preNotify()
+	var ev UpdateEvent
+	committed := false
+	defer t.completeNotify(ls, &committed, &ev)
+	// The mutation runs under a deferred unlock so a panic (e.g. a row
+	// value of the wrong type) cannot leave the catalog locked forever.
+	first := func() bat.Oid {
+		t.catalog.mu.Lock()
+		defer t.catalog.mu.Unlock()
+		first := bat.Oid(t.nrows)
+		inserts := make(map[string]*bat.BAT, len(t.Cols))
+		cols := make([]string, 0, len(t.Cols))
+		for _, c := range t.Cols {
+			delta := buildDelta(c.KindOf, rows, c.Name)
+			c.Data = bat.AppendVectors(c.Data, delta)
+			db := bat.New(bat.NewDense(first, len(rows)), delta)
+			inserts[c.Name] = db
+			cols = append(cols, c.Name)
+			if c.Sorted {
+				c.Sorted = stillSorted(c.Data)
+			}
 		}
-	}
-	t.nrows += len(rows)
-	t.maintainIndexesOnAppend(first, rows)
-	t.commit(UpdateEvent{Table: t, Cols: cols, Inserts: inserts})
+		t.nrows += len(rows)
+		t.maintainIndexesOnAppend(first, rows)
+		ev = UpdateEvent{Table: t, Cols: cols, Inserts: inserts}
+		t.commitLocked()
+		return first
+	}()
+	committed = true
 	return first
 }
 
@@ -348,74 +450,156 @@ func (t *Table) Delete(oids []bat.Oid) {
 	if len(oids) == 0 {
 		return
 	}
-	if t.deleted == nil {
-		t.deleted = make(map[bat.Oid]struct{}, len(oids))
-	}
-	var really []bat.Oid
-	for _, o := range oids {
-		if int(o) >= t.nrows {
-			continue
+	ls := t.preNotify()
+	var ev UpdateEvent
+	committed, noop := false, false
+	defer func() {
+		if noop {
+			t.abortNotify(ls)
+		} else {
+			t.completeNotify(ls, &committed, &ev)
 		}
-		if _, dup := t.deleted[o]; dup {
-			continue
+	}()
+	func() {
+		t.catalog.mu.Lock()
+		defer t.catalog.mu.Unlock()
+		if t.deleted == nil {
+			t.deleted = make(map[bat.Oid]struct{}, len(oids))
 		}
-		t.deleted[o] = struct{}{}
-		really = append(really, o)
-	}
-	if len(really) == 0 {
-		return
-	}
-	t.maintainIndexesOnDelete(really)
-	cols := make([]string, len(t.Cols))
-	for i, c := range t.Cols {
-		cols[i] = c.Name
-	}
-	t.commit(UpdateEvent{Table: t, Cols: cols, Deleted: really})
+		var really []bat.Oid
+		for _, o := range oids {
+			if int(o) >= t.nrows {
+				continue
+			}
+			if _, dup := t.deleted[o]; dup {
+				continue
+			}
+			t.deleted[o] = struct{}{}
+			really = append(really, o)
+		}
+		if len(really) == 0 {
+			noop = true
+			return
+		}
+		t.maintainIndexesOnDelete(really)
+		cols := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = c.Name
+		}
+		ev = UpdateEvent{Table: t, Cols: cols, Deleted: really}
+		t.commitLocked()
+		committed = true
+	}()
 }
 
 // UpdateInPlace overwrites a single column's values at the given oids
 // and commits an update event naming only that column (paper §6.4:
 // updates invalidate only the columns directly affected). The deltas
 // are reported as a combined delete+insert on the column.
+//
+// Unlike Append (whose storage is copy-on-write), the overwrite lands
+// in the committed vector itself: binds taken *after* the update see
+// the new values, but a session still holding a view bound before the
+// update would observe the write mid-query. Run in-place updates only
+// when no query is concurrently reading the affected column.
 func (t *Table) UpdateInPlace(col string, oids []bat.Oid, vals []any) {
 	c := t.MustColumn(col)
 	if len(oids) != len(vals) {
 		panic("catalog: update length mismatch")
 	}
-	switch d := c.Data.(type) {
-	case *bat.Ints:
-		for i, o := range oids {
-			d.V[o] = vals[i].(int64)
-		}
-	case *bat.Floats:
-		for i, o := range oids {
-			d.V[o] = vals[i].(float64)
-		}
-	case *bat.Strings:
-		for i, o := range oids {
-			d.V[o] = vals[i].(string)
-		}
-	case *bat.Dates:
-		for i, o := range oids {
-			d.V[o] = vals[i].(bat.Date)
-		}
-	default:
-		panic("catalog: update of unsupported column type")
+	if len(oids) == 0 {
+		return
 	}
-	t.commit(UpdateEvent{Table: t, Cols: []string{col}, Deleted: oids})
+	ls := t.preNotify()
+	ev := UpdateEvent{Table: t, Cols: []string{col}, Deleted: oids}
+	committed := false
+	defer t.completeNotify(ls, &committed, &ev)
+	func() {
+		t.catalog.mu.Lock()
+		defer t.catalog.mu.Unlock()
+		switch d := c.Data.(type) {
+		case *bat.Ints:
+			for i, o := range oids {
+				d.V[o] = vals[i].(int64)
+			}
+		case *bat.Floats:
+			for i, o := range oids {
+				d.V[o] = vals[i].(float64)
+			}
+		case *bat.Strings:
+			for i, o := range oids {
+				d.V[o] = vals[i].(string)
+			}
+		case *bat.Dates:
+			for i, o := range oids {
+				d.V[o] = vals[i].(bat.Date)
+			}
+		default:
+			panic("catalog: update of unsupported column type")
+		}
+		t.commitLocked()
+	}()
+	committed = true
 }
 
-func (t *Table) commit(ev UpdateEvent) {
-	t.Version++
-	for _, l := range t.catalog.listeners {
+// notify delivers a committed update to the listeners. It runs after
+// the catalog lock is released, so listeners (the recycler) may read
+// the catalog without deadlocking against the committing session.
+func notify(ls []UpdateListener, ev UpdateEvent) {
+	for _, l := range ls {
 		l.OnUpdate(ev)
 	}
+}
+
+// preNotify announces an impending commit to the listeners, before
+// the mutation is applied and without holding the catalog lock. It
+// returns the notified listeners so the caller can deliver the
+// matching completion (OnUpdate/OnDrop, or OnAbortUpdate for a no-op)
+// to exactly the same set.
+func (t *Table) preNotify() []UpdateListener {
+	t.catalog.mu.RLock()
+	ls := t.catalog.listenersLocked()
+	t.catalog.mu.RUnlock()
+	for _, l := range ls {
+		l.OnBeforeUpdate(t)
+	}
+	return ls
+}
+
+// abortNotify closes a preNotify whose statement committed nothing.
+func (t *Table) abortNotify(ls []UpdateListener) {
+	for _, l := range ls {
+		l.OnAbortUpdate(t)
+	}
+}
+
+// completeNotify closes a preNotify from a deferred context: delivered
+// normally when the mutation committed, and as a full-table
+// invalidation event when the mutation panicked partway (columns may
+// be partially applied, so every dependent intermediate must go). The
+// pending-commit contract thus closes on every exit path.
+func (t *Table) completeNotify(ls []UpdateListener, committed *bool, ev *UpdateEvent) {
+	if *committed {
+		notify(ls, *ev)
+		return
+	}
+	cols := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.Name
+	}
+	notify(ls, UpdateEvent{Table: t, Cols: cols})
 }
 
 // DefineKeyIndex builds a unique key index on an int column, mapping
 // key value to row oid. Needed for FK join index maintenance and for
 // delete-by-key workloads (TPC-H refresh functions).
 func (t *Table) DefineKeyIndex(col string) {
+	t.catalog.mu.Lock()
+	defer t.catalog.mu.Unlock()
+	t.defineKeyIndexLocked(col)
+}
+
+func (t *Table) defineKeyIndexLocked(col string) {
 	c := t.MustColumn(col)
 	data := c.Data.(*bat.Ints)
 	idx := make(map[int64]bat.Oid, data.Len())
@@ -430,6 +614,8 @@ func (t *Table) DefineKeyIndex(col string) {
 
 // LookupKey returns the oid of the row whose key column equals v.
 func (t *Table) LookupKey(col string, v int64) (bat.Oid, bool) {
+	t.catalog.mu.RLock()
+	defer t.catalog.mu.RUnlock()
 	idx := t.keyIndexes[col]
 	if idx == nil {
 		panic(fmt.Sprintf("catalog: no key index on %s.%s", t.QName(), col))
@@ -448,8 +634,10 @@ func (t *Table) LookupKey(col string, v int64) (bat.Oid, bool) {
 // the child's FK column. Plans access it via sql.bindIdxbat, avoiding
 // a value join (paper §2.2).
 func (t *Table) DefineJoinIndex(idxName, fkCol string, parent *Table, parentKeyCol string) {
+	t.catalog.mu.Lock()
+	defer t.catalog.mu.Unlock()
 	if parent.keyIndexes == nil || parent.keyIndexes[parentKeyCol] == nil {
-		parent.DefineKeyIndex(parentKeyCol)
+		parent.defineKeyIndexLocked(parentKeyCol)
 	}
 	pIdx := parent.keyIndexes[parentKeyCol]
 	fk := t.MustColumn(fkCol).Data.(*bat.Ints)
@@ -481,6 +669,8 @@ type joinIdxDef struct {
 // The recycler uses it to derive invalidation dependencies for
 // bindIdxbat intermediates.
 func (t *Table) JoinIndexParent(idxName string) *Table {
+	t.catalog.mu.RLock()
+	defer t.catalog.mu.RUnlock()
 	def, ok := t.joinIdxMeta[idxName]
 	if !ok {
 		return nil
@@ -491,6 +681,8 @@ func (t *Table) JoinIndexParent(idxName string) *Table {
 // BindIdx returns the join index as a BAT (child oid -> parent oid),
 // the engine's sql.bindIdxbat. Tombstoned child rows are filtered out.
 func (t *Table) BindIdx(idxName string) *bat.BAT {
+	t.catalog.mu.RLock()
+	defer t.catalog.mu.RUnlock()
 	ji, ok := t.joinIdx[idxName]
 	if !ok {
 		panic(fmt.Sprintf("catalog: unknown join index %s on %s", idxName, t.QName()))

@@ -56,8 +56,10 @@ func TestDeleteTombstonesBind(t *testing.T) {
 
 type countListener struct{ n *int }
 
-func (c countListener) OnUpdate(UpdateEvent) { *c.n++ }
-func (c countListener) OnDrop(*Table)        {}
+func (c countListener) OnBeforeUpdate(*Table) {}
+func (c countListener) OnAbortUpdate(*Table)  {}
+func (c countListener) OnUpdate(UpdateEvent)  { *c.n++ }
+func (c countListener) OnDrop(*Table)         {}
 
 func TestAppendEventCarriesDeltas(t *testing.T) {
 	c, tb := twoColTable(t)
@@ -80,6 +82,10 @@ type funcListener struct {
 	onUpdate func(UpdateEvent)
 	onDrop   func(*Table)
 }
+
+func (f funcListener) OnBeforeUpdate(*Table) {}
+
+func (f funcListener) OnAbortUpdate(*Table) {}
 
 func (f funcListener) OnUpdate(ev UpdateEvent) {
 	if f.onUpdate != nil {

@@ -2,6 +2,8 @@ package mal
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -33,6 +35,12 @@ type EntryResult struct {
 // RecyclerHook is the interface between the interpreter and the
 // recycler run-time support (Algorithm 1). A nil hook disables
 // recycling entirely.
+//
+// Implementations must be safe for concurrent use: the dataflow
+// scheduler invokes Entry and Exit from multiple goroutines — across
+// sessions sharing one hook, and for independent instructions within
+// a single query. Mutations of per-query state must go through
+// Ctx.UpdateStats.
 type RecyclerHook interface {
 	// Entry is called before executing a marked instruction.
 	Entry(ctx *Ctx, pc int, in *Instr, args []Value) EntryResult
@@ -99,16 +107,43 @@ type Ctx struct {
 	// even without a hook (needed to report potential savings for
 	// naive runs).
 	Measure bool
+	// Workers bounds the intra-query parallelism of Run: 0 uses
+	// GOMAXPROCS, 1 forces sequential execution, n > 1 runs at most n
+	// independent instructions concurrently.
+	Workers int
 
 	QueryID  uint64
 	Template *Template
 	Stack    []Value
 	Stats    QueryStats
 	Results  []Result
+
+	// mu guards Stats and Results while the dataflow scheduler runs
+	// instructions of this query on several goroutines.
+	mu sync.Mutex
 }
 
-// Run executes template t with the given parameter values.
-func Run(ctx *Ctx, t *Template, params ...Value) error {
+// UpdateStats applies f to the query statistics under the context lock.
+// The interpreter and the recycler hook both funnel their per-query
+// bookkeeping through it so concurrently executing instructions of one
+// query do not race.
+func (ctx *Ctx) UpdateStats(f func(*QueryStats)) {
+	ctx.mu.Lock()
+	f(&ctx.Stats)
+	ctx.mu.Unlock()
+}
+
+// AppendResult exports one named result. Export instructions are
+// chained in the dependency DAG, so results arrive in program order
+// even under the dataflow scheduler.
+func (ctx *Ctx) AppendResult(r Result) {
+	ctx.mu.Lock()
+	ctx.Results = append(ctx.Results, r)
+	ctx.mu.Unlock()
+}
+
+// begin validates the parameters and resets the context for one run.
+func (ctx *Ctx) begin(t *Template, params []Value) error {
 	if len(params) != len(t.Params) {
 		return fmt.Errorf("mal: %s expects %d params, got %d", t.Name, len(t.Params), len(params))
 	}
@@ -122,14 +157,113 @@ func Run(ctx *Ctx, t *Template, params ...Value) error {
 		}
 		ctx.Stack[i] = p
 	}
+	return nil
+}
+
+func wrapErr(t *Template, pc int, err error) error {
+	return fmt.Errorf("mal: %s pc=%d %s: %w", t.Name, pc, t.Instrs[pc].Name(), err)
+}
+
+// Run executes template t with the given parameter values on the
+// dataflow scheduler: the template's dependency DAG (derived at Freeze
+// time) drives a worker pool that executes independent instructions
+// concurrently, MonetDB's dataflow-optimizer analogue. ctx.Workers
+// bounds the parallelism; Workers == 1 (or a single-instruction plan)
+// falls back to RunSeq.
+func Run(ctx *Ctx, t *Template, params ...Value) error {
+	workers := ctx.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(t.Instrs) {
+		workers = len(t.Instrs)
+	}
+	if workers <= 1 {
+		return RunSeq(ctx, t, params...)
+	}
+	if err := ctx.begin(t, params); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := runDataflow(ctx, t, workers); err != nil {
+		return err
+	}
+	ctx.Stats.Elapsed = time.Since(start)
+	return nil
+}
+
+// RunSeq executes template t in program order on the calling goroutine
+// — the classical operator-at-a-time loop. It is the fallback for
+// single-worker contexts and the reference semantics the dataflow
+// scheduler must preserve.
+func RunSeq(ctx *Ctx, t *Template, params ...Value) error {
+	if err := ctx.begin(t, params); err != nil {
+		return err
+	}
 	start := time.Now()
 	for pc := range t.Instrs {
 		if err := step(ctx, pc, &t.Instrs[pc]); err != nil {
-			return fmt.Errorf("mal: %s pc=%d %s: %w", t.Name, pc, t.Instrs[pc].Name(), err)
+			return wrapErr(t, pc, err)
 		}
 	}
 	ctx.Stats.Elapsed = time.Since(start)
 	return nil
+}
+
+// runDataflow schedules the template's instructions over a worker
+// pool. A single coordinator (the calling goroutine) owns the ready
+// queue: workers report completions, the coordinator decrements
+// successor in-degrees and enqueues instructions as they become
+// runnable. On the first error it stops issuing work, drains what is
+// in flight and returns the error. Channel capacities equal the
+// instruction count, so neither side ever blocks on a full buffer.
+func runDataflow(ctx *Ctx, t *Template, workers int) error {
+	d := t.DAG()
+	n := len(t.Instrs)
+	indeg := append([]int(nil), d.NDeps...)
+	type completion struct {
+		pc  int
+		err error
+	}
+	ready := make(chan int, n)
+	done := make(chan completion, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pc := range ready {
+				done <- completion{pc, step(ctx, pc, &t.Instrs[pc])}
+			}
+		}()
+	}
+	issued := 0
+	for _, pc := range d.Roots {
+		ready <- pc
+		issued++
+	}
+	var firstErr error
+	for completed := 0; completed < issued; completed++ {
+		c := <-done
+		if c.err != nil {
+			if firstErr == nil {
+				firstErr = wrapErr(t, c.pc, c.err)
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // draining; do not issue successors
+		}
+		for _, s := range d.Succs[c.pc] {
+			if indeg[s]--; indeg[s] == 0 {
+				ready <- s
+				issued++
+			}
+		}
+	}
+	close(ready)
+	wg.Wait()
+	return firstErr
 }
 
 func step(ctx *Ctx, pc int, in *Instr) error {
@@ -148,10 +282,12 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 	}
 
 	if in.Marked && ctx.Hook != nil {
-		ctx.Stats.Marked++
-		if in.Module != "sql" {
-			ctx.Stats.MarkedNonBind++
-		}
+		ctx.UpdateStats(func(s *QueryStats) {
+			s.Marked++
+			if in.Module != "sql" {
+				s.MarkedNonBind++
+			}
+		})
 		res := ctx.Hook.Entry(ctx, pc, in, args)
 		if res.Hit {
 			if in.Ret >= 0 {
@@ -169,7 +305,7 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 		if err != nil {
 			return err
 		}
-		ctx.Stats.TimeInMarked += elapsed
+		ctx.UpdateStats(func(s *QueryStats) { s.TimeInMarked += elapsed })
 		prov := ctx.Hook.Exit(ctx, pc, in, args, ret, elapsed, res.Rewrite)
 		ret.Prov = prov
 		if in.Ret >= 0 {
@@ -180,16 +316,19 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 
 	// Regular execution without recycling.
 	if in.Marked && ctx.Measure {
-		ctx.Stats.Marked++
-		if in.Module != "sql" {
-			ctx.Stats.MarkedNonBind++
-		}
+		ctx.UpdateStats(func(s *QueryStats) {
+			s.Marked++
+			if in.Module != "sql" {
+				s.MarkedNonBind++
+			}
+		})
 		start := time.Now()
 		ret, err := fn(ctx, in, args)
+		elapsed := time.Since(start)
 		if err != nil {
 			return err
 		}
-		ctx.Stats.TimeInMarked += time.Since(start)
+		ctx.UpdateStats(func(s *QueryStats) { s.TimeInMarked += elapsed })
 		if in.Ret >= 0 {
 			ctx.Stack[in.Ret] = ret
 		}

@@ -1,6 +1,7 @@
 package mal
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -176,17 +177,19 @@ func TestTemplateStringRendersMarks(t *testing.T) {
 	}
 }
 
+// countingHook counts hook invocations atomically: the dataflow
+// scheduler may call Entry/Exit from several goroutines at once.
 type countingHook struct {
-	entries, exits int
+	entries, exits atomic.Int64
 }
 
 func (h *countingHook) Entry(_ *Ctx, _ int, _ *Instr, _ []Value) EntryResult {
-	h.entries++
+	h.entries.Add(1)
 	return EntryResult{}
 }
 
 func (h *countingHook) Exit(_ *Ctx, _ int, _ *Instr, _ []Value, _ Value, _ time.Duration, _ *Rewrite) uint64 {
-	h.exits++
+	h.exits.Add(1)
 	return 0
 }
 
@@ -209,8 +212,8 @@ func TestHookWrapsMarkedInstructions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.entries != marked || h.exits != marked {
-		t.Fatalf("hook calls = %d/%d, want %d", h.entries, h.exits, marked)
+	if h.entries.Load() != int64(marked) || h.exits.Load() != int64(marked) {
+		t.Fatalf("hook calls = %d/%d, want %d", h.entries.Load(), h.exits.Load(), marked)
 	}
 	if ctx.Stats.Marked != marked {
 		t.Fatalf("stats.Marked = %d, want %d", ctx.Stats.Marked, marked)

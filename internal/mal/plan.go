@@ -47,6 +47,15 @@ type Instr struct {
 // Name returns "module.op".
 func (in *Instr) Name() string { return in.Module + "." + in.Op }
 
+// HasSideEffect reports whether the instruction mutates query-visible
+// state beyond its result slot (the export family appends to the shared
+// result set). Side-effecting instructions keep program order relative
+// to each other under the dataflow scheduler, and root liveness in the
+// dead-code pass.
+func (in *Instr) HasSideEffect() bool {
+	return in.Ret < 0 || in.Module == "sql" && (in.Op == "exportValue" || in.Op == "exportCol")
+}
+
 // Param declares a template parameter.
 type Param struct {
 	Name string
@@ -68,6 +77,11 @@ type Template struct {
 
 	// VarNames holds a debug name per variable slot.
 	VarNames []string
+
+	// dag caches the dependency graph derived from Instrs. Freeze and
+	// the optimizer store it; Run loads it. Atomic so one template can
+	// be executed by many sessions concurrently.
+	dag atomic.Pointer[DAG]
 }
 
 var templateIDs atomic.Uint64
@@ -120,10 +134,120 @@ func (b *Builder) Do(module, op string, args ...Arg) {
 	b.t.Instrs = append(b.t.Instrs, Instr{Module: module, Op: op, Ret: -1, Args: args})
 }
 
-// Freeze finalises and returns the template.
+// Freeze finalises and returns the template. The dependency DAG for
+// the dataflow scheduler derives lazily on first use (and the
+// optimizer rebuilds it after rewriting the plan), so templates that
+// go straight into opt.Optimize do not pay for a graph that is
+// immediately discarded.
 func (b *Builder) Freeze() *Template {
 	b.t.NumVars = b.nextVar
 	return b.t
+}
+
+// DAG is the dataflow dependency graph of a template: instruction i
+// may execute once all its predecessors completed. Because plans are
+// single-assignment, every argument variable has exactly one producing
+// instruction, so the graph is acyclic by construction (producers
+// always precede consumers in program order).
+type DAG struct {
+	// NDeps[i] counts the distinct predecessor instructions of
+	// instruction i.
+	NDeps []int
+	// Succs[i] lists the instructions that must wait for instruction i.
+	Succs [][]int
+	// Roots lists the instructions with no predecessors — the initial
+	// ready set.
+	Roots []int
+}
+
+// BuildDAG (re)derives the dependency DAG from the current instruction
+// list and caches it on the template. Freeze calls it, and the
+// optimizer calls it again after rewriting instructions.
+func (t *Template) BuildDAG() *DAG {
+	d := buildDAG(t)
+	t.dag.Store(d)
+	return d
+}
+
+// DAG returns the cached dependency graph, deriving it on first use
+// for templates that bypassed Freeze.
+func (t *Template) DAG() *DAG {
+	if d := t.dag.Load(); d != nil {
+		return d
+	}
+	return t.BuildDAG()
+}
+
+func buildDAG(t *Template) *DAG {
+	n := len(t.Instrs)
+	d := &DAG{NDeps: make([]int, n), Succs: make([][]int, n)}
+	producer := make([]int, t.NumVars)
+	for i := range producer {
+		producer[i] = -1
+	}
+	lastEffect := -1
+	// sameSig chains statically identical instructions so a later
+	// duplicate still observes the earlier instance's pool admission
+	// (deterministic local reuse, as in the sequential interpreter).
+	sameSig := make(map[string]int, n)
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		preds := make([]int, 0, len(in.Args)+2)
+		addPred := func(p int) {
+			for _, q := range preds {
+				if q == p {
+					return
+				}
+			}
+			preds = append(preds, p)
+			d.Succs[p] = append(d.Succs[p], i)
+			d.NDeps[i]++
+		}
+		for _, a := range in.Args {
+			if !a.IsConst() && a.Var < len(producer) && producer[a.Var] >= 0 {
+				addPred(producer[a.Var])
+			}
+		}
+		if in.HasSideEffect() {
+			if lastEffect >= 0 {
+				addPred(lastEffect)
+			}
+			lastEffect = i
+		}
+		key := staticSig(in)
+		if prev, ok := sameSig[key]; ok {
+			addPred(prev)
+		}
+		sameSig[key] = i
+		if in.Ret >= 0 && in.Ret < len(producer) {
+			producer[in.Ret] = i
+		}
+		if d.NDeps[i] == 0 {
+			d.Roots = append(d.Roots, i)
+		}
+	}
+	return d
+}
+
+// staticSig renders an instruction's compile-time identity: operation
+// plus argument slots/literals. Two instructions with equal static
+// signatures compute the same value in every instance of the template.
+func staticSig(in *Instr) string {
+	var sb strings.Builder
+	sb.WriteString(in.Name())
+	sb.WriteByte('(')
+	for i, a := range in.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if a.IsConst() {
+			sb.WriteString(a.Const.String())
+		} else {
+			fmt.Fprintf(&sb, "V%d", a.Var)
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
 }
 
 // String renders the template as a readable MAL-like listing.

@@ -30,6 +30,9 @@ func Optimize(t *mal.Template, opts Options) *mal.Template {
 	if !opts.SkipRecycler {
 		MarkRecycle(t)
 	}
+	// The passes rewrite the instruction list in place; rebuild the
+	// dataflow dependency DAG so the scheduler sees the final plan.
+	t.BuildDAG()
 	return t
 }
 
@@ -96,8 +99,7 @@ func DeadCode(t *mal.Template) {
 	// Walk backwards: side-effect instructions root the liveness.
 	for i := len(t.Instrs) - 1; i >= 0; i-- {
 		in := &t.Instrs[i]
-		sideEffect := in.Ret < 0 || in.Module == "sql" && (in.Op == "exportValue" || in.Op == "exportCol")
-		if sideEffect || (in.Ret >= 0 && used[in.Ret]) {
+		if in.HasSideEffect() || (in.Ret >= 0 && used[in.Ret]) {
 			keep[i] = true
 			for _, a := range in.Args {
 				if !a.IsConst() {

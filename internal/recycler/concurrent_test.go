@@ -31,7 +31,9 @@ func TestConcurrentQueryStreams(t *testing.T) {
 				qid := queryID.Add(1)
 				f.rec.BeginQuery(qid, tmpl.ID)
 				ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: qid}
-				if err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(hi)); err != nil {
+				err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(hi))
+				f.rec.EndQuery(qid)
+				if err != nil {
 					errs <- err.Error()
 					return
 				}
@@ -82,6 +84,7 @@ func TestConcurrentWithEviction(t *testing.T) {
 				if err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(lo+5)); err != nil {
 					panic(err)
 				}
+				f.rec.EndQuery(qid)
 			}
 		}(w)
 	}

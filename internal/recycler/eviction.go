@@ -32,10 +32,10 @@ func (k EvictionKind) String() string {
 // cleanCache frees room for a new intermediate of the given size,
 // and/or one pool entry when the entry limit is reached. It iterates
 // over successive leaf frontiers: evicting one frontier may expose new
-// leaves. Entries pinned by the running query are protected; when the
-// running query's own intermediates fill the pool, the protection is
-// lifted except for the direct arguments of the pending admission
-// (the footnote-3 exception).
+// leaves. Entries pinned by currently active queries are protected;
+// when the active queries' own intermediates fill the pool, the
+// protection is lifted except for the direct arguments of the pending
+// admission (the footnote-3 exception).
 func (r *Recycler) cleanCache(needBytes int64, needEntries int, protect map[uint64]bool) bool {
 	guard := 0
 	for needBytes > 0 || needEntries > 0 {
@@ -43,12 +43,12 @@ func (r *Recycler) cleanCache(needBytes int64, needEntries int, protect map[uint
 		if guard > 1_000_000 {
 			return false
 		}
-		leaves := r.pool.Leaves(r.curQuery)
+		leaves := r.pool.Leaves(r.pinnedByActive)
 		leaves = filterProtected(leaves, protect)
 		if len(leaves) == 0 {
-			// Single-query-fills-pool exception: consider pinned
+			// Active-queries-fill-pool exception: consider pinned
 			// leaves too, still excluding direct arguments.
-			leaves = filterProtected(r.pool.Leaves(0), protect)
+			leaves = filterProtected(r.pool.Leaves(nil), protect)
 			if len(leaves) == 0 {
 				return false
 			}

@@ -13,12 +13,43 @@ import (
 // deltas are pushed through the cheap operator classes and only the
 // remainder of each cached plan is invalidated.
 
+// OnBeforeUpdate implements catalog.UpdateListener: it marks the
+// table as having a commit in flight and advances the update epoch
+// before the mutation becomes visible. Queries already running are
+// caught by the epoch bump (their began is now older than the table's
+// eventual commit epoch); queries that begin inside the window are
+// caught by the pending counter. Together they close the gap in which
+// a query could mix post-commit binds with pre-commit pool entries.
+func (r *Recycler) OnBeforeUpdate(t *catalog.Table) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch++
+	r.tableEpoch[t.QName()] = r.epoch
+	r.pending[t.QName()]++
+}
+
+// OnAbortUpdate implements catalog.UpdateListener: the announced
+// statement committed nothing. The table's epoch stays bumped — a
+// harmless conservatism for queries concurrent with the no-op.
+func (r *Recycler) OnAbortUpdate(t *catalog.Table) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending[t.QName()] > 0 {
+		r.pending[t.QName()]--
+	}
+}
+
 // OnUpdate implements catalog.UpdateListener.
 func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	refs := make([]ColumnRef, 0, len(ev.Cols)+1)
 	qname := ev.Table.QName()
+	r.epoch++
+	r.tableEpoch[qname] = r.epoch
+	if r.pending[qname] > 0 {
+		r.pending[qname]--
+	}
+	refs := make([]ColumnRef, 0, len(ev.Cols)+1)
 	for _, c := range ev.Cols {
 		refs = append(refs, ColumnRef{Table: qname, Column: c})
 	}
@@ -43,6 +74,11 @@ func (r *Recycler) OnDrop(t *catalog.Table) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	qname := t.QName()
+	r.epoch++
+	r.tableEpoch[qname] = r.epoch
+	if r.pending[qname] > 0 {
+		r.pending[qname]--
+	}
 	for ref, m := range r.pool.byCol {
 		if ref.Table != qname {
 			continue

@@ -268,16 +268,17 @@ func removeEntry(s []*Entry, e *Entry) []*Entry {
 	return s
 }
 
-// Leaves returns the valid entries with no in-pool dependents that are
-// not pinned by the given query. Eviction operates on leaves only,
-// preserving lineage (paper §4.3).
-func (p *Pool) Leaves(excludePinnedBy uint64) []*Entry {
+// Leaves returns the valid entries with no in-pool dependents,
+// skipping those for which pinned reports true (nil lifts the
+// protection). Eviction operates on leaves only, preserving lineage
+// (paper §4.3).
+func (p *Pool) Leaves(pinned func(*Entry) bool) []*Entry {
 	var out []*Entry
 	for _, e := range p.entries {
 		if e.dependents > 0 {
 			continue
 		}
-		if excludePinnedBy != 0 && e.pinnedQuery == excludePinnedBy {
+		if pinned != nil && pinned(e) {
 			continue
 		}
 		out = append(out, e)

@@ -52,12 +52,12 @@ func TestPoolLineageDependents(t *testing.T) {
 	child.DependsOn = []uint64{parent.ID}
 	p.Add(child)
 
-	leaves := p.Leaves(0)
+	leaves := p.Leaves(nil)
 	if len(leaves) != 1 || leaves[0] != child {
 		t.Fatalf("leaves = %v", leaves)
 	}
 	p.Remove(child)
-	leaves = p.Leaves(0)
+	leaves = p.Leaves(nil)
 	if len(leaves) != 1 || leaves[0] != parent {
 		t.Fatal("parent did not become leaf after child eviction")
 	}
@@ -68,14 +68,17 @@ func TestPoolPinnedLeavesExcluded(t *testing.T) {
 	e := mkEntry("a", 100, time.Millisecond)
 	p.Add(e)
 	e.pinnedQuery = 7
-	if len(p.Leaves(7)) != 0 {
+	pinnedBy := func(q uint64) func(*Entry) bool {
+		return func(e *Entry) bool { return e.pinnedQuery == q }
+	}
+	if len(p.Leaves(pinnedBy(7))) != 0 {
 		t.Fatal("pinned leaf not excluded")
 	}
-	if len(p.Leaves(8)) != 1 {
+	if len(p.Leaves(pinnedBy(8))) != 1 {
 		t.Fatal("unpinned query should see the leaf")
 	}
-	if len(p.Leaves(0)) != 1 {
-		t.Fatal("Leaves(0) must include pinned entries (footnote-3 path)")
+	if len(p.Leaves(nil)) != 1 {
+		t.Fatal("Leaves(nil) must include pinned entries (footnote-3 path)")
 	}
 }
 

@@ -62,6 +62,7 @@ func (f *fig3Fix) run(t *testing.T) *mal.Ctx {
 	f.qid++
 	ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: f.qid}
 	f.rec.BeginQuery(f.qid, f.tmpl.ID)
+	defer f.rec.EndQuery(f.qid)
 	if err := mal.Run(ctx, f.tmpl, nil...); err != nil {
 		t.Fatal(err)
 	}
@@ -176,6 +177,7 @@ func TestPropagationEquivalenceProperty(t *testing.T) {
 			ctx := &mal.Ctx{Cat: cat, Hook: hook, QueryID: qid}
 			if hook != nil {
 				rec.BeginQuery(qid, tmpl.ID)
+				defer rec.EndQuery(qid)
 			}
 			if err := mal.Run(ctx, tmpl); err != nil {
 				panic(err)
@@ -236,6 +238,7 @@ func TestPropagationJoinBothSidesDelta(t *testing.T) {
 		qid++
 		ctx := &mal.Ctx{Cat: cat, Hook: rec, QueryID: qid}
 		rec.BeginQuery(qid, tmpl.ID)
+		defer rec.EndQuery(qid)
 		if err := mal.Run(ctx, tmpl); err != nil {
 			t.Fatal(err)
 		}

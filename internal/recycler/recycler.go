@@ -57,19 +57,40 @@ type Config struct {
 // synchronisation.
 //
 // A single mutex serialises the hook and listener entry points, so
-// multiple interpreter sessions may share one recycler (concurrent
-// queries serialise only on pool operations, mirroring the shared
-// resource pool of the paper's multi-core setting). Catalog DDL/DML
-// must still not run concurrently with queries that read the same
-// tables — the storage layer itself is not versioned.
+// many concurrent sessions — and the instructions one query runs in
+// parallel under the dataflow scheduler — may share one recycler:
+// queries serialise only on pool operations while regular operator
+// bodies run outside the lock, mirroring the shared resource pool of
+// the paper's multi-core setting. (The exception is combined
+// subsumption, whose piecewise selects and merge execute inside Entry
+// and therefore under the lock.) Per-query statistics are written
+// through mal.Ctx.UpdateStats, never directly, so they cannot race
+// with the interpreter's own bookkeeping.
 type Recycler struct {
 	cfg  Config
 	pool *Pool
 	adm  *admission
 	cat  *catalog.Catalog
 
-	mu       sync.Mutex
-	curQuery uint64
+	mu sync.Mutex
+	// active tracks the queries currently executing (BeginQuery ..
+	// EndQuery), mapping each to the update epoch it began under. Pool
+	// entries last touched by an active query are pinned against
+	// eviction.
+	active map[uint64]uint64
+	// epoch counts committed catalog updates; tableEpoch records, per
+	// schema-qualified table, the epoch of its latest commit; pending
+	// counts the table's commits currently in flight (OnBeforeUpdate
+	// received, completion not yet). A query that began before a
+	// table's latest commit — or that runs while one is in flight —
+	// may mix pre- and post-update state, so intermediates depending
+	// on the table are refused both admission and hits for it:
+	// otherwise the query could re-admit or consume a result that is
+	// inconsistent with its own operands or that outlives the
+	// invalidation pass.
+	epoch      uint64
+	tableEpoch map[string]uint64
+	pending    map[string]int
 }
 
 // New creates a recycler over the given catalog.
@@ -78,15 +99,30 @@ func New(cat *catalog.Catalog, cfg Config) *Recycler {
 		cfg.MaxCombined = 16
 	}
 	r := &Recycler{
-		cfg:  cfg,
-		pool: NewPool(),
-		adm:  newAdmission(cfg.Admission, cfg.Credits),
-		cat:  cat,
+		cfg:        cfg,
+		pool:       NewPool(),
+		adm:        newAdmission(cfg.Admission, cfg.Credits),
+		cat:        cat,
+		active:     make(map[uint64]uint64),
+		tableEpoch: make(map[string]uint64),
+		pending:    make(map[string]int),
 	}
 	if cat != nil {
 		cat.AddListener(r)
 	}
 	return r
+}
+
+// Close detaches the recycler from the catalog's listener list and
+// empties the pool. Benchmarks that cycle many recycler
+// configurations over one shared catalog call it when a configuration
+// retires, so dead pools are unreachable and later DML no longer pays
+// for notifying them.
+func (r *Recycler) Close() {
+	if r.cat != nil {
+		r.cat.RemoveListener(r)
+	}
+	r.Reset()
 }
 
 // Pool exposes the recycle pool for inspection and experiments.
@@ -135,13 +171,55 @@ func (r *Recycler) Reset() {
 }
 
 // BeginQuery starts a query invocation: the recycler notes the
-// invocation for the adaptive admission policy and uses the id for
-// local/global reuse classification and eviction pinning.
+// invocation for the adaptive admission policy and adds the query to
+// the active set used for eviction pinning. Pair with EndQuery.
 func (r *Recycler) BeginQuery(queryID uint64, templID uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.curQuery = queryID
+	r.active[queryID] = r.epoch
 	r.adm.beginQuery(templID)
+}
+
+// EndQuery marks a query invocation finished, unpinning the pool
+// entries it touched so eviction may reclaim them.
+func (r *Recycler) EndQuery(queryID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.active, queryID)
+}
+
+// pinnedByActive reports whether the entry was last touched by a query
+// that is still executing; such entries are protected from eviction.
+// Caller holds r.mu.
+func (r *Recycler) pinnedByActive(e *Entry) bool {
+	_, ok := r.active[e.pinnedQuery]
+	return ok
+}
+
+// staleSince reports whether any of the dep tables committed an update
+// after the given epoch or has a commit in flight — i.e. whether
+// operands read from them may predate that update. Caller holds r.mu.
+func (r *Recycler) staleSince(deps []ColumnRef, began uint64) bool {
+	for _, d := range deps {
+		if r.tableEpoch[d.Table] > began || r.pending[d.Table] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// usable reports whether entry e may satisfy a hit for ctx's query. A
+// query that began before the latest commit to one of e's dep tables
+// must not consume the entry: e may hold a post-update result (a
+// propagate-mode refresh, or a re-admission by a younger query) that
+// is inconsistent with operands the old query bound before the
+// commit. Caller holds r.mu.
+func (r *Recycler) usable(ctx *mal.Ctx, e *Entry) bool {
+	began, ok := r.active[ctx.QueryID]
+	if !ok {
+		return true
+	}
+	return !r.staleSince(e.Deps, began)
 }
 
 // signature renders the canonical matching key of an instruction
@@ -196,12 +274,14 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 	defer r.mu.Unlock()
 	sig, matchable := signature(in, args)
 	if matchable {
-		if e := r.pool.Lookup(sig); e != nil {
+		if e := r.pool.Lookup(sig); e != nil && r.usable(ctx, e) {
 			r.noteReuse(ctx, in, e)
-			ctx.Stats.Hits++
-			if in.Module != "sql" {
-				ctx.Stats.HitsNonBind++
-			}
+			ctx.UpdateStats(func(s *mal.QueryStats) {
+				s.Hits++
+				if in.Module != "sql" {
+					s.HitsNonBind++
+				}
+			})
 			return mal.EntryResult{Hit: true, Val: e.Result}
 		}
 	}
@@ -224,19 +304,25 @@ func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
 	e.ReuseCount++
 	e.LastUseTick = r.pool.Tick()
 	e.SavedTotal += e.Cost
-	e.pinnedQuery = r.curQuery
+	e.pinnedQuery = ctx.QueryID
 	key := instrKey{templ: e.TemplID, pc: e.PC}
-	if e.QueryID == ctx.QueryID {
-		ctx.Stats.LocalHits++
-		ctx.Stats.SavedLocal += e.Cost
+	local := e.QueryID == ctx.QueryID
+	if local {
 		r.adm.onLocalReuse(key)
 	} else {
 		e.GlobalReuse = true
-		ctx.Stats.GlobalHits++
-		ctx.Stats.SavedGlobal += e.Cost
 		r.adm.onGlobalReuse(key)
 	}
-	ctx.Stats.SavedTime += e.Cost
+	ctx.UpdateStats(func(s *mal.QueryStats) {
+		if local {
+			s.LocalHits++
+			s.SavedLocal += e.Cost
+		} else {
+			s.GlobalHits++
+			s.SavedGlobal += e.Cost
+		}
+		s.SavedTime += e.Cost
+	})
 }
 
 // Exit implements recycleExit (Algorithm 1, lines 18–23): admission of
@@ -253,6 +339,14 @@ func (r *Recycler) Exit(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, r
 func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
 	sig, matchable := signature(in, args)
 	if !matchable {
+		return 0
+	}
+	deps := r.columnDeps(in, args)
+	if began, ok := r.active[ctx.QueryID]; ok && r.staleSince(deps, began) {
+		// A table this intermediate depends on committed an update
+		// while the query was running: the operands may predate the
+		// update, and admitting them now would outlive the
+		// invalidation pass that already ran.
 		return 0
 	}
 	if existing := r.pool.Lookup(sig); existing != nil {
@@ -280,12 +374,12 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 			return 0
 		}
 	}
-	e := r.buildEntry(ctx, pc, in, args, ret, elapsed, sig)
+	e := r.buildEntry(ctx, pc, in, args, ret, elapsed, sig, deps)
 	if rw != nil {
 		e.SubsetOf = rw.SubsetOf
 	}
 	r.pool.Add(e)
-	e.pinnedQuery = r.curQuery
+	e.pinnedQuery = ctx.QueryID
 	return e.ID
 }
 
@@ -302,7 +396,7 @@ func protectSet(args []mal.Value) map[uint64]bool {
 // buildEntry captures an executed instruction instance into a pool
 // entry, deriving lineage edges, column dependencies and subsumption
 // metadata.
-func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, sig string) *Entry {
+func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, sig string, deps []ColumnRef) *Entry {
 	now := r.pool.Tick()
 	e := &Entry{
 		Sig:         sig,
@@ -326,7 +420,7 @@ func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 			e.DependsOn = append(e.DependsOn, a.Prov)
 		}
 	}
-	e.Deps = r.columnDeps(in, args)
+	e.Deps = deps
 
 	switch in.Name() {
 	case "algebra.select":

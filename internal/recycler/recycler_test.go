@@ -42,6 +42,7 @@ func (f *fixture) run(t *testing.T, tmpl *mal.Template, params ...mal.Value) *ma
 	f.queryID++
 	ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: f.queryID}
 	f.rec.BeginQuery(f.queryID, tmpl.ID)
+	defer f.rec.EndQuery(f.queryID)
 	if err := mal.Run(ctx, tmpl, params...); err != nil {
 		t.Fatal(err)
 	}
@@ -491,6 +492,7 @@ func TestLikeSubsumption(t *testing.T) {
 	run := func(q uint64, pat string) *mal.Ctx {
 		ctx := &mal.Ctx{Cat: cat, Hook: rec, QueryID: q}
 		rec.BeginQuery(q, tmpl.ID)
+		defer rec.EndQuery(q)
 		if err := mal.Run(ctx, tmpl, mal.StrV(pat)); err != nil {
 			t.Fatal(err)
 		}
@@ -746,6 +748,7 @@ func (f *fixture) runQuiet(tmpl *mal.Template, params ...mal.Value) *mal.Ctx {
 	f.queryID++
 	ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: f.queryID}
 	f.rec.BeginQuery(f.queryID, tmpl.ID)
+	defer f.rec.EndQuery(f.queryID)
 	if err := mal.Run(ctx, tmpl, params...); err != nil {
 		panic(err)
 	}

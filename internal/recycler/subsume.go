@@ -78,6 +78,9 @@ func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal
 	// smallest superset intermediate.
 	var best *Entry
 	for _, e := range cands {
+		if !r.usable(ctx, e) {
+			continue
+		}
 		if !rangeContains(e.SelLo, e.SelIncLo, e.SelHi, e.SelIncHi, lo, incLo, hi, incHi) {
 			continue
 		}
@@ -87,7 +90,7 @@ func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal
 	}
 	if best != nil {
 		r.noteReuse(ctx, in, best)
-		ctx.Stats.Subsumed++
+		ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
 		newArgs := append([]mal.Value(nil), args...)
 		newArgs[0] = best.Result
 		return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
@@ -110,6 +113,9 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	// R: candidates overlapping the target range, capped for safety.
 	var R []*Entry
 	for _, e := range cands {
+		if !r.usable(ctx, e) {
+			continue
+		}
 		if rangesOverlap(e.SelLo, e.SelHi, lo, hi) {
 			R = append(R, e)
 			if len(R) >= r.cfg.MaxCombined {
@@ -118,7 +124,8 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 		}
 	}
 	if len(R) < 2 {
-		ctx.Stats.SubsumeOverhead += time.Since(searchStart)
+		overhead := time.Since(searchStart)
+		ctx.UpdateStats(func(s *mal.QueryStats) { s.SubsumeOverhead += overhead })
 		return mal.EntryResult{}
 	}
 
@@ -201,7 +208,8 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 		}
 		p1 = p2
 	}
-	ctx.Stats.SubsumeOverhead += time.Since(searchStart)
+	overhead := time.Since(searchStart)
+	ctx.UpdateStats(func(s *mal.QueryStats) { s.SubsumeOverhead += overhead })
 	if sol == nil {
 		return mal.EntryResult{}
 	}
@@ -218,13 +226,14 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	}
 	merged := algebra.MergeDedupByHead(parts)
 	elapsed := time.Since(execStart)
-	ctx.Stats.CombinedExec += elapsed
-
-	ctx.Stats.Hits++
-	ctx.Stats.Combined++
-	if in.Module != "sql" {
-		ctx.Stats.HitsNonBind++
-	}
+	ctx.UpdateStats(func(s *mal.QueryStats) {
+		s.CombinedExec += elapsed
+		s.Hits++
+		s.Combined++
+		if in.Module != "sql" {
+			s.HitsNonBind++
+		}
+	})
 
 	val := mal.BatV(merged)
 	// Admit the combined result under the original signature so later
@@ -243,6 +252,9 @@ func (r *Recycler) subsumeLike(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) ma
 	target := args[1].S
 	var best *Entry
 	for _, e := range r.pool.LikeCandidates(colKey) {
+		if !r.usable(ctx, e) {
+			continue
+		}
 		lit, pure := algebra.LikeLiteral(e.LikePat)
 		if !pure || lit == "" {
 			continue
@@ -258,7 +270,7 @@ func (r *Recycler) subsumeLike(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) ma
 		return mal.EntryResult{}
 	}
 	r.noteReuse(ctx, in, best)
-	ctx.Stats.Subsumed++
+	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
 	newArgs := append([]mal.Value(nil), args...)
 	newArgs[0] = best.Result
 	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
@@ -286,6 +298,9 @@ func (r *Recycler) subsumeSemijoin(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 	}
 	var best *Entry
 	for _, e := range r.pool.SemijoinCandidates(px) {
+		if !r.usable(ctx, e) {
+			continue
+		}
 		if e.SemiRight == pw {
 			continue // exact match handled earlier; defensive
 		}
@@ -300,7 +315,7 @@ func (r *Recycler) subsumeSemijoin(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 		return mal.EntryResult{}
 	}
 	r.noteReuse(ctx, in, best)
-	ctx.Stats.Subsumed++
+	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
 	newArgs := append([]mal.Value(nil), args...)
 	newArgs[0] = best.Result
 	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}

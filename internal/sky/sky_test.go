@@ -16,6 +16,7 @@ func runQ(t *testing.T, db *DB, rec *recycler.Recycler, qid uint64, tmpl *mal.Te
 	if rec != nil {
 		ctx.Hook = rec
 		rec.BeginQuery(qid, tmpl.ID)
+		defer rec.EndQuery(qid)
 	}
 	if err := mal.Run(ctx, tmpl, params...); err != nil {
 		t.Fatal(err)

@@ -119,7 +119,9 @@ func TestRandomQueriesMatchReference(t *testing.T) {
 			qid := uint64(q + 1)
 			rec.BeginQuery(qid, tmpl.ID)
 			ctx := &mal.Ctx{Cat: pt.cat, Hook: rec, QueryID: qid}
-			if err := mal.Run(ctx, tmpl, params...); err != nil {
+			err = mal.Run(ctx, tmpl, params...)
+			rec.EndQuery(qid)
+			if err != nil {
 				return false
 			}
 			var want int64

@@ -45,6 +45,7 @@ func execVia(t *testing.T, f *Frontend, cat *catalog.Catalog, hook mal.RecyclerH
 	ctx := &mal.Ctx{Cat: cat, Hook: hook, QueryID: qid}
 	if r, ok := hook.(*recycler.Recycler); ok && r != nil {
 		r.BeginQuery(qid, tmpl.ID)
+		defer r.EndQuery(qid)
 	}
 	if err := mal.Run(ctx, tmpl, params...); err != nil {
 		t.Fatalf("%s: %v", src, err)

@@ -194,6 +194,7 @@ func TestAllQueriesRecycledEqualsNaive(t *testing.T) {
 			if err := mal.Run(rctx, d.Templ, params...); err != nil {
 				t.Fatalf("%s (recycled): %v", d.Name, err)
 			}
+			rec.EndQuery(qid)
 			nctx := &mal.Ctx{Cat: testDB.Cat}
 			if err := mal.Run(nctx, d.Templ, params...); err != nil {
 				t.Fatalf("%s (naive): %v", d.Name, err)
@@ -242,6 +243,7 @@ func TestQ18InterQueryReuse(t *testing.T) {
 		if err := mal.Run(ctx, d.Templ, mal.IntV(qty)); err != nil {
 			t.Fatal(err)
 		}
+		rec.EndQuery(qid)
 		return ctx
 	}
 	run1(1, 180)
@@ -264,6 +266,7 @@ func TestQ11IntraQueryReuse(t *testing.T) {
 	if err := mal.Run(ctx, d.Templ, mal.StrV("GERMANY")); err != nil {
 		t.Fatal(err)
 	}
+	rec.EndQuery(1)
 	if ctx.Stats.LocalHits == 0 {
 		t.Fatal("Q11 sub-query chain not reused locally")
 	}
@@ -281,6 +284,7 @@ func TestQ6NoOverlap(t *testing.T) {
 		if err := mal.Run(ctx, d.Templ, d.Params(rng)...); err != nil {
 			t.Fatal(err)
 		}
+		rec.EndQuery(i)
 		last = ctx
 	}
 	if last.Stats.HitsNonBind > 0 && last.Stats.Subsumed == 0 {
@@ -332,6 +336,7 @@ func TestUpdateBlockInvalidatesRecycler(t *testing.T) {
 	if err := mal.Run(ctx, d.Templ, mal.IntV(180)); err != nil {
 		t.Fatal(err)
 	}
+	rec.EndQuery(1)
 	if rec.Pool().Len() == 0 {
 		t.Fatal("nothing admitted")
 	}
@@ -350,6 +355,7 @@ func TestUpdateBlockInvalidatesRecycler(t *testing.T) {
 	if err := mal.Run(ctx2, d.Templ, mal.IntV(180)); err != nil {
 		t.Fatal(err)
 	}
+	rec.EndQuery(2)
 	if ctx2.Results[0].Val.I != refQ18(db, 180) {
 		t.Fatalf("Q18 after update = %d, want %d", ctx2.Results[0].Val.I, refQ18(db, 180))
 	}
@@ -368,6 +374,7 @@ func TestAllQueriesRunAfterUpdates(t *testing.T) {
 			if err := mal.Run(ctx, d.Templ, d.Params(rng)...); err != nil {
 				t.Fatalf("%s after updates: %v", d.Name, err)
 			}
+			rec.EndQuery(qid)
 		}
 		db.UpdateBlock()
 	}
