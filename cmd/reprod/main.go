@@ -1,0 +1,186 @@
+// Command reprod runs the engine as a network service: a generated
+// SkyServer or TPC-H catalog served over HTTP/JSON and a line-oriented
+// TCP protocol, with every client's queries sharing one recycle pool —
+// the paper's multi-user setting (§8) as a long-running server.
+//
+// Usage:
+//
+//	reprod -db sky -objects 200000 -http :8080 -tcp :5432
+//	reprod -db tpch -sf 0.05 -admission crd -credits 5 -eviction lru -maxbytes 64000000
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "SELECT ..."}  -> rows + per-query recycler stats
+//	POST /exec    {"sql": "INSERT ..."}  -> rows affected (INSERT/DELETE subset)
+//	GET  /stats   engine + server counters as JSON
+//	GET  /metrics Prometheus text format
+//	GET  /healthz liveness probe
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners close, queued
+// statements are refused, in-flight queries drain (releasing their
+// recycle pool pins), and the process reports the final pool state.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/recycler"
+	"repro/internal/server"
+	"repro/internal/sky"
+	"repro/internal/tpch"
+)
+
+func main() {
+	db := flag.String("db", "sky", "database to generate: sky or tpch")
+	objects := flag.Int("objects", 200000, "sky object count")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	httpAddr := flag.String("http", ":8080", "HTTP listen address")
+	tcpAddr := flag.String("tcp", "", "TCP protocol listen address (empty = disabled)")
+	maxConc := flag.Int("max-concurrency", 0, "admission gate width (0 = 2*GOMAXPROCS)")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max wait for an execution slot (0 = as long as the client waits)")
+	maxRows := flag.Int("max-rows", 1000, "per-column row cap on responses")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	workers := flag.Int("workers", 0, "per-query dataflow workers (0 = GOMAXPROCS, 1 = sequential)")
+
+	noRecycle := flag.Bool("norecycle", false, "disable the recycler (baseline serving)")
+	admission := flag.String("admission", "keepall", "admission policy: keepall, crd or adapt")
+	credits := flag.Int("credits", 3, "credit count k for crd/adapt")
+	eviction := flag.String("eviction", "lru", "eviction policy: lru, bp or hp")
+	maxBytes := flag.Int64("maxbytes", 0, "recycle pool byte limit (0 = unlimited)")
+	maxEntries := flag.Int("maxentries", 0, "recycle pool entry limit (0 = unlimited)")
+	subsume := flag.Bool("subsume", true, "enable singleton subsumption")
+	combined := flag.Bool("combined", false, "enable combined subsumption (Algorithm 2)")
+	syncMode := flag.String("sync", "invalidate", "update synchronisation: invalidate or propagate")
+	flag.Parse()
+
+	cat, desc := generate(*db, *objects, *sf)
+	fmt.Println(desc)
+
+	opts := []repro.Option{repro.WithWorkers(*workers)}
+	if !*noRecycle {
+		cfg, err := recyclerConfig(*admission, *credits, *eviction, *maxBytes, *maxEntries, *subsume, *combined, *syncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, repro.WithRecycler(cfg))
+		fmt.Printf("recycler: admission=%s eviction=%s subsume=%v combined=%v sync=%s\n",
+			*admission, *eviction, *subsume, *combined, *syncMode)
+	} else {
+		fmt.Println("recycler: disabled")
+	}
+	eng := repro.NewEngine(cat, opts...)
+	srv := server.New(eng, server.Config{
+		MaxConcurrency: *maxConc,
+		QueueTimeout:   *queueTimeout,
+		MaxRows:        *maxRows,
+	})
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+	errc := make(chan error, 2)
+	go func() {
+		fmt.Printf("http: listening on %s\n", *httpAddr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tcp: listening on %s\n", *tcpAddr)
+		go func() {
+			if err := srv.ServeTCP(ln); err != nil {
+				errc <- err
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("\n%v: draining (budget %v) ...\n", sig, *drainTimeout)
+	case err := <-errc:
+		log.Printf("serve error: %v; shutting down", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d queries, %d execs (%d errors, %d rejected)\n",
+		st.Server.Queries, st.Server.Execs, st.Server.Errors, st.Server.Rejected)
+	if st.Engine.Recycling {
+		fmt.Printf("pool: %d entries / %d KB, %d reuses, %d invalidated; active queries at exit: %d\n",
+			st.Engine.Recycler.Entries, st.Engine.Recycler.Bytes/1024,
+			st.Engine.Recycler.Reuses, st.Engine.Recycler.Invalidated,
+			st.Engine.ActiveQueries)
+	}
+}
+
+func generate(db string, objects int, sf float64) (*catalog.Catalog, string) {
+	switch db {
+	case "sky":
+		d := sky.Generate(objects, 17)
+		return d.Cat, fmt.Sprintf("SkyServer: %d objects", d.Objects)
+	case "tpch":
+		d := tpch.Generate(sf, 7)
+		return d.Cat, fmt.Sprintf("TPC-H SF %.3f: %d orders, %d lineitems", sf, d.Orders, d.Lineitems)
+	}
+	log.Fatalf("unknown db %q (want sky or tpch)", db)
+	return nil, ""
+}
+
+func recyclerConfig(admission string, credits int, eviction string, maxBytes int64, maxEntries int, subsume, combined bool, syncMode string) (recycler.Config, error) {
+	cfg := recycler.Config{
+		Credits:             credits,
+		MaxBytes:            maxBytes,
+		MaxEntries:          maxEntries,
+		Subsumption:         subsume,
+		CombinedSubsumption: combined,
+	}
+	switch admission {
+	case "keepall":
+		cfg.Admission = recycler.KeepAll
+	case "crd":
+		cfg.Admission = recycler.Credit
+	case "adapt":
+		cfg.Admission = recycler.Adapt
+	default:
+		return cfg, fmt.Errorf("unknown admission policy %q (want keepall, crd or adapt)", admission)
+	}
+	switch eviction {
+	case "lru":
+		cfg.Eviction = recycler.EvictLRU
+	case "bp":
+		cfg.Eviction = recycler.EvictBP
+	case "hp":
+		cfg.Eviction = recycler.EvictHP
+	default:
+		return cfg, fmt.Errorf("unknown eviction policy %q (want lru, bp or hp)", eviction)
+	}
+	switch syncMode {
+	case "invalidate":
+		cfg.Sync = recycler.SyncInvalidate
+	case "propagate":
+		cfg.Sync = recycler.SyncPropagate
+	default:
+		return cfg, fmt.Errorf("unknown sync mode %q (want invalidate or propagate)", syncMode)
+	}
+	return cfg, nil
+}

@@ -13,17 +13,26 @@
 //	subsume  B2/B4 combined-subsumption micro-benchmarks (Fig. 15)
 //	mt       multi-client throughput over one shared recycler pool,
 //	         sequential interpreter vs dataflow scheduler (§6 multi-user)
-//	all      everything above
+//	serve    closed-loop HTTP load against an in-process server
+//	         (internal/server): -clients workers for -duration, naive
+//	         vs shared-recycler, measuring over-the-wire speedup
+//	all      everything above except serve (serve needs wall-clock time)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"time"
 
+	"repro"
 	"repro/internal/bench"
 	"repro/internal/recycler"
+	"repro/internal/server"
 	"repro/internal/sky"
 )
 
@@ -33,8 +42,9 @@ func main() {
 	seeds := flag.Int("seeds", 12, "seed queries per micro-benchmark")
 	sel := flag.Float64("s", 0.02, "seed query selectivity (micro-benchmarks)")
 	seed := flag.Int64("seed", 42, "workload random seed")
-	clients := flag.Int("clients", max(4, runtime.GOMAXPROCS(0)), "max concurrent clients (mt experiment)")
+	clients := flag.Int("clients", max(4, runtime.GOMAXPROCS(0)), "max concurrent clients (mt and serve experiments)")
 	workers := flag.Int("workers", 0, "per-query dataflow workers (mt experiment; 0 = max(2, GOMAXPROCS))")
+	duration := flag.Duration("duration", 5*time.Second, "closed-loop run length per configuration (serve experiment)")
 	flag.Parse()
 
 	exp := flag.Arg(0)
@@ -54,6 +64,8 @@ func main() {
 		runSubsume(db, *seeds, *sel, *seed)
 	case "mt":
 		runMT(db, *n, *clients, *workers, *seed)
+	case "serve":
+		runServe(db, *n, *clients, *duration, *seed)
 	case "all":
 		runBatch(db, *n, *seed)
 		runTable3(db, *n, *seed)
@@ -135,6 +147,59 @@ func runMT(db *sky.DB, n, maxClients, workers int, seed int64) {
 		}
 	}
 	bench.PrintMT(os.Stdout, rows)
+	fmt.Println()
+}
+
+// runServe measures the recycler over the wire: an in-process HTTP
+// server (the same stack cmd/reprod runs) is driven by `clients`
+// closed-loop workers for `dur`, once without and once with a shared
+// recycler. The workload is the SkyServer SQL mix, so overlapping
+// bounding-box searches from different clients meet in the pool.
+func runServe(db *sky.DB, n, clients int, dur time.Duration, seed int64) {
+	fmt.Printf("== Closed-loop HTTP load: %d clients for %v per configuration ==\n", clients, dur)
+	queries := bench.SkySQLWorkload(n, seed)
+	var rows []bench.LoadResult
+	for _, recycled := range []bool{false, true} {
+		opts := []repro.Option{}
+		label := "naive"
+		if recycled {
+			label = "recycled"
+			opts = append(opts, repro.WithRecycler(recycler.Config{
+				Admission: recycler.KeepAll, Subsumption: true,
+			}))
+		}
+		eng := repro.NewEngine(db.Cat, opts...)
+		srv := server.New(eng, server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+			os.Exit(1)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+
+		res := bench.HTTPLoad("http://"+ln.Addr().String(), queries, clients, dur)
+		res.Label = label
+		rows = append(rows, res)
+
+		st := srv.Stats()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		hs.Shutdown(ctx)
+		srv.Shutdown(ctx)
+		cancel()
+		if recycled {
+			fmt.Printf("   pool after run: %d entries / %d KB, %d reuses, active queries %d\n",
+				st.Engine.Recycler.Entries, st.Engine.Recycler.Bytes/1024,
+				st.Engine.Recycler.Reuses, st.Engine.ActiveQueries)
+		}
+		if rec := eng.Recycler(); rec != nil {
+			rec.Close()
+		}
+	}
+	bench.PrintLoad(os.Stdout, rows)
+	if rows[0].QPS > 0 {
+		fmt.Printf("over-the-wire speedup (recycled/naive QPS): %.2fx\n", rows[1].QPS/rows[0].QPS)
+	}
 	fmt.Println()
 }
 

@@ -51,20 +51,32 @@ type Engine struct {
 	rec     *recycler.Recycler
 	fe      *sqlfe.Frontend
 	queryID atomic.Uint64
+	errors  atomic.Uint64
 	measure bool
 	workers int
 }
 
-// Option configures an Engine.
+// Option configures an Engine at construction time. Options are
+// applied in the order given to NewEngine; later options win where
+// they overlap (e.g. two WithWorkers calls).
 type Option func(*Engine)
 
 // WithRecycler enables recycling with the given configuration.
+//
+// The cfg fields mirror the paper's knobs: Admission selects
+// keepall/crd/adapt (§4.2) with Credits as the k parameter, Eviction
+// selects lru/bp/hp (§4.3), MaxBytes/MaxEntries bound the pool,
+// Subsumption and CombinedSubsumption enable the §5 matching
+// extensions, and Sync picks invalidate vs propagate (§6). See
+// docs/TUNING.md for guidance on choosing a combination.
 func WithRecycler(cfg recycler.Config) Option {
 	return func(e *Engine) { e.rec = recycler.New(e.cat, cfg) }
 }
 
 // WithMeasure enables per-instruction timing of marked instructions
-// even without a recycler, so naive runs report potential savings.
+// even without a recycler, so naive runs report potential savings
+// (QueryStats.TimeInMarked). It adds one clock read per marked
+// instruction; leave it off for throughput benchmarks of naive runs.
 func WithMeasure() Option {
 	return func(e *Engine) { e.measure = true }
 }
@@ -72,14 +84,21 @@ func WithMeasure() Option {
 // WithSeqExec selects the sequential interpreter (mal.RunSeq) instead
 // of the dataflow scheduler — the paper's original single-threaded
 // execution model, and the baseline the scheduler is benchmarked
-// against. It is shorthand for WithWorkers(1): a single worker is the
-// one source of truth for sequential execution.
+// against.
+//
+// Deprecated: WithSeqExec is exactly WithWorkers(1); call that
+// directly. A single worker is the one source of truth for sequential
+// execution, and WithWorkers composes with later overrides where two
+// spellings of the same knob do not.
 func WithSeqExec() Option {
 	return WithWorkers(1)
 }
 
-// WithWorkers bounds the per-query dataflow parallelism (0 = one
-// worker per CPU, 1 = sequential execution).
+// WithWorkers bounds the per-query dataflow parallelism: n is the
+// maximum number of independent plan instructions one query executes
+// concurrently. n = 0 (the default) uses one worker per CPU
+// (GOMAXPROCS); n = 1 forces sequential execution; n > GOMAXPROCS is
+// allowed but cannot add parallelism beyond the machine.
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
@@ -116,11 +135,25 @@ type ExecResult struct {
 // template parameters, so repeated shapes share one template and the
 // recycler can match across instances (paper §2.2).
 func (e *Engine) ExecSQL(src string) (*ExecResult, error) {
-	tmpl, params, err := e.fe.Compile(src)
+	tmpl, params, err := e.CompileSQL(src)
 	if err != nil {
 		return nil, err
 	}
 	return e.Exec(tmpl, params...)
+}
+
+// CompileSQL parses the SQL text and returns the cached template plus
+// this instance's parameter values, without executing. Servers use it
+// to implement prepared statements over the shared shape cache.
+// Failed compiles count toward EngineStats.Errors, like failed
+// executions.
+func (e *Engine) CompileSQL(src string) (*mal.Template, []mal.Value, error) {
+	tmpl, params, err := e.fe.Compile(src)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, nil, err
+	}
+	return tmpl, params, nil
 }
 
 // Exec runs a compiled template with the given parameters.
@@ -133,9 +166,51 @@ func (e *Engine) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error)
 		defer e.rec.EndQuery(qid)
 	}
 	if err := mal.Run(ctx, t, params...); err != nil {
+		e.errors.Add(1)
 		return nil, err
 	}
 	return &ExecResult{Results: ctx.Results, Stats: ctx.Stats}, nil
+}
+
+// EngineStats is a point-in-time snapshot of everything an operator
+// needs to judge the engine's health: query counters, the recycle
+// pool's utilisation, the admission policy's decisions and the SQL
+// template cache. Recycler/Admission are zero-valued (with
+// Recycling=false) when the engine runs naive.
+type EngineStats struct {
+	// Queries counts query ids handed out (started queries); Errors
+	// counts compiles or executions that returned an error.
+	Queries uint64
+	Errors  uint64
+	// ActiveQueries is the number of queries currently executing under
+	// the recycler's pin set (0 when recycling is disabled).
+	ActiveQueries int
+
+	Recycling bool
+	Recycler  recycler.Stats
+	Admission recycler.AdmissionStats
+
+	// TemplateCache reports the SQL front end's shape cache.
+	TemplateCache sqlfe.CacheStats
+}
+
+// StatsSnapshot captures the engine-wide statistics. It is safe to
+// call concurrently with running queries; the counters are snapshotted
+// under the respective component locks, not atomically across
+// components.
+func (e *Engine) StatsSnapshot() EngineStats {
+	s := EngineStats{
+		Queries:       e.queryID.Load(),
+		Errors:        e.errors.Load(),
+		TemplateCache: e.fe.CacheStats(),
+	}
+	if e.rec != nil {
+		s.Recycling = true
+		s.Recycler = e.rec.Snapshot()
+		s.Admission = e.rec.AdmissionStats()
+		s.ActiveQueries = e.rec.ActiveQueries()
+	}
+	return s
 }
 
 // Session is a lightweight per-client handle onto a shared Engine —

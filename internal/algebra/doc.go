@@ -1,0 +1,7 @@
+// Package algebra implements the binary relational algebra operators of
+// the column-store engine: range and equality selections, joins,
+// semijoins, grouping, aggregation, column arithmetic and the auxiliary
+// viewpoint operators (markT, reverse, mirror). Every operator consumes
+// and fully materialises BATs, following the operator-at-a-time
+// execution paradigm the recycler harvests (paper §2.2–2.3).
+package algebra

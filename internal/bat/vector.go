@@ -1,15 +1,3 @@
-// Package bat implements Binary Association Tables (BATs), the columnar
-// storage primitive of the engine, modelled after MonetDB's storage layer
-// as described in Section 2 of Ivanova et al., "An Architecture for
-// Recycling Intermediates in a Column-store" (TODS 2010).
-//
-// A BAT is a binary table mapping a head column of object identifiers
-// (oids) to a tail column of values of a single base type. Heads are
-// usually dense ("void" in MonetDB terms) and represented without
-// materialisation. Auxiliary instructions such as reverse and mirror
-// materialise only new viewpoints over shared storage, so they are
-// (near) zero-cost, which is what makes keeping prefix intermediates in
-// the recycle pool cheap.
 package bat
 
 import (

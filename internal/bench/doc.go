@@ -1,0 +1,6 @@
+// Package bench implements the paper's experiment harness: it drives
+// query batches against engines with and without the recycler and
+// regenerates every table and figure of the evaluation sections
+// (Table II, Figs. 4–13 for TPC-H; Fig. 14, Table III and Fig. 15 for
+// SkyServer). The per-experiment index lives in DESIGN.md.
+package bench

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// This file implements the over-the-wire load harness: a closed-loop
+// HTTP generator driving a running server (internal/server) with the
+// SkyServer workload mix, so the recycler's multi-user gain is
+// measured end to end — network, JSON, admission gate and all —
+// rather than in-process.
+
+// SkySQLWorkload samples n SQL statements following the same §8.1 log
+// statistics as sky.SampleWorkload, but as SQL text for the wire:
+// >60% bounding-box searches over two overlapping footprints, ~36%
+// documentation lookups, ~2% point queries. Statements repeat across
+// clients (the generator hands each client the same list at a
+// different offset), which is exactly the condition for cross-client
+// reuse in the shared pool.
+func SkySQLWorkload(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	footprints := [][4]float64{
+		{195.0, 197.5, 2.0, 3.0},
+		{195.5, 198.0, 2.2, 3.2},
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.62:
+			fp := footprints[rng.Intn(2)]
+			out = append(out, fmt.Sprintf(
+				"SELECT COUNT(*) FROM sky.photoobj WHERE ra BETWEEN %g AND %g AND dec BETWEEN %g AND %g AND mode = 1",
+				fp[0], fp[1], fp[2], fp[3]))
+		case r < 0.98:
+			out = append(out, fmt.Sprintf(
+				"SELECT description FROM sky.dbobjects WHERE name = 'dbobj_%03d'", rng.Intn(40)))
+		default:
+			out = append(out, fmt.Sprintf(
+				"SELECT z FROM sky.elredshift WHERE specobjid = %d", int64(0x0559000000000000)+int64(rng.Intn(100))))
+		}
+	}
+	return out
+}
+
+// LoadResult is one closed-loop run's outcome.
+type LoadResult struct {
+	Label    string
+	Clients  int
+	Duration time.Duration // actual wall time of the run
+	Queries  int
+	Errors   int
+	QPS      float64
+	P50      time.Duration
+	P95      time.Duration
+	Max      time.Duration
+	// Hits/Marked accumulate the per-query recycler stats reported in
+	// the responses (non-bind pool hits over monitored instructions).
+	Hits   int
+	Marked int
+}
+
+// HitRatio returns pool hits over potential hits for the run.
+func (r *LoadResult) HitRatio() float64 {
+	if r.Marked == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Marked)
+}
+
+// queryWireResponse mirrors server.QueryResponse closely enough to
+// harvest the stats (the bench package deliberately does not import
+// internal/server: it drives the wire format, not the Go API).
+type queryWireResponse struct {
+	Stats struct {
+		HitsNonBind int `json:"hits_nonbind"`
+		Marked      int `json:"marked"`
+	} `json:"stats"`
+	Error string `json:"error"`
+}
+
+// HTTPLoad drives baseURL with clients concurrent closed-loop workers
+// for the given duration: each worker POSTs /query statements from
+// the list (starting at its own offset so the mix interleaves), waits
+// for the response, and immediately issues the next. It returns
+// aggregate throughput, latency percentiles and recycler hit totals.
+func HTTPLoad(baseURL string, queries []string, clients int, duration time.Duration) LoadResult {
+	if clients < 1 {
+		clients = 1
+	}
+	type tally struct {
+		n, errs, hits, marked int
+		lats                  []time.Duration
+	}
+	tallies := make([]tally, clients)
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			for i := c; time.Now().Before(deadline); i++ {
+				sql := queries[i%len(queries)]
+				body, _ := json.Marshal(map[string]string{"sql": sql})
+				qStart := time.Now()
+				resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+				lat := time.Since(qStart)
+				if err != nil {
+					t.errs++
+					continue
+				}
+				var wire queryWireResponse
+				dec := json.NewDecoder(resp.Body)
+				decErr := dec.Decode(&wire)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if decErr != nil || resp.StatusCode != http.StatusOK {
+					t.errs++
+					continue
+				}
+				t.n++
+				t.hits += wire.Stats.HitsNonBind
+				t.marked += wire.Stats.Marked
+				t.lats = append(t.lats, lat)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := LoadResult{Clients: clients, Duration: wall}
+	var all []time.Duration
+	for _, t := range tallies {
+		res.Queries += t.n
+		res.Errors += t.errs
+		res.Hits += t.hits
+		res.Marked += t.marked
+		all = append(all, t.lats...)
+	}
+	if wall > 0 {
+		res.QPS = float64(res.Queries) / wall.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = all[len(all)/2]
+		res.P95 = all[len(all)*95/100]
+		res.Max = all[len(all)-1]
+	}
+	return res
+}
+
+// PrintLoad renders closed-loop runs; rows labelled with the same
+// client count but different labels (e.g. "naive" vs "recycled")
+// compare the over-the-wire speedup.
+func PrintLoad(w io.Writer, rows []LoadResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Config\tClients\tQueries\tErrors\tQPS\tp50\tp95\tmax\tHitRatio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%.1f%%\n",
+			r.Label, r.Clients, r.Queries, r.Errors, r.QPS,
+			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+			r.Max.Round(time.Microsecond), 100*r.HitRatio())
+	}
+	tw.Flush()
+}

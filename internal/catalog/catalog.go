@@ -1,10 +1,3 @@
-// Package catalog implements the persistent store of the engine:
-// schemas, tables, typed columns, key and foreign-key (join) indices,
-// and delta-based updates. Query plans access persistent data through
-// bind operations that return BAT views over committed column storage
-// (paper §2.2); DML goes through append/delete deltas whose commit
-// notifies registered listeners (the recycler) so cached intermediates
-// can be invalidated or propagated (paper §6).
 package catalog
 
 import (

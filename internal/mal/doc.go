@@ -1,0 +1,7 @@
+// Package mal implements the engine's abstract machine: typed runtime
+// values, instructions, parametrised query templates and the linear
+// interpreter that executes them (paper §2.2). The interpreter exposes
+// entry/exit hooks around instructions marked for recycling, which is
+// how the recycler's run-time support (Algorithm 1) plugs in without
+// the interpreter knowing any policy details.
+package mal

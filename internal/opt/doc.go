@@ -1,0 +1,9 @@
+// Package opt implements the engine's optimizer pipeline: constant
+// expression evaluation, dead-code elimination and — the pass this
+// reproduction exists for — the recycler optimizer that marks
+// instructions eligible for run-time recycling (paper §3.1).
+//
+// The recycler pass must run after constant folding and dead-code
+// elimination but before any resource-release instructions would be
+// injected, mirroring the ordering constraints discussed in the paper.
+package opt

@@ -56,6 +56,13 @@ type admission struct {
 	// invocations counts query invocations per template, driving the
 	// adapt policy's decision point.
 	invocations map[uint64]int
+
+	// Lifetime decision counters, exposed through AdmissionStats.
+	granted  int64
+	denied   int64
+	refunded int64
+	promoted int64 // adapt: instructions given unlimited credits
+	demoted  int64 // adapt: instructions blocked from admission
 }
 
 func newAdmission(kind AdmissionKind, credits int) *admission {
@@ -94,8 +101,10 @@ func (a *admission) beginQuery(templID uint64) {
 			}
 			if s.everUsed {
 				s.unlimited = true
+				a.promoted++
 			} else {
 				s.blocked = true
+				a.demoted++
 			}
 		}
 	}
@@ -104,6 +113,16 @@ func (a *admission) beginQuery(templID uint64) {
 // admit decides whether the instruction's fresh result may enter the
 // pool, paying one credit when applicable.
 func (a *admission) admit(k instrKey) bool {
+	ok := a.decide(k)
+	if ok {
+		a.granted++
+	} else {
+		a.denied++
+	}
+	return ok
+}
+
+func (a *admission) decide(k instrKey) bool {
 	switch a.kind {
 	case KeepAll:
 		return true
@@ -146,6 +165,7 @@ func (a *admission) onGlobalReuse(k instrKey) {
 // the pool could not make room), so the instruction is not penalised
 // for a result that never entered the pool.
 func (a *admission) refund(k instrKey) {
+	a.refunded++
 	if a.kind == Credit || a.kind == Adapt {
 		a.get(k).credits++
 	}

@@ -1,14 +1,3 @@
-// Package recycler implements the paper's contribution: an optimizer
-// advice pass plus run-time module that harvests the materialised
-// intermediates of an operator-at-a-time engine into a recycle pool
-// and reuses them across queries (Ivanova et al., §3–6).
-//
-// The recycler performs bottom-up sequence matching (design
-// Alternative 1): an instruction matches a pool entry when the
-// operation name, all scalar argument values and the provenance of all
-// BAT arguments coincide. Lineage is therefore preserved by keeping
-// whole execution threads in the pool; admission and eviction policies
-// respect instruction dependencies.
 package recycler
 
 import (
@@ -154,6 +143,9 @@ type Pool struct {
 	Admitted  int64
 	Evicted   int64
 	Invalided int64
+	// Reuses counts pool hits served, surviving eviction of the entries
+	// themselves (unlike summing Entry.ReuseCount over the live pool).
+	Reuses int64
 }
 
 // NewPool creates an empty pool.

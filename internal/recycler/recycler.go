@@ -141,6 +141,9 @@ type Stats struct {
 	Admitted      int64
 	Evicted       int64
 	Invalidated   int64
+	// Reuses counts every pool hit served over the recycler's lifetime,
+	// including hits on entries that were later evicted or invalidated.
+	Reuses int64
 }
 
 // Snapshot captures the current statistics.
@@ -156,7 +159,48 @@ func (r *Recycler) Snapshot() Stats {
 		Admitted:      r.pool.Admitted,
 		Evicted:       r.pool.Evicted,
 		Invalidated:   r.pool.Invalided,
+		Reuses:        r.pool.Reuses,
 	}
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission policy's
+// lifetime decisions (paper §4.2). Promoted/Demoted are only nonzero
+// under the adapt policy.
+type AdmissionStats struct {
+	Policy   string // "keepall", "crd" or "adapt"
+	Credits  int    // the k parameter (initial credits per instruction)
+	Granted  int64  // admissions allowed
+	Denied   int64  // admissions refused (credits exhausted / blocked)
+	Refunded int64  // credits returned after a failed admission
+	Promoted int64  // adapt: instructions granted unlimited credits
+	Demoted  int64  // adapt: instructions blocked from the pool
+	Tracked  int    // template instructions with credit state
+}
+
+// AdmissionStats captures the admission policy's decision counters.
+func (r *Recycler) AdmissionStats() AdmissionStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return AdmissionStats{
+		Policy:   r.cfg.Admission.String(),
+		Credits:  r.adm.initial,
+		Granted:  r.adm.granted,
+		Denied:   r.adm.denied,
+		Refunded: r.adm.refunded,
+		Promoted: r.adm.promoted,
+		Demoted:  r.adm.demoted,
+		Tracked:  len(r.adm.state),
+	}
+}
+
+// ActiveQueries returns the number of queries currently between
+// BeginQuery and EndQuery — the queries whose last-touched pool
+// entries are pinned against eviction. A gracefully drained server
+// must see this reach zero before releasing the engine.
+func (r *Recycler) ActiveQueries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
 }
 
 // Reset empties the pool (the experiments' "clean RP between
@@ -302,6 +346,7 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 // the credit bookkeeping.
 func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
 	e.ReuseCount++
+	r.pool.Reuses++
 	e.LastUseTick = r.pool.Tick()
 	e.SavedTotal += e.Cost
 	e.pinnedQuery = ctx.QueryID

@@ -1,0 +1,32 @@
+// Package server exposes the engine over the network, turning the
+// reproduction into the long-running multi-user service the paper's
+// recycler is designed for: many clients' queries sharing one recycle
+// pool (the SkyServer setting of §8).
+//
+// Two protocols front one shared Engine:
+//
+//   - HTTP/JSON: POST /query executes a SELECT and returns rows plus
+//     per-query recycler statistics; POST /exec runs a small DML
+//     subset (INSERT, DELETE) for effect, exercising the update
+//     synchronisation path (§6) over the wire; GET /stats returns the
+//     engine-wide EngineStats snapshot as JSON; GET /metrics renders
+//     the same counters in Prometheus text format; GET /healthz is a
+//     liveness probe.
+//   - A line-oriented TCP protocol: one repro.Session per connection,
+//     one SQL statement per line, results as tab-separated ROW lines
+//     terminated by an OK or ERR line (see tcp.go for the grammar).
+//
+// Every statement passes a configurable max-concurrency admission
+// gate, so a flood of clients queues at the door instead of piling
+// onto the interpreter. Identical statement texts are served from a
+// server-side prepared-statement cache keyed on the SQL string, which
+// skips the parser entirely and feeds the same shape-cached template
+// the SQL front end would produce — repeated traffic reaches the
+// recycler's matcher with minimal overhead.
+//
+// Shutdown drains: new statements are refused, in-flight ones run to
+// completion (releasing their recycler pins via Engine.Exec's paired
+// BeginQuery/EndQuery), and only then are connections closed. After a
+// clean Shutdown the recycler's active-query set is empty, so no pool
+// entry stays pinned by a query that will never finish.
+package server

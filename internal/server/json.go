@@ -1,0 +1,25 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+)
+
+// jsonValue converts an engine tail value into its JSON encoding:
+// numbers stay numbers, dates render as "YYYY-MM-DD", oids as
+// numbers. int64 is encoded as a JSON number; callers that need
+// 64-bit exactness should treat the wire format as approximate above
+// 2^53 (the SkyServer objid space fits).
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case bat.Date:
+		y, m, d := algebra.CivilFromDays(int32(x))
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	case bat.Oid:
+		return uint64(x)
+	default:
+		return v
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/recycler"
+	"repro/internal/sky"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsGolden pins the exact /metrics exposition of an idle
+// server: metric names, HELP/TYPE lines and zero values are part of
+// the operator contract (dashboards key on them). Run with -update
+// after deliberately adding a metric.
+func TestMetricsGolden(t *testing.T) {
+	db := sky.Generate(500, 17)
+	eng := repro.NewEngine(db.Cat, repro.WithRecycler(recycler.Config{
+		Admission: recycler.KeepAll, Subsumption: true,
+	}))
+	defer eng.Recycler().Close()
+	s := New(eng, Config{MaxConcurrency: 4})
+
+	var buf bytes.Buffer
+	s.WriteMetrics(&buf)
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

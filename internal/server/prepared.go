@@ -1,0 +1,71 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/mal"
+)
+
+// preparedCache is the server-side prepared-statement cache. It keys
+// on the *exact* SQL text: a repeated statement skips lexing, parsing
+// and parameter extraction entirely and re-executes the stored
+// template with the stored parameter values. Distinct texts of the
+// same shape still share one template underneath through the SQL
+// front end's shape cache — this layer only removes the parse.
+//
+// The cache is bounded; when full, an arbitrary entry is dropped
+// (Go map iteration order), which is good enough for a cache whose
+// entries are all equally cheap to rebuild.
+type preparedCache struct {
+	limit int
+
+	mu      sync.Mutex
+	stmts   map[string]*preparedStmt
+	hitsN   atomic.Uint64
+	missesN atomic.Uint64
+}
+
+type preparedStmt struct {
+	tmpl   *mal.Template
+	params []mal.Value
+}
+
+func newPreparedCache(limit int) *preparedCache {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &preparedCache{limit: limit, stmts: make(map[string]*preparedStmt)}
+}
+
+// compile returns the template and parameters for src, from cache or
+// by compiling through the engine's SQL front end.
+func (p *preparedCache) compile(eng *repro.Engine, src string) (*mal.Template, []mal.Value, error) {
+	p.mu.Lock()
+	st := p.stmts[src]
+	p.mu.Unlock()
+	if st != nil {
+		p.hitsN.Add(1)
+		return st.tmpl, st.params, nil
+	}
+	tmpl, params, err := eng.CompileSQL(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.missesN.Add(1)
+	p.mu.Lock()
+	if len(p.stmts) >= p.limit {
+		for k := range p.stmts {
+			delete(p.stmts, k)
+			break
+		}
+	}
+	p.stmts[src] = &preparedStmt{tmpl: tmpl, params: params}
+	p.mu.Unlock()
+	return tmpl, params, nil
+}
+
+func (p *preparedCache) stats() (hits, misses uint64) {
+	return p.hitsN.Load(), p.missesN.Load()
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/mal"
+)
+
+// The TCP protocol: one UTF-8 line per statement, one response block
+// per statement. A response is zero or more data lines followed by a
+// single terminator line:
+//
+//	ROW <name>\t<value>[\t<value>]*     one per exported result column
+//	OK <cols> cols <elapsed> hits=<h>/<m>
+//	ERR <message>
+//
+// Tab, newline, carriage return and backslash inside string values
+// are escaped as \t, \n, \r and \\ so stored data can never break the
+// line/tab framing.
+//
+// Client commands (case-insensitive): SELECT ... runs a query;
+// INSERT/DELETE run DML; STATS prints a one-line pool summary; QUIT
+// closes the connection. Each connection owns one repro.Session, so
+// per-client counters accumulate server-side and all sessions share
+// the engine's recycle pool.
+
+// ServeTCP accepts connections on ln until the listener is closed
+// (Shutdown closes it). It blocks; run it on its own goroutine.
+func (s *Server) ServeTCP(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrShuttingDown
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.connWG.Done()
+	}()
+	sess := s.eng.NewSession()
+	w := bufio.NewWriter(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		word := strings.ToUpper(firstWord(line))
+		if word == "QUIT" {
+			fmt.Fprintln(w, "OK bye")
+			w.Flush()
+			return
+		}
+		s.protectedServeLine(w, sess, word, line)
+		w.Flush()
+	}
+}
+
+// protectedServeLine runs one statement, converting a panic anywhere
+// below (engine, catalog, DML) into an ERR response instead of
+// killing the whole server process: one poisoned statement must not
+// take down every other connection.
+func (s *Server) protectedServeLine(w *bufio.Writer, sess *repro.Session, word, line string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.errorsN.Add(1)
+			fmt.Fprintf(w, "ERR internal: %v\n", r)
+		}
+	}()
+	s.serveLine(w, sess, word, line)
+}
+
+// serveLine executes one statement line and writes its response block.
+func (s *Server) serveLine(w *bufio.Writer, sess *repro.Session, word, line string) {
+	switch word {
+	case "STATS":
+		st := sess.Stats()
+		es := s.eng.StatsSnapshot()
+		fmt.Fprintf(w, "OK session queries=%d hits=%d/%d pool entries=%d bytes=%d reuses=%d\n",
+			st.Queries, st.Hits, st.Marked, es.Recycler.Entries, es.Recycler.Bytes, es.Recycler.Reuses)
+		return
+	case "INSERT", "DELETE":
+		if err := s.acquire(context.Background()); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		defer s.release() // deferred so a panicking statement cannot leak the slot
+		s.execs.Add(1)
+		op, n, err := execDML(s.eng.Catalog(), line)
+		if err != nil {
+			s.errorsN.Add(1)
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "OK %s %d rows\n", op, n)
+		return
+	}
+	// Everything else goes to the SQL front end.
+	if err := s.acquire(context.Background()); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	defer s.release()
+	s.queries.Add(1)
+	tmpl, params, err := s.prepared.compile(s.eng, line)
+	var res *repro.ExecResult
+	if err == nil {
+		res, err = sess.Exec(tmpl, params...)
+	}
+	if err != nil {
+		s.errorsN.Add(1)
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	for _, r := range res.Results {
+		writeRow(w, r, s.cfg.MaxRows)
+	}
+	fmt.Fprintf(w, "OK %d cols %v hits=%d/%d\n", len(res.Results),
+		res.Stats.Elapsed.Round(time.Microsecond),
+		res.Stats.HitsNonBind, res.Stats.MarkedNonBind)
+}
+
+// rowEscaper keeps stored values from breaking the protocol framing:
+// the field separator (tab), the statement terminator (newline) and
+// the escape character itself are escaped on the way out.
+var rowEscaper = strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n", "\r", "\\r")
+
+func writeRow(w *bufio.Writer, r mal.Result, maxRows int) {
+	fmt.Fprintf(w, "ROW %s", r.Name)
+	if r.Val.Kind != mal.VBat {
+		fmt.Fprintf(w, "\t%s", rowEscaper.Replace(r.Val.String()))
+		fmt.Fprintln(w)
+		return
+	}
+	b := r.Val.Bat
+	if b != nil {
+		n := b.Len()
+		if n > maxRows {
+			n = maxRows
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "\t%s", rowEscaper.Replace(fmt.Sprintf("%v", jsonValue(b.Tail.Get(i)))))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func firstWord(line string) string {
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/recycler"
+	"repro/internal/sky"
+)
+
+// tcpSession dials the server and returns line-oriented send/expect
+// helpers.
+type tcpSession struct {
+	t    *testing.T
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dialTCP(t *testing.T, addr string) *tcpSession {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &tcpSession{t: t, conn: conn, rd: bufio.NewReader(conn)}
+}
+
+func (s *tcpSession) send(line string) {
+	s.t.Helper()
+	if _, err := s.conn.Write([]byte(line + "\n")); err != nil {
+		s.t.Fatalf("write: %v", err)
+	}
+}
+
+func (s *tcpSession) expect(prefix string) string {
+	s.t.Helper()
+	s.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := s.rd.ReadString('\n')
+	if err != nil {
+		s.t.Fatalf("read (waiting for %q): %v", prefix, err)
+	}
+	line = strings.TrimRight(line, "\n")
+	if !strings.HasPrefix(line, prefix) {
+		s.t.Fatalf("got %q, want prefix %q", line, prefix)
+	}
+	return line
+}
+
+func TestTCPProtocol(t *testing.T) {
+	db := sky.Generate(2000, 17)
+	eng := repro.NewEngine(db.Cat, repro.WithRecycler(recycler.Config{
+		Admission: recycler.KeepAll, Subsumption: true,
+	}))
+	defer eng.Recycler().Close()
+	s := New(eng, Config{MaxConcurrency: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.ServeTCP(ln) }()
+
+	c := dialTCP(t, ln.Addr().String())
+
+	// A SELECT produces ROW lines then an OK terminator.
+	c.send("SELECT COUNT(*) FROM sky.dbobjects WHERE type = 'U'")
+	row := c.expect("ROW count\t")
+	if !strings.Contains(row, "100") { // 400 docs entries, 4 kinds
+		t.Fatalf("unexpected count row %q", row)
+	}
+	c.expect("OK 1 cols")
+
+	// The identical statement again: served via the prepared cache and
+	// the recycle pool, with hits reported on the OK line.
+	c.send("SELECT COUNT(*) FROM sky.dbobjects WHERE type = 'U'")
+	c.expect("ROW count\t")
+	ok := c.expect("OK 1 cols")
+	if !strings.Contains(ok, "hits=2/2") {
+		t.Fatalf("repeat gave no pool hits: %q", ok)
+	}
+
+	// DML and STATS.
+	c.send("INSERT INTO sky.dbobjects (name, type, description) VALUES ('tcp_x', 'U', 'via tcp')")
+	c.expect("OK insert 1 rows")
+	c.send("DELETE FROM sky.dbobjects WHERE name = 'tcp_x'")
+	c.expect("OK delete 1 rows")
+	c.send("STATS")
+	st := c.expect("OK session queries=2")
+	if !strings.Contains(st, "hits=2/4") {
+		t.Fatalf("session stats wrong: %q", st)
+	}
+
+	// Parse errors keep the connection usable.
+	c.send("SELEC nonsense")
+	c.expect("ERR ")
+
+	// Stored values containing framing characters (inserted through a
+	// channel that allows them, e.g. /exec JSON) are escaped on the
+	// ROW line so they cannot desynchronise the protocol.
+	if _, _, err := execDML(db.Cat, "INSERT INTO sky.dbobjects (name, type, description) VALUES ('tcp_esc', 'Z', 'a\tb\nc')"); err != nil {
+		t.Fatal(err)
+	}
+	c.send("SELECT description FROM sky.dbobjects WHERE name = 'tcp_esc'")
+	if row := c.expect("ROW description\t"); !strings.HasSuffix(row, `a\tb\nc`) {
+		t.Fatalf("framing characters not escaped: %q", row)
+	}
+	c.expect("OK 1 cols")
+	c.send("SELECT COUNT(*) FROM sky.dbobjects WHERE type = 'V'")
+	c.expect("ROW count\t")
+	c.expect("OK 1 cols")
+
+	c.send("QUIT")
+	c.expect("OK bye")
+
+	// A second connection sharing the pool sees the first one's
+	// intermediates as global hits.
+	c2 := dialTCP(t, ln.Addr().String())
+	c2.send("SELECT COUNT(*) FROM sky.dbobjects WHERE type = 'V'")
+	c2.expect("ROW count\t")
+	if ok := c2.expect("OK 1 cols"); !strings.Contains(ok, "hits=2/2") {
+		t.Fatalf("cross-connection reuse missing: %q", ok)
+	}
+
+	// Shutdown closes the listener and the idle connection.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("ServeTCP returned %v after Shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeTCP did not return after Shutdown")
+	}
+	if n := eng.Recycler().ActiveQueries(); n != 0 {
+		t.Fatalf("%d active-query pins leaked", n)
+	}
+}

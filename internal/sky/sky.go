@@ -1,17 +1,3 @@
-// Package sky provides the SkyServer substrate of the reproduction
-// (paper §8): a synthetic photometric object catalog standing in for
-// the Sloan Digital Sky Survey Data Release 4, the query patterns the
-// paper samples from the January 2008 query log, and the B2/B4
-// combined-subsumption micro-benchmarks of §8.3.
-//
-// Substitution note (per DESIGN.md): the paper uses a 100 GB subset of
-// DR4 plus the public query log. We regenerate the *statistical
-// structure* the paper reports: >60% of queries instantiate the
-// fGetNearbyObjEq spatial pattern with two distinct but overlapping
-// parameter sets, ~36% touch small documentation tables, and ~2% are
-// point lookups by object id. The cone search is approximated by a
-// bounding-box search over (ra, dec); the recycler's behaviour depends
-// only on the overlapping range-select structure, which is preserved.
 package sky
 
 import (

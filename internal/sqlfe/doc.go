@@ -1,0 +1,8 @@
+// Package sqlfe implements the engine's SQL front end for a focused
+// query subset: single-table SELECT with conjunctive predicates,
+// grouping, aggregates and LIMIT. Its defining feature is the paper's
+// template extraction (§2.2): every literal constant in the query is
+// factored out into a template parameter, so textually different
+// queries that share a shape compile to the *same* cached template —
+// which is what gives the recycler its inter-query reuse surface.
+package sqlfe

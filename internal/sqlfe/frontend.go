@@ -68,3 +68,19 @@ func (f *Frontend) CacheSize() int {
 	defer f.mu.Unlock()
 	return len(f.cache)
 }
+
+// CacheStats is a point-in-time snapshot of the template cache.
+type CacheStats struct {
+	Size   int // distinct query shapes cached
+	Hits   int // compiles served from the cache
+	Misses int // compiles that built a fresh template
+}
+
+// CacheStats returns the template-cache counters under the cache lock
+// (the exported Hits/Misses fields are not safe to read while other
+// goroutines compile).
+func (f *Frontend) CacheStats() CacheStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return CacheStats{Size: len(f.cache), Hits: f.Hits, Misses: f.Misses}
+}

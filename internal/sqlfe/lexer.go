@@ -1,10 +1,3 @@
-// Package sqlfe implements the engine's SQL front end for a focused
-// query subset: single-table SELECT with conjunctive predicates,
-// grouping, aggregates and LIMIT. Its defining feature is the paper's
-// template extraction (§2.2): every literal constant in the query is
-// factored out into a template parameter, so textually different
-// queries that share a shape compile to the *same* cached template —
-// which is what gives the recycler its inter-query reuse surface.
 package sqlfe
 
 import (
@@ -59,6 +52,10 @@ func lex(src string) ([]token, error) {
 			}
 		case c >= '0' && c <= '9':
 			l.number()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			// Negative literal (dec BETWEEN -90 AND 90). The subset has
+			// no arithmetic, so a minus can only introduce a number.
+			l.number()
 		case isIdentStart(rune(c)):
 			l.ident()
 		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
@@ -103,6 +100,9 @@ func (l *lexer) str() error {
 
 func (l *lexer) number() {
 	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
 	seenDot := false
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]

@@ -1,0 +1,7 @@
+// Package tpch provides the TPC-H substrate of the reproduction: a
+// deterministic, scale-factor-driven data generator for the eight
+// benchmark tables, the 22 query templates hand-compiled to MAL plans
+// (as the SQL front end of the paper's system would produce them), the
+// benchmark's parameter generator, and the RF1/RF2 refresh functions
+// used by the update experiments (paper §7).
+package tpch
