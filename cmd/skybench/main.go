@@ -191,6 +191,9 @@ func runServe(db *sky.DB, n, clients int, dur time.Duration, seed int64) {
 			fmt.Printf("   pool after run: %d entries / %d KB, %d reuses, active queries %d\n",
 				st.Engine.Recycler.Entries, st.Engine.Recycler.Bytes/1024,
 				st.Engine.Recycler.Reuses, st.Engine.ActiveQueries)
+			fmt.Printf("   recycler lock wait: writer %v (%d blocked), shards %v (%d blocked)\n",
+				st.Engine.Recycler.WriterLockWait.Round(time.Microsecond), st.Engine.Recycler.WriterLockWaits,
+				st.Engine.Recycler.ShardLockWait.Round(time.Microsecond), st.Engine.Recycler.ShardLockWaits)
 		}
 		if rec := eng.Recycler(); rec != nil {
 			rec.Close()

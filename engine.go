@@ -174,9 +174,10 @@ func (e *Engine) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error)
 
 // EngineStats is a point-in-time snapshot of everything an operator
 // needs to judge the engine's health: query counters, the recycle
-// pool's utilisation, the admission policy's decisions and the SQL
-// template cache. Recycler/Admission are zero-valued (with
-// Recycling=false) when the engine runs naive.
+// pool's utilisation and lock-contention telemetry (writer-lock and
+// hit-path shard-lock waits, see recycler.Stats), the admission
+// policy's decisions and the SQL template cache. Recycler/Admission
+// are zero-valued (with Recycling=false) when the engine runs naive.
 type EngineStats struct {
 	// Queries counts query ids handed out (started queries); Errors
 	// counts compiles or executions that returned an error.
@@ -196,8 +197,9 @@ type EngineStats struct {
 
 // StatsSnapshot captures the engine-wide statistics. It is safe to
 // call concurrently with running queries; the counters are snapshotted
-// under the respective component locks, not atomically across
-// components.
+// under the respective component locks (the recycler takes its writer
+// lock briefly; hit-path counters are read atomically), not atomically
+// across components.
 func (e *Engine) StatsSnapshot() EngineStats {
 	s := EngineStats{
 		Queries:       e.queryID.Load(),

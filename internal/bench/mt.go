@@ -8,6 +8,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/recycler"
 	"repro/internal/sky"
 )
 
@@ -30,6 +31,12 @@ type MTRow struct {
 	Hits     int           // non-bind pool hits across all clients
 	Pot      int           // non-bind monitored instructions (potential)
 	PoolMem  int64         // recycle pool bytes after the batch
+
+	// LockWaits/LockWait aggregate the recycler's contention during the
+	// batch: blocked writer- and shard-lock acquisitions and the total
+	// time clients spent waiting on them (zero for naive runners).
+	LockWaits int64
+	LockWait  time.Duration
 }
 
 // HitRatio returns pool hits over potential hits for the whole batch.
@@ -54,6 +61,10 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 		sum          time.Duration
 	}
 	tallies := make([]tally, clients)
+	var lockBase recycler.Stats
+	if r.Rec != nil {
+		lockBase = r.Rec.Snapshot()
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -87,6 +98,13 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 		Clients:  clients,
 		Wall:     wall,
 		PoolMem:  r.PoolBytes(),
+	}
+	if r.Rec != nil {
+		s := r.Rec.Snapshot()
+		row.LockWaits = (s.WriterLockWaits - lockBase.WriterLockWaits) +
+			(s.ShardLockWaits - lockBase.ShardLockWaits)
+		row.LockWait = (s.WriterLockWait - lockBase.WriterLockWait) +
+			(s.ShardLockWait - lockBase.ShardLockWait)
 	}
 	if eff <= 1 {
 		row.Exec = "seq"
@@ -129,7 +147,7 @@ func PrintMT(w io.Writer, rows []MTRow) {
 		}
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Clients\tExec\tRecycler\tWall\tQPS\tHitRatio\tPoolMem(KB)\tSpeedup")
+	fmt.Fprintln(tw, "Clients\tExec\tRecycler\tWall\tQPS\tHitRatio\tPoolMem(KB)\tLockWait\tSpeedup")
 	for _, r := range rows {
 		rec := "off"
 		if r.Recycled {
@@ -139,9 +157,13 @@ func PrintMT(w io.Writer, rows []MTRow) {
 		if b := base[r.Recycled]; b > 0 && r.Wall > 0 {
 			speedup = fmt.Sprintf("%.2fx", float64(b)/float64(r.Wall))
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%.0f\t%.1f%%\t%d\t%s\n",
+		lockWait := "-"
+		if r.Recycled {
+			lockWait = fmt.Sprintf("%v/%d", r.LockWait.Round(time.Microsecond), r.LockWaits)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%.0f\t%.1f%%\t%d\t%s\t%s\n",
 			r.Clients, r.Exec, rec, r.Wall.Round(time.Millisecond), r.QPS,
-			100*r.HitRatio(), r.PoolMem/1024, speedup)
+			100*r.HitRatio(), r.PoolMem/1024, lockWait, speedup)
 	}
 	tw.Flush()
 }

@@ -67,6 +67,12 @@ type LoadResult struct {
 	// the responses (non-bind pool hits over monitored instructions).
 	Hits   int
 	Marked int
+	// LockWaits/LockWait report the server-side recycler lock
+	// contention the run caused (blocked writer- and shard-lock
+	// acquisitions and total blocked time), read from GET /stats
+	// before and after the run. Zero when the server runs naive.
+	LockWaits int64
+	LockWait  time.Duration
 }
 
 // HitRatio returns pool hits over potential hits for the run.
@@ -88,6 +94,38 @@ type queryWireResponse struct {
 	Error string `json:"error"`
 }
 
+// statsWire mirrors the slice of GET /stats the harness consumes: the
+// recycler's lock-contention counters (durations travel as
+// nanoseconds).
+type statsWire struct {
+	Engine struct {
+		Recycler struct {
+			WriterLockWaits int64
+			WriterLockWait  int64
+			ShardLockWaits  int64
+			ShardLockWait   int64
+		}
+	} `json:"engine"`
+}
+
+// fetchLockWait reads the recycler lock-contention counters from the
+// server's /stats endpoint. ok=false reports a failed fetch so the
+// caller can skip the delta instead of reporting a bogus one.
+func fetchLockWait(client *http.Client, baseURL string) (waits int64, wait time.Duration, ok bool) {
+	resp, err := client.Get(baseURL + "/stats")
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	var st statsWire
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return 0, 0, false
+	}
+	rec := st.Engine.Recycler
+	return rec.WriterLockWaits + rec.ShardLockWaits,
+		time.Duration(rec.WriterLockWait + rec.ShardLockWait), true
+}
+
 // HTTPLoad drives baseURL with clients concurrent closed-loop workers
 // for the given duration: each worker POSTs /query statements from
 // the list (starting at its own offset so the mix interleaves), waits
@@ -103,6 +141,7 @@ func HTTPLoad(baseURL string, queries []string, clients int, duration time.Durat
 	}
 	tallies := make([]tally, clients)
 	client := &http.Client{Timeout: 30 * time.Second}
+	baseWaits, baseWait, baseOK := fetchLockWait(client, baseURL)
 	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -141,6 +180,10 @@ func HTTPLoad(baseURL string, queries []string, clients int, duration time.Durat
 	wall := time.Since(start)
 
 	res := LoadResult{Clients: clients, Duration: wall}
+	if endWaits, endWait, endOK := fetchLockWait(client, baseURL); baseOK && endOK {
+		res.LockWaits = endWaits - baseWaits
+		res.LockWait = endWait - baseWait
+	}
 	var all []time.Duration
 	for _, t := range tallies {
 		res.Queries += t.n
@@ -166,12 +209,13 @@ func HTTPLoad(baseURL string, queries []string, clients int, duration time.Durat
 // compare the over-the-wire speedup.
 func PrintLoad(w io.Writer, rows []LoadResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Config\tClients\tQueries\tErrors\tQPS\tp50\tp95\tmax\tHitRatio")
+	fmt.Fprintln(tw, "Config\tClients\tQueries\tErrors\tQPS\tp50\tp95\tmax\tHitRatio\tLockWait")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%.1f%%\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%.1f%%\t%v/%d\n",
 			r.Label, r.Clients, r.Queries, r.Errors, r.QPS,
 			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
-			r.Max.Round(time.Microsecond), 100*r.HitRatio())
+			r.Max.Round(time.Microsecond), 100*r.HitRatio(),
+			r.LockWait.Round(time.Microsecond), r.LockWaits)
 	}
 	tw.Flush()
 }

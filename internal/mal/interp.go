@@ -39,8 +39,11 @@ type EntryResult struct {
 // Implementations must be safe for concurrent use: the dataflow
 // scheduler invokes Entry and Exit from multiple goroutines — across
 // sessions sharing one hook, and for independent instructions within
-// a single query. Mutations of per-query state must go through
-// Ctx.UpdateStats.
+// a single query — and the interpreter takes no lock around either
+// call, so all synchronisation (including any work an implementation
+// performs on behalf of a hit, such as combined subsumption's
+// piecewise execution) is the hook's own responsibility. Mutations of
+// per-query state must go through Ctx.UpdateStats.
 type RecyclerHook interface {
 	// Entry is called before executing a marked instruction.
 	Entry(ctx *Ctx, pc int, in *Instr, args []Value) EntryResult

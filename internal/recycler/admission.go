@@ -1,5 +1,7 @@
 package recycler
 
+import "sync"
+
 // AdmissionKind selects the admission policy (paper §4.2).
 type AdmissionKind int
 
@@ -48,10 +50,15 @@ type creditState struct {
 }
 
 // admission implements the three policies over shared credit state.
+// It carries its own mutex (a leaf in the recycler's lock hierarchy),
+// so credit bookkeeping is safe both from under the writer lock
+// (admit/refund/onEvict) and from the lock-free hit path
+// (onLocalReuse/onGlobalReuse).
 type admission struct {
 	kind    AdmissionKind
 	initial int // initial credit count (the policies' k parameter)
 
+	mu    sync.Mutex
 	state map[instrKey]*creditState
 	// invocations counts query invocations per template, driving the
 	// adapt policy's decision point.
@@ -77,6 +84,8 @@ func newAdmission(kind AdmissionKind, credits int) *admission {
 	}
 }
 
+// get resolves (or creates) the credit state for a template
+// instruction. Caller holds a.mu.
 func (a *admission) get(k instrKey) *creditState {
 	s := a.state[k]
 	if s == nil {
@@ -92,6 +101,8 @@ func (a *admission) beginQuery(templID uint64) {
 	if a.kind != Adapt {
 		return
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.invocations[templID]++
 	if a.invocations[templID] == a.initial+1 {
 		// Decision point: promote reused instructions, demote the rest.
@@ -113,6 +124,8 @@ func (a *admission) beginQuery(templID uint64) {
 // admit decides whether the instruction's fresh result may enter the
 // pool, paying one credit when applicable.
 func (a *admission) admit(k instrKey) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	ok := a.decide(k)
 	if ok {
 		a.granted++
@@ -122,6 +135,7 @@ func (a *admission) admit(k instrKey) bool {
 	return ok
 }
 
+// decide applies the policy. Caller holds a.mu.
 func (a *admission) decide(k instrKey) bool {
 	switch a.kind {
 	case KeepAll:
@@ -149,6 +163,8 @@ func (a *admission) decide(k instrKey) bool {
 
 // onLocalReuse returns the credit immediately (paper §4.2).
 func (a *admission) onLocalReuse(k instrKey) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	s := a.get(k)
 	s.everUsed = true
 	if a.kind == Credit || a.kind == Adapt {
@@ -158,6 +174,8 @@ func (a *admission) onLocalReuse(k instrKey) {
 
 // onGlobalReuse only updates the reuse statistics.
 func (a *admission) onGlobalReuse(k instrKey) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.get(k).everUsed = true
 }
 
@@ -165,6 +183,8 @@ func (a *admission) onGlobalReuse(k instrKey) {
 // the pool could not make room), so the instruction is not penalised
 // for a result that never entered the pool.
 func (a *admission) refund(k instrKey) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.refunded++
 	if a.kind == Credit || a.kind == Adapt {
 		a.get(k).credits++
@@ -177,7 +197,25 @@ func (a *admission) onEvict(e *Entry) {
 	if a.kind != Credit && a.kind != Adapt {
 		return
 	}
-	if e.GlobalReuse {
+	if e.GlobalReuse.Load() {
+		a.mu.Lock()
 		a.get(instrKey{templ: e.TemplID, pc: e.PC}).credits++
+		a.mu.Unlock()
+	}
+}
+
+// snapshot captures the policy's lifetime decision counters.
+func (a *admission) snapshot(policy string) AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Policy:   policy,
+		Credits:  a.initial,
+		Granted:  a.granted,
+		Denied:   a.denied,
+		Refunded: a.refunded,
+		Promoted: a.promoted,
+		Demoted:  a.demoted,
+		Tracked:  len(a.state),
 	}
 }

@@ -1,0 +1,71 @@
+package recycler
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mal"
+)
+
+// BenchmarkRecyclerParallelHit measures the read-mostly hit path under
+// parallelism: a warm pool serves the same three-instruction query
+// (bind/select/count, all exact hits) from GOMAXPROCS goroutines. On
+// the pre-shard design every hit serialised on one mutex, so ns/op
+// rose with -cpu; with the sharded signature index and atomic reuse
+// counters, hits should scale until stateMu (BeginQuery/EndQuery)
+// saturates. Writer/shard wait counters are reported so contention
+// regressions show up in `go test -bench` output, not just in wall
+// time. Run with -cpu 1,2,4 to see the scaling.
+func BenchmarkRecyclerParallelHit(b *testing.B) {
+	f := newFixtureQuiet(Config{Admission: KeepAll})
+	tmpl := selectCountTemplate()
+	f.runQuiet(tmpl, mal.IntV(10), mal.IntV(20)) // warm the pool
+
+	var queryID atomic.Uint64
+	queryID.Store(1000)
+	base := f.rec.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			qid := queryID.Add(1)
+			f.rec.BeginQuery(qid, tmpl.ID)
+			ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: qid, Workers: 1}
+			if err := mal.Run(ctx, tmpl, mal.IntV(10), mal.IntV(20)); err != nil {
+				b.Error(err)
+				return
+			}
+			f.rec.EndQuery(qid)
+		}
+	})
+	b.StopTimer()
+	s := f.rec.Snapshot()
+	b.ReportMetric(float64(s.WriterLockWaits-base.WriterLockWaits)/float64(b.N), "writer-waits/op")
+	b.ReportMetric(float64(s.ShardLockWaits-base.ShardLockWaits)/float64(b.N), "shard-waits/op")
+}
+
+// BenchmarkRecyclerParallelMiss is the admission-side counterpart:
+// every query selects a distinct range, so each run takes the writer
+// lock for admission. This is the path that intentionally still
+// serialises; the benchmark pins its cost so the read/write split's
+// overhead stays visible.
+func BenchmarkRecyclerParallelMiss(b *testing.B) {
+	f := newFixtureQuiet(Config{Admission: KeepAll, Eviction: EvictLRU, MaxEntries: 256})
+	tmpl := selectCountTemplate()
+	var queryID atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			qid := queryID.Add(1)
+			lo := int64(qid % 97)
+			f.rec.BeginQuery(qid, tmpl.ID)
+			ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: qid, Workers: 1}
+			if err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(lo+1)); err != nil {
+				b.Error(err)
+				return
+			}
+			f.rec.EndQuery(qid)
+		}
+	})
+}

@@ -9,4 +9,32 @@
 // BAT arguments coincide. Lineage is therefore preserved by keeping
 // whole execution threads in the pool; admission and eviction policies
 // respect instruction dependencies.
+//
+// # Concurrency
+//
+// Many sessions — and the parallel instructions of one query under the
+// dataflow scheduler — share a single recycler. Synchronisation is
+// split so the common case stays off every global lock:
+//
+//   - The exact-match hit path is read-mostly: the signature index is
+//     sharded with per-shard RWMutexes, the epoch guard is consulted
+//     under a read-mostly RWMutex (stateMu), and per-entry reuse
+//     counters (LastUseTick, ReuseCount, SavedTotal, pin) are atomics.
+//     A warm pool serves concurrent hits without serialising.
+//   - A single coarse writer lock still serialises every structural
+//     change — admission, eviction, invalidation, delta propagation and
+//     the subsumption-index scans — because lineage edges, the
+//     invalidation index and the byte accounting must change together.
+//   - Combined subsumption snapshots its candidate pieces under the
+//     writer lock, executes the piecewise selects and the merge with no
+//     lock held, and re-validates every piece after re-acquiring the
+//     lock before serving or admitting the merged result; a concurrent
+//     invalidation aborts the combined hit instead of resurrecting
+//     stale pieces.
+//
+// The full lock hierarchy (writer lock → stateMu → shard locks →
+// admission mutex) is documented on the Recycler type; lock-contention
+// telemetry (blocked acquisitions and blocked time for the writer lock
+// and the hit-path shard locks) is exposed through Stats and the
+// server's /metrics endpoint.
 package recycler

@@ -148,9 +148,9 @@ func TestInvalidationCountsTracked(t *testing.T) {
 	f := newFixture(t, Config{Admission: KeepAll})
 	tmpl := selectCountTemplate()
 	f.run(t, tmpl, mal.IntV(10), mal.IntV(20))
-	before := f.rec.Pool().Invalided
+	before := f.rec.Pool().Invalidated
 	tableOf(f).Append([]catalog.Row{{"v": int64(1), "w": int64(1)}})
-	if f.rec.Pool().Invalided <= before {
+	if f.rec.Pool().Invalidated <= before {
 		t.Fatal("invalidation counter not bumped")
 	}
 }

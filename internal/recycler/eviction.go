@@ -35,15 +35,19 @@ func (k EvictionKind) String() string {
 // leaves. Entries pinned by currently active queries are protected;
 // when the active queries' own intermediates fill the pool, the
 // protection is lifted except for the direct arguments of the pending
-// admission (the footnote-3 exception).
+// admission (the footnote-3 exception). Caller holds the writer lock;
+// the active-query set is snapshotted once instead of re-reading
+// stateMu per leaf.
 func (r *Recycler) cleanCache(needBytes int64, needEntries int, protect map[uint64]bool) bool {
+	active := r.activeSnapshot()
+	pinnedByActive := func(e *Entry) bool { return active[e.pinnedQuery.Load()] }
 	guard := 0
 	for needBytes > 0 || needEntries > 0 {
 		guard++
 		if guard > 1_000_000 {
 			return false
 		}
-		leaves := r.pool.Leaves(r.pinnedByActive)
+		leaves := r.pool.Leaves(pinnedByActive)
 		leaves = filterProtected(leaves, protect)
 		if len(leaves) == 0 {
 			// Active-queries-fill-pool exception: consider pinned
@@ -107,13 +111,13 @@ func (r *Recycler) worstLeaf(leaves []*Entry) *Entry {
 func (r *Recycler) less(a, b *Entry, now int64) bool {
 	switch r.cfg.Eviction {
 	case EvictLRU:
-		return a.LastUseTick < b.LastUseTick
+		return a.LastUseTick.Load() < b.LastUseTick.Load()
 	case EvictBP:
 		return a.Benefit() < b.Benefit()
 	case EvictHP:
 		return a.HistoryBenefit(now) < b.HistoryBenefit(now)
 	}
-	return a.LastUseTick < b.LastUseTick
+	return a.LastUseTick.Load() < b.LastUseTick.Load()
 }
 
 // pickVictimsMem solves the memory variant. For LRU it walks the
@@ -133,7 +137,7 @@ func (r *Recycler) pickVictimsMem(leaves []*Entry, needBytes int64) []*Entry {
 	}
 	if r.cfg.Eviction == EvictLRU {
 		s := append([]*Entry(nil), leaves...)
-		sort.Slice(s, func(i, j int) bool { return s[i].LastUseTick < s[j].LastUseTick })
+		sort.Slice(s, func(i, j int) bool { return s[i].LastUseTick.Load() < s[j].LastUseTick.Load() })
 		var out []*Entry
 		var freed int64
 		for _, e := range s {

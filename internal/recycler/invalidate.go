@@ -12,6 +12,16 @@ import (
 // mode implements the §6.3 design-space extension: insert/delete
 // deltas are pushed through the cheap operator classes and only the
 // remainder of each cached plan is invalidated.
+//
+// Ordering contract with the lock-free hit path: OnBeforeUpdate
+// publishes pending++ (stateMu) BEFORE the mutation becomes visible,
+// and OnUpdate publishes the epoch bump and pending-- (stateMu) only
+// AFTER the pool fix-up (invalidation or refresh) completed under the
+// writer lock. While pending > 0, every hit and admission touching the
+// table is refused, so a reader can never pair a pre-update pool
+// result with a post-update verdict from the epoch guard — the guard
+// state a reader observes is always at least as new as the pool state
+// it read.
 
 // OnBeforeUpdate implements catalog.UpdateListener: it marks the
 // table as having a commit in flight and advances the update epoch
@@ -21,8 +31,8 @@ import (
 // caught by the pending counter. Together they close the gap in which
 // a query could mix post-commit binds with pre-commit pool entries.
 func (r *Recycler) OnBeforeUpdate(t *catalog.Table) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
 	r.epoch++
 	r.tableEpoch[t.QName()] = r.epoch
 	r.pending[t.QName()]++
@@ -32,8 +42,8 @@ func (r *Recycler) OnBeforeUpdate(t *catalog.Table) {
 // statement committed nothing. The table's epoch stays bumped — a
 // harmless conservatism for queries concurrent with the no-op.
 func (r *Recycler) OnAbortUpdate(t *catalog.Table) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
 	if r.pending[t.QName()] > 0 {
 		r.pending[t.QName()]--
 	}
@@ -41,44 +51,38 @@ func (r *Recycler) OnAbortUpdate(t *catalog.Table) {
 
 // OnUpdate implements catalog.UpdateListener.
 func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
-	r.mu.Lock()
+	r.lockWriter()
 	defer r.mu.Unlock()
 	qname := ev.Table.QName()
-	r.epoch++
-	r.tableEpoch[qname] = r.epoch
-	if r.pending[qname] > 0 {
-		r.pending[qname]--
-	}
 	refs := make([]ColumnRef, 0, len(ev.Cols)+1)
 	for _, c := range ev.Cols {
 		refs = append(refs, ColumnRef{Table: qname, Column: c})
 	}
 	refs = append(refs, ColumnRef{Table: qname, Column: "*"})
 
+	// Fix the pool up first (under the writer lock, with pending still
+	// > 0 shielding the hit path), then publish the commit epoch.
 	if r.cfg.Sync == SyncPropagate {
 		r.propagate(ev, refs)
-		return
-	}
-	// Immediate column-wise invalidation.
-	for _, ref := range refs {
-		for _, e := range r.pool.EntriesByColumn(ref) {
-			r.invalidate(e)
+	} else {
+		// Immediate column-wise invalidation.
+		for _, ref := range refs {
+			for _, e := range r.pool.EntriesByColumn(ref) {
+				r.invalidate(e)
+			}
 		}
 	}
+
+	r.publishCommit(qname)
 }
 
 // OnDrop implements catalog.UpdateListener: dropping a table
 // invalidates every dependent intermediate immediately, freeing
 // resources without waiting for eviction.
 func (r *Recycler) OnDrop(t *catalog.Table) {
-	r.mu.Lock()
+	r.lockWriter()
 	defer r.mu.Unlock()
 	qname := t.QName()
-	r.epoch++
-	r.tableEpoch[qname] = r.epoch
-	if r.pending[qname] > 0 {
-		r.pending[qname]--
-	}
 	for ref, m := range r.pool.byCol {
 		if ref.Table != qname {
 			continue
@@ -87,25 +91,48 @@ func (r *Recycler) OnDrop(t *catalog.Table) {
 			r.invalidate(e)
 		}
 	}
+	r.publishCommit(qname)
 }
 
+// publishCommit records a completed commit in the epoch guard: bump
+// the epoch, stamp the table, settle the pending counter. Per the
+// ordering contract above it must run only AFTER the pool fix-up, so
+// both listeners share this one implementation.
+func (r *Recycler) publishCommit(qname string) {
+	r.stateMu.Lock()
+	r.epoch++
+	r.tableEpoch[qname] = r.epoch
+	if r.pending[qname] > 0 {
+		r.pending[qname]--
+	}
+	r.stateMu.Unlock()
+}
+
+// invalidate removes an entry because its source data changed. Caller
+// holds the writer lock.
 func (r *Recycler) invalidate(e *Entry) {
-	if !e.valid {
+	if !e.valid.Load() {
 		return
 	}
-	r.pool.Invalided++
+	r.pool.Invalidated++
 	r.evict(e)
 }
 
 // refreshResult swaps an entry's result in place, keeping its id (and
 // therefore its signature and its dependants' signatures) stable while
-// adjusting the pool's memory accounting.
+// adjusting the pool's memory accounting. Caller holds the writer
+// lock; the signature shard's write lock is taken around the swap so
+// hit-path readers (who copy Result under the shard read lock) never
+// observe a torn value.
 func (r *Recycler) refreshResult(e *Entry, v mal.Value) {
 	r.pool.totalBytes -= e.Bytes
 	v.Prov = e.ID
+	sh := r.pool.shard(e.Sig)
+	sh.mu.Lock()
 	e.Result = v
 	e.Bytes = v.Bytes()
 	e.Tuples = v.Tuples()
+	sh.mu.Unlock()
 	r.pool.totalBytes += e.Bytes
 }
 

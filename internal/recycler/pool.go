@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mal"
@@ -17,6 +19,16 @@ type ColumnRef struct {
 
 // Entry is one recycled intermediate: a captured instruction instance
 // together with its result and its execution/reuse statistics.
+//
+// Fields split into two synchronisation classes. The structural fields
+// (Sig, OpName, Result, Deps, lineage, subsumption metadata, ...) are
+// written before the entry is published via Pool.Add and afterwards
+// mutated only under the recycler's writer lock (refreshResult
+// additionally takes the entry's signature-shard lock, because the hit
+// path copies Result under that shard's read lock). The hot counters
+// (ReuseCount, LastUseTick, SavedTotal, GlobalReuse, pinnedQuery) are
+// atomics, so the read-mostly hit path can update them without any
+// pool-wide lock.
 type Entry struct {
 	ID  uint64
 	Sig string
@@ -34,18 +46,20 @@ type Entry struct {
 
 	// Cost is the CPU time spent computing the intermediate.
 	Cost time.Duration
-	// SavedTotal accumulates the estimated time saved by reuses.
-	SavedTotal time.Duration
+	// SavedTotal accumulates the estimated time saved by reuses, in
+	// nanoseconds (atomic: bumped on the lock-free hit path).
+	SavedTotal atomic.Int64
 
 	// AdmitTick and LastUseTick are virtual clock readings used by the
-	// LRU and History policies.
+	// LRU and History policies. LastUseTick is atomic: every pool hit
+	// refreshes it without taking the writer lock.
 	AdmitTick   int64
-	LastUseTick int64
+	LastUseTick atomic.Int64
 
 	// ReuseCount counts reuses (the paper's k-1 references beyond the
 	// creating one).
-	ReuseCount  int
-	GlobalReuse bool // reused by a query other than the admitting one
+	ReuseCount  atomic.Int64
+	GlobalReuse atomic.Bool // reused by a query other than the admitting one
 
 	// QueryID identifies the admitting query invocation.
 	QueryID uint64
@@ -88,19 +102,22 @@ type Entry struct {
 	// delta propagation re-executes against them.
 	Args []mal.Value
 
-	valid       bool
-	pinnedQuery uint64 // query currently protecting the entry
+	valid       atomic.Bool
+	pinnedQuery atomic.Uint64 // query currently protecting the entry
 }
 
 // Valid reports whether the entry may be matched.
-func (e *Entry) Valid() bool { return e.valid }
+func (e *Entry) Valid() bool { return e.valid.Load() }
+
+// Saved returns the accumulated estimated time saved by reuses.
+func (e *Entry) Saved() time.Duration { return time.Duration(e.SavedTotal.Load()) }
 
 // Weight implements the paper's weight function (Eq. 2): reused
 // entries weigh their global reference count, unused or locally-reused
 // ones weigh 0.1.
 func (e *Entry) Weight() float64 {
-	if e.ReuseCount >= 1 && e.GlobalReuse {
-		return float64(e.ReuseCount)
+	if n := e.ReuseCount.Load(); n >= 1 && e.GlobalReuse.Load() {
+		return float64(n)
 	}
 	return 0.1
 }
@@ -119,11 +136,34 @@ func (e *Entry) HistoryBenefit(nowTick int64) float64 {
 	return e.Benefit() / float64(age)
 }
 
+// numSigShards fixes the signature-map shard count. Shards only bound
+// contention (hit-path readers vs. structural writers), not capacity,
+// so a modest power of two suffices even for large pools.
+const numSigShards = 32
+
+// sigShard is one slice of the signature index. Its RWMutex is the
+// only lock the exact-match hit path takes: readers hold it shared
+// while resolving a signature and copying the entry's Result out;
+// Add/Remove/refreshResult hold it exclusively (in addition to the
+// recycler writer lock) while splicing the map or swapping Result.
+type sigShard struct {
+	mu    sync.RWMutex
+	bySig map[string]*Entry
+}
+
 // Pool is the recycle pool: the shared buffer of intermediates plus
 // the indexes used for matching and subsumption search.
+//
+// Synchronisation: the signature index is sharded with per-shard
+// RWMutexes so concurrent hit-path lookups do not serialise. Every
+// other index (entries, selIdx, likeIdx, semiIdx, byCol), the byte
+// accounting and the lifetime counters are guarded by the owning
+// Recycler's writer lock; methods touching them document that the
+// caller holds it.
 type Pool struct {
+	shards [numSigShards]sigShard
+
 	entries map[uint64]*Entry
-	bySig   map[string]*Entry
 	// selIdx indexes valid range-select entries by column operand key.
 	selIdx map[string][]*Entry
 	// likeIdx indexes valid likeselect entries by column operand key.
@@ -137,59 +177,119 @@ type Pool struct {
 
 	totalBytes int64
 	nextID     uint64
-	tick       int64
+	tick       atomic.Int64
 
-	// Lifetime counters.
-	Admitted  int64
-	Evicted   int64
-	Invalided int64
-	// Reuses counts pool hits served, surviving eviction of the entries
-	// themselves (unlike summing Entry.ReuseCount over the live pool).
-	Reuses int64
+	// Lifetime counters (writer lock), except reuses which is bumped on
+	// the lock-free hit path.
+	Admitted    int64
+	Evicted     int64
+	Invalidated int64
+	reuses      atomic.Int64
+
+	// Shard-lock contention telemetry: blocked read acquisitions on the
+	// hit path and the total time they spent blocked.
+	shardWaits  atomic.Int64
+	shardWaitNs atomic.Int64
 }
 
 // NewPool creates an empty pool.
 func NewPool() *Pool {
-	return &Pool{
+	p := &Pool{
 		entries: make(map[uint64]*Entry),
-		bySig:   make(map[string]*Entry),
 		selIdx:  make(map[string][]*Entry),
 		likeIdx: make(map[string][]*Entry),
 		semiIdx: make(map[uint64][]*Entry),
 		byCol:   make(map[ColumnRef]map[uint64]*Entry),
 	}
+	for i := range p.shards {
+		p.shards[i].bySig = make(map[string]*Entry)
+	}
+	return p
+}
+
+// shard maps a signature to its shard (FNV-1a).
+func (p *Pool) shard(sig string) *sigShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint32(sig[i])
+		h *= 16777619
+	}
+	return &p.shards[h%numSigShards]
 }
 
 // Tick advances and returns the virtual clock.
-func (p *Pool) Tick() int64 {
-	p.tick++
-	return p.tick
-}
+func (p *Pool) Tick() int64 { return p.tick.Add(1) }
 
 // Now returns the current virtual clock without advancing it.
-func (p *Pool) Now() int64 { return p.tick }
+func (p *Pool) Now() int64 { return p.tick.Load() }
 
-// Len returns the number of valid entries (cache lines).
+// Len returns the number of valid entries (cache lines). Caller holds
+// the recycler writer lock when racing structural changes matters.
 func (p *Pool) Len() int { return len(p.entries) }
 
 // Bytes returns the memory attributed to pooled intermediates.
 func (p *Pool) Bytes() int64 { return p.totalBytes }
 
-// Lookup finds a valid entry by signature.
-func (p *Pool) Lookup(sig string) *Entry { return p.bySig[sig] }
+// Reuses returns the lifetime pool-hit count: every hit served,
+// surviving eviction of the entries themselves (unlike summing
+// Entry.ReuseCount over the live pool).
+func (p *Pool) Reuses() int64 { return p.reuses.Load() }
+
+// ShardLockWait returns the hit path's shard-lock contention: how many
+// read acquisitions blocked and the total time they spent blocked.
+func (p *Pool) ShardLockWait() (waits int64, wait time.Duration) {
+	return p.shardWaits.Load(), time.Duration(p.shardWaitNs.Load())
+}
+
+// Lookup finds a valid entry by signature. Safe without the writer
+// lock: only the owning shard's read lock is taken.
+func (p *Pool) Lookup(sig string) *Entry {
+	sh := p.shard(sig)
+	sh.mu.RLock()
+	e := sh.bySig[sig]
+	sh.mu.RUnlock()
+	return e
+}
+
+// LookupHit is the hit-path variant of Lookup: it resolves the
+// signature and copies the entry's Result out under one shard read
+// lock, so a concurrent refreshResult (which swaps Result under the
+// shard's write lock) can never be observed torn. Blocked acquisitions
+// are counted for the contention telemetry.
+func (p *Pool) LookupHit(sig string) (e *Entry, res mal.Value, ok bool) {
+	sh := p.shard(sig)
+	if !sh.mu.TryRLock() {
+		start := time.Now()
+		sh.mu.RLock()
+		p.shardWaitNs.Add(time.Since(start).Nanoseconds())
+		p.shardWaits.Add(1)
+	}
+	e = sh.bySig[sig]
+	if e != nil {
+		res = e.Result
+	}
+	sh.mu.RUnlock()
+	return e, res, e != nil
+}
 
 // Get returns an entry by id (valid or not yet garbage collected).
+// Caller holds the recycler writer lock.
 func (p *Pool) Get(id uint64) *Entry { return p.entries[id] }
 
 // Add inserts a fully initialised entry, indexing it for matching,
 // subsumption and invalidation, and wiring lineage dependent counts.
+// Caller holds the recycler writer lock; the signature shard's write
+// lock is taken here around the map splice.
 func (p *Pool) Add(e *Entry) {
 	p.nextID++
 	e.ID = p.nextID
-	e.valid = true
+	e.valid.Store(true)
 	e.Result.Prov = e.ID
 	p.entries[e.ID] = e
-	p.bySig[e.Sig] = e
+	sh := p.shard(e.Sig)
+	sh.mu.Lock()
+	sh.bySig[e.Sig] = e
+	sh.mu.Unlock()
 	p.totalBytes += e.Bytes
 	p.Admitted++
 	if e.IsRangeSelect {
@@ -217,16 +317,21 @@ func (p *Pool) Add(e *Entry) {
 }
 
 // Remove evicts an entry from the pool and unhooks all its indexes.
-// The caller is responsible for credit bookkeeping.
+// The caller is responsible for credit bookkeeping and holds the
+// recycler writer lock; the signature shard's write lock is taken here
+// around the map splice.
 func (p *Pool) Remove(e *Entry) {
-	if !e.valid {
+	if !e.valid.Load() {
 		return
 	}
-	e.valid = false
+	e.valid.Store(false)
 	delete(p.entries, e.ID)
-	if p.bySig[e.Sig] == e {
-		delete(p.bySig, e.Sig)
+	sh := p.shard(e.Sig)
+	sh.mu.Lock()
+	if sh.bySig[e.Sig] == e {
+		delete(sh.bySig, e.Sig)
 	}
+	sh.mu.Unlock()
 	p.totalBytes -= e.Bytes
 	p.Evicted++
 	if e.IsRangeSelect {
@@ -263,7 +368,7 @@ func removeEntry(s []*Entry, e *Entry) []*Entry {
 // Leaves returns the valid entries with no in-pool dependents,
 // skipping those for which pinned reports true (nil lifts the
 // protection). Eviction operates on leaves only, preserving lineage
-// (paper §4.3).
+// (paper §4.3). Caller holds the recycler writer lock.
 func (p *Pool) Leaves(pinned func(*Entry) bool) []*Entry {
 	var out []*Entry
 	for _, e := range p.entries {
@@ -279,7 +384,8 @@ func (p *Pool) Leaves(pinned func(*Entry) bool) []*Entry {
 	return out
 }
 
-// EntriesByColumn returns the entries depending on a persistent column.
+// EntriesByColumn returns the entries depending on a persistent
+// column. Caller holds the recycler writer lock.
 func (p *Pool) EntriesByColumn(c ColumnRef) []*Entry {
 	m := p.byCol[c]
 	out := make([]*Entry, 0, len(m))
@@ -291,17 +397,20 @@ func (p *Pool) EntriesByColumn(c ColumnRef) []*Entry {
 }
 
 // SelectCandidates returns the valid range-select entries over the
-// given column operand key.
+// given column operand key. Caller holds the recycler writer lock.
 func (p *Pool) SelectCandidates(colKey string) []*Entry { return p.selIdx[colKey] }
 
 // LikeCandidates returns the valid likeselect entries over the column.
+// Caller holds the recycler writer lock.
 func (p *Pool) LikeCandidates(colKey string) []*Entry { return p.likeIdx[colKey] }
 
 // SemijoinCandidates returns the valid semijoin entries whose left
-// operand has the given provenance.
+// operand has the given provenance. Caller holds the recycler writer
+// lock.
 func (p *Pool) SemijoinCandidates(leftProv uint64) []*Entry { return p.semiIdx[leftProv] }
 
-// All returns all valid entries in id order.
+// All returns all valid entries in id order. Caller holds the recycler
+// writer lock when racing structural changes matters.
 func (p *Pool) All() []*Entry {
 	out := make([]*Entry, 0, len(p.entries))
 	for _, e := range p.entries {
@@ -315,7 +424,7 @@ func (p *Pool) All() []*Entry {
 // reused at least once — the utilisation metrics of Figs. 7–8.
 func (p *Pool) ReusedStats() (entries int, bytes int64) {
 	for _, e := range p.entries {
-		if e.ReuseCount > 0 {
+		if e.ReuseCount.Load() > 0 {
 			entries++
 			bytes += e.Bytes
 		}
@@ -350,10 +459,10 @@ func (p *Pool) TypeBreakdown() []TypeRow {
 		r.Lines++
 		r.Bytes += e.Bytes
 		costSum[e.OpName] += e.Cost
-		if e.ReuseCount > 0 {
+		if n := e.ReuseCount.Load(); n > 0 {
 			r.ReusedLines++
-			r.Reuses += e.ReuseCount
-			savedSum[e.OpName] += e.SavedTotal
+			r.Reuses += int(n)
+			savedSum[e.OpName] += e.Saved()
 		}
 	}
 	out := make([]TypeRow, 0, len(agg))
@@ -377,7 +486,7 @@ func (p *Pool) Dump() string {
 	sb.WriteString("recycle pool {\n")
 	for _, e := range p.All() {
 		fmt.Fprintf(&sb, "  e%-4d %-60s #%-8d %8dB cost=%-12v reuses=%d\n",
-			e.ID, e.Render, e.Tuples, e.Bytes, e.Cost, e.ReuseCount)
+			e.ID, e.Render, e.Tuples, e.Bytes, e.Cost, e.ReuseCount.Load())
 	}
 	fmt.Fprintf(&sb, "} entries=%d bytes=%d\n", p.Len(), p.Bytes())
 	return sb.String()

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/bat"
 	"repro/internal/mal"
@@ -67,9 +68,9 @@ func TestPoolPinnedLeavesExcluded(t *testing.T) {
 	p := NewPool()
 	e := mkEntry("a", 100, time.Millisecond)
 	p.Add(e)
-	e.pinnedQuery = 7
+	e.pinnedQuery.Store(7)
 	pinnedBy := func(q uint64) func(*Entry) bool {
-		return func(e *Entry) bool { return e.pinnedQuery == q }
+		return func(e *Entry) bool { return e.pinnedQuery.Load() == q }
 	}
 	if len(p.Leaves(pinnedBy(7))) != 0 {
 		t.Fatal("pinned leaf not excluded")
@@ -87,12 +88,12 @@ func TestWeightAndBenefit(t *testing.T) {
 	if e.Weight() != 0.1 {
 		t.Fatalf("unused weight = %v, want 0.1", e.Weight())
 	}
-	e.ReuseCount = 3
+	e.ReuseCount.Store(3)
 	// Local-only reuse keeps the minimal weight (paper Eq. 2).
 	if e.Weight() != 0.1 {
 		t.Fatalf("local-only weight = %v, want 0.1", e.Weight())
 	}
-	e.GlobalReuse = true
+	e.GlobalReuse.Store(true)
 	if e.Weight() != 3 {
 		t.Fatalf("global weight = %v, want 3", e.Weight())
 	}
@@ -178,8 +179,8 @@ func TestTypeBreakdownAverages(t *testing.T) {
 	p := NewPool()
 	e1 := mkEntry("a", 100, 10*time.Millisecond)
 	e2 := mkEntry("b", 100, 20*time.Millisecond)
-	e2.ReuseCount = 2
-	e2.SavedTotal = 40 * time.Millisecond
+	e2.ReuseCount.Store(2)
+	e2.SavedTotal.Store(int64(40 * time.Millisecond))
 	p.Add(e1)
 	p.Add(e2)
 	rows := p.TypeBreakdown()
@@ -214,6 +215,32 @@ func TestRenderTruncatesLongStrings(t *testing.T) {
 	r := render(in, []mal.Value{mal.StrV(long)})
 	if len(r) > 60 {
 		t.Fatalf("render too long: %d chars", len(r))
+	}
+}
+
+func TestRenderTruncatesOnRuneBoundary(t *testing.T) {
+	in := &mal.Instr{Module: "algebra", Op: "likeselect"}
+	// 1 ASCII byte then 4-byte runes: the 24-byte cut lands mid-rune
+	// and must back up instead of emitting invalid UTF-8.
+	long := "a" + strings.Repeat("\U0001F642", 10)
+	r := render(in, []mal.Value{mal.StrV(long)})
+	if !utf8.ValidString(r) {
+		t.Fatalf("render emitted invalid UTF-8: %q", r)
+	}
+	if !strings.Contains(r, "…") {
+		t.Fatalf("long constant not truncated: %q", r)
+	}
+}
+
+func TestRenderHandlesDegenerateBatKey(t *testing.T) {
+	// A BAT value with zero provenance renders as a bare "e" rather
+	// than panicking on Key()[1:]; render must stay total because it
+	// runs on arbitrary captured instruction instances.
+	in := &mal.Instr{Module: "algebra", Op: "select"}
+	v := mal.BatV(bat.NewDenseHead(bat.NewInts([]int64{1})))
+	r := render(in, []mal.Value{v, mal.IntV(3)})
+	if !strings.HasPrefix(r, "algebra.select(e") {
+		t.Fatalf("render = %q", r)
 	}
 }
 

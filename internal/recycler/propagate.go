@@ -53,7 +53,7 @@ func (r *Recycler) propagate(ev catalog.UpdateEvent, refs []ColumnRef) {
 	}
 	for _, id := range ids {
 		e := affected[id]
-		if !e.valid {
+		if !e.valid.Load() {
 			continue
 		}
 		if e.Result.Kind == mal.VBat {
@@ -96,7 +96,7 @@ type propState struct {
 // by the update or was successfully propagated.
 func (r *Recycler) parentInfo(st *propState, prov uint64) (pe *Entry, delta *bat.BAT, old *bat.BAT, ok bool) {
 	pe = r.pool.Get(prov)
-	if pe == nil || !pe.valid {
+	if pe == nil || !pe.valid.Load() {
 		return nil, nil, nil, false
 	}
 	if o, touched := st.old[prov]; touched {

@@ -3,7 +3,9 @@ package recycler
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/catalog"
 	"repro/internal/mal"
@@ -56,23 +58,49 @@ type Config struct {
 // around marked instructions and catalog.UpdateListener for update
 // synchronisation.
 //
-// A single mutex serialises the hook and listener entry points, so
-// many concurrent sessions — and the instructions one query runs in
-// parallel under the dataflow scheduler — may share one recycler:
-// queries serialise only on pool operations while regular operator
-// bodies run outside the lock, mirroring the shared resource pool of
-// the paper's multi-core setting. (The exception is combined
-// subsumption, whose piecewise selects and merge execute inside Entry
-// and therefore under the lock.) Per-query statistics are written
-// through mal.Ctx.UpdateStats, never directly, so they cannot race
-// with the interpreter's own bookkeeping.
+// Locking hierarchy (acquire strictly in this order, release freely):
+//
+//  1. mu — the writer lock. Serialises every structural pool change:
+//     admission, eviction, invalidation, delta propagation, Reset and
+//     the subsumption-candidate scans. Lineage edges, the subsumption
+//     and column indexes and the byte accounting are only consistent
+//     under it.
+//  2. stateMu — a read-mostly RWMutex over the epoch guard state
+//     (active, epoch, tableEpoch, pending). The hit path takes it
+//     shared per usability check; BeginQuery/EndQuery and the update
+//     listeners take it exclusively for a few map operations.
+//  3. sigShard.mu — per-shard RWMutexes over the signature index
+//     (see Pool). The exact-match hit path takes only a shard read
+//     lock; structural writers (Add/Remove/refreshResult) take the
+//     shard write lock while already holding mu.
+//  4. admission.mu — the admission policy's own mutex (leaf); credit
+//     bookkeeping is safe from both locked and lock-free callers.
+//
+// The exact-match hit path — the common case once the pool is warm —
+// therefore runs without the writer lock entirely: signature hash,
+// one shard read lock, one stateMu read lock, then atomic counter
+// updates on the entry. Combined subsumption executes its piecewise
+// selects and merge outside all locks and re-validates its inputs
+// after reacquiring mu (see combinedSelect), so a concurrent
+// invalidation can never resurrect stale pieces. Per-query statistics
+// are written through mal.Ctx.UpdateStats, never directly, so they
+// cannot race with the interpreter's own bookkeeping.
 type Recycler struct {
 	cfg  Config
 	pool *Pool
 	adm  *admission
 	cat  *catalog.Catalog
 
+	// mu is the writer lock (level 1 above).
 	mu sync.Mutex
+
+	// writerWaits/writerWaitNs count blocked writer-lock acquisitions
+	// and the total time they spent blocked (contention telemetry).
+	writerWaits  atomic.Int64
+	writerWaitNs atomic.Int64
+
+	// stateMu (level 2) guards the epoch guard state below.
+	stateMu sync.RWMutex
 	// active tracks the queries currently executing (BeginQuery ..
 	// EndQuery), mapping each to the update epoch it began under. Pool
 	// entries last touched by an active query are pinned against
@@ -91,6 +119,12 @@ type Recycler struct {
 	epoch      uint64
 	tableEpoch map[string]uint64
 	pending    map[string]int
+
+	// testBeforeRevalidate, when set by tests, runs between combined
+	// subsumption's unlocked piecewise execution and its re-validation
+	// under the writer lock — the window a concurrent invalidation
+	// must not be able to slip stale pieces through.
+	testBeforeRevalidate func()
 }
 
 // New creates a recycler over the given catalog.
@@ -111,6 +145,18 @@ func New(cat *catalog.Catalog, cfg Config) *Recycler {
 		cat.AddListener(r)
 	}
 	return r
+}
+
+// lockWriter acquires the writer lock, recording contention. The
+// TryLock fast path keeps the uncontended case free of clock reads.
+func (r *Recycler) lockWriter() {
+	if r.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	r.mu.Lock()
+	r.writerWaitNs.Add(time.Since(start).Nanoseconds())
+	r.writerWaits.Add(1)
 }
 
 // Close detaches the recycler from the catalog's listener list and
@@ -144,22 +190,39 @@ type Stats struct {
 	// Reuses counts every pool hit served over the recycler's lifetime,
 	// including hits on entries that were later evicted or invalidated.
 	Reuses int64
+
+	// Lock contention telemetry: how many acquisitions of the writer
+	// lock (admission/eviction/invalidation/subsumption scans) and of
+	// the hit path's signature-shard read locks blocked, and the total
+	// time they spent blocked. Uncontended acquisitions cost nothing
+	// and are not counted.
+	WriterLockWaits int64
+	WriterLockWait  time.Duration
+	ShardLockWaits  int64
+	ShardLockWait   time.Duration
 }
 
-// Snapshot captures the current statistics.
+// Snapshot captures the current statistics. It takes the writer lock
+// without the contention instrumentation: a stats observer blocking
+// behind an admission must not inflate the very telemetry it reads.
 func (r *Recycler) Snapshot() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	re, rb := r.pool.ReusedStats()
+	sw, swd := r.pool.ShardLockWait()
 	return Stats{
-		Entries:       r.pool.Len(),
-		Bytes:         r.pool.Bytes(),
-		ReusedEntries: re,
-		ReusedBytes:   rb,
-		Admitted:      r.pool.Admitted,
-		Evicted:       r.pool.Evicted,
-		Invalidated:   r.pool.Invalided,
-		Reuses:        r.pool.Reuses,
+		Entries:         r.pool.Len(),
+		Bytes:           r.pool.Bytes(),
+		ReusedEntries:   re,
+		ReusedBytes:     rb,
+		Admitted:        r.pool.Admitted,
+		Evicted:         r.pool.Evicted,
+		Invalidated:     r.pool.Invalidated,
+		Reuses:          r.pool.Reuses(),
+		WriterLockWaits: r.writerWaits.Load(),
+		WriterLockWait:  time.Duration(r.writerWaitNs.Load()),
+		ShardLockWaits:  sw,
+		ShardLockWait:   swd,
 	}
 }
 
@@ -179,18 +242,7 @@ type AdmissionStats struct {
 
 // AdmissionStats captures the admission policy's decision counters.
 func (r *Recycler) AdmissionStats() AdmissionStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return AdmissionStats{
-		Policy:   r.cfg.Admission.String(),
-		Credits:  r.adm.initial,
-		Granted:  r.adm.granted,
-		Denied:   r.adm.denied,
-		Refunded: r.adm.refunded,
-		Promoted: r.adm.promoted,
-		Demoted:  r.adm.demoted,
-		Tracked:  len(r.adm.state),
-	}
+	return r.adm.snapshot(r.cfg.Admission.String())
 }
 
 // ActiveQueries returns the number of queries currently between
@@ -198,8 +250,8 @@ func (r *Recycler) AdmissionStats() AdmissionStats {
 // entries are pinned against eviction. A gracefully drained server
 // must see this reach zero before releasing the engine.
 func (r *Recycler) ActiveQueries() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
 	return len(r.active)
 }
 
@@ -207,7 +259,7 @@ func (r *Recycler) ActiveQueries() int {
 // batches"), going through the regular eviction path so credits of
 // globally reused instances are returned.
 func (r *Recycler) Reset() {
-	r.mu.Lock()
+	r.lockWriter()
 	defer r.mu.Unlock()
 	for _, e := range r.pool.All() {
 		r.evict(e)
@@ -218,32 +270,37 @@ func (r *Recycler) Reset() {
 // invocation for the adaptive admission policy and adds the query to
 // the active set used for eviction pinning. Pair with EndQuery.
 func (r *Recycler) BeginQuery(queryID uint64, templID uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
 	r.active[queryID] = r.epoch
+	r.stateMu.Unlock()
 	r.adm.beginQuery(templID)
 }
 
 // EndQuery marks a query invocation finished, unpinning the pool
 // entries it touched so eviction may reclaim them.
 func (r *Recycler) EndQuery(queryID uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
 	delete(r.active, queryID)
+	r.stateMu.Unlock()
 }
 
-// pinnedByActive reports whether the entry was last touched by a query
-// that is still executing; such entries are protected from eviction.
-// Caller holds r.mu.
-func (r *Recycler) pinnedByActive(e *Entry) bool {
-	_, ok := r.active[e.pinnedQuery]
-	return ok
+// activeSnapshot copies the active-query set, so eviction can test
+// pins without re-taking stateMu per leaf.
+func (r *Recycler) activeSnapshot() map[uint64]bool {
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
+	m := make(map[uint64]bool, len(r.active))
+	for q := range r.active {
+		m[q] = true
+	}
+	return m
 }
 
-// staleSince reports whether any of the dep tables committed an update
-// after the given epoch or has a commit in flight — i.e. whether
-// operands read from them may predate that update. Caller holds r.mu.
-func (r *Recycler) staleSince(deps []ColumnRef, began uint64) bool {
+// staleSinceLocked reports whether any of the dep tables committed an
+// update after the given epoch or has a commit in flight — i.e.
+// whether operands read from them may predate that update. Caller
+// holds stateMu (shared suffices).
+func (r *Recycler) staleSinceLocked(deps []ColumnRef, began uint64) bool {
 	for _, d := range deps {
 		if r.tableEpoch[d.Table] > began || r.pending[d.Table] > 0 {
 			return true
@@ -252,18 +309,26 @@ func (r *Recycler) staleSince(deps []ColumnRef, began uint64) bool {
 	return false
 }
 
+// staleForQuery reports whether an intermediate with the given column
+// dependencies straddles a commit from the query's point of view.
+func (r *Recycler) staleForQuery(queryID uint64, deps []ColumnRef) bool {
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
+	began, ok := r.active[queryID]
+	if !ok {
+		return false
+	}
+	return r.staleSinceLocked(deps, began)
+}
+
 // usable reports whether entry e may satisfy a hit for ctx's query. A
 // query that began before the latest commit to one of e's dep tables
 // must not consume the entry: e may hold a post-update result (a
 // propagate-mode refresh, or a re-admission by a younger query) that
 // is inconsistent with operands the old query bound before the
-// commit. Caller holds r.mu.
+// commit. Takes stateMu shared; safe with or without the writer lock.
 func (r *Recycler) usable(ctx *mal.Ctx, e *Entry) bool {
-	began, ok := r.active[ctx.QueryID]
-	if !ok {
-		return true
-	}
-	return !r.staleSince(e.Deps, began)
+	return !r.staleForQuery(ctx.QueryID, e.Deps)
 }
 
 // signature renders the canonical matching key of an instruction
@@ -288,6 +353,19 @@ func signature(in *mal.Instr, args []mal.Value) (sig string, matchable bool) {
 	return sb.String(), true
 }
 
+// truncateRunes shortens s to at most max bytes without splitting a
+// multi-byte rune, appending an ellipsis when it cut anything.
+func truncateRunes(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "…"
+}
+
 func render(in *mal.Instr, args []mal.Value) string {
 	var sb strings.Builder
 	sb.WriteString(in.Name())
@@ -298,13 +376,11 @@ func render(in *mal.Instr, args []mal.Value) string {
 		}
 		if a.IsBat() {
 			sb.WriteString("e")
-			sb.WriteString(a.Key()[1:])
-		} else {
-			s := a.String()
-			if len(s) > 24 {
-				s = s[:24] + "…"
+			if k := a.Key(); len(k) > 1 {
+				sb.WriteString(k[1:])
 			}
-			sb.WriteString(s)
+		} else {
+			sb.WriteString(truncateRunes(a.String(), 24))
 		}
 	}
 	sb.WriteByte(')')
@@ -313,12 +389,21 @@ func render(in *mal.Instr, args []mal.Value) string {
 
 // Entry implements recycleEntry (Algorithm 1, lines 9–17): exact
 // matching first, then subsumption.
+//
+// The exact-match path is read-mostly: it takes no writer lock, only
+// the signature shard's read lock (to resolve the entry and copy its
+// Result consistently) and stateMu shared (epoch guard), then updates
+// the entry's reuse counters atomically. A hit may race a concurrent
+// eviction of the same entry; that is benign — results are immutable
+// and the counters of a just-removed entry are simply forgotten.
+// Hits racing *invalidation* are excluded by the epoch guard: the
+// pre-commit OnBeforeUpdate makes usable() refuse the entry before
+// the underlying data can have changed. The subsumption paths scan
+// pool indexes and therefore take the writer lock (see subsume.go).
 func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) mal.EntryResult {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	sig, matchable := signature(in, args)
 	if matchable {
-		if e := r.pool.Lookup(sig); e != nil && r.usable(ctx, e) {
+		if e, res, ok := r.pool.LookupHit(sig); ok && r.usable(ctx, e) {
 			r.noteReuse(ctx, in, e)
 			ctx.UpdateStats(func(s *mal.QueryStats) {
 				s.Hits++
@@ -326,7 +411,7 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 					s.HitsNonBind++
 				}
 			})
-			return mal.EntryResult{Hit: true, Val: e.Result}
+			return mal.EntryResult{Hit: true, Val: res}
 		}
 	}
 	if r.cfg.Subsumption && matchable {
@@ -343,19 +428,21 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 }
 
 // noteReuse updates the entry's and the query's reuse statistics and
-// the credit bookkeeping.
+// the credit bookkeeping. All entry-side updates are atomic, so it is
+// safe from the lock-free hit path as well as from under the writer
+// lock (subsumption paths).
 func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
-	e.ReuseCount++
-	r.pool.Reuses++
-	e.LastUseTick = r.pool.Tick()
-	e.SavedTotal += e.Cost
-	e.pinnedQuery = ctx.QueryID
+	e.ReuseCount.Add(1)
+	r.pool.reuses.Add(1)
+	e.LastUseTick.Store(r.pool.Tick())
+	e.SavedTotal.Add(int64(e.Cost))
+	e.pinnedQuery.Store(ctx.QueryID)
 	key := instrKey{templ: e.TemplID, pc: e.PC}
 	local := e.QueryID == ctx.QueryID
 	if local {
 		r.adm.onLocalReuse(key)
 	} else {
-		e.GlobalReuse = true
+		e.GlobalReuse.Store(true)
 		r.adm.onGlobalReuse(key)
 	}
 	ctx.UpdateStats(func(s *mal.QueryStats) {
@@ -373,21 +460,30 @@ func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
 // Exit implements recycleExit (Algorithm 1, lines 18–23): admission of
 // the freshly computed intermediate, after making room if needed.
 func (r *Recycler) Exit(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.exitLocked(ctx, pc, in, args, ret, elapsed, rw)
-}
-
-// exitLocked is the admission body; the caller holds r.mu. Combined
-// subsumption admits its computed result through this path while
-// already inside recycleEntry.
-func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
 	sig, matchable := signature(in, args)
 	if !matchable {
 		return 0
 	}
-	deps := r.columnDeps(in, args)
-	if began, ok := r.active[ctx.QueryID]; ok && r.staleSince(deps, began) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	return r.exitLocked(ctx, pc, in, args, ret, elapsed, rw, sig)
+}
+
+// exitLocked is the admission body; the caller holds the writer lock.
+// Combined subsumption admits its computed result through this path
+// after its re-validation step.
+func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite, sig string) uint64 {
+	deps, ok := r.columnDeps(in, args)
+	if !ok {
+		// A BAT operand's pool entry disappeared while the query was
+		// in flight (invalidation or a footnote-3 eviction), so the
+		// result's persistent column dependencies are unknowable.
+		// Admitting it would create an entry that no future
+		// invalidation pass can find — a stale result resurrected
+		// past the update that killed its lineage.
+		return 0
+	}
+	if r.staleForQuery(ctx.QueryID, deps) {
 		// A table this intermediate depends on committed an update
 		// while the query was running: the operands may predate the
 		// update, and admitting them now would outlive the
@@ -395,6 +491,12 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		return 0
 	}
 	if existing := r.pool.Lookup(sig); existing != nil {
+		// Another query re-admitted the same signature concurrently.
+		// Refresh the survivor's recency and pin it for this query,
+		// so the entry this query is about to rely on is not the
+		// immediate eviction victim.
+		existing.LastUseTick.Store(r.pool.Tick())
+		existing.pinnedQuery.Store(ctx.QueryID)
 		return existing.ID
 	}
 	key := instrKey{templ: ctx.Template.ID, pc: pc}
@@ -424,7 +526,7 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		e.SubsetOf = rw.SubsetOf
 	}
 	r.pool.Add(e)
-	e.pinnedQuery = ctx.QueryID
+	e.pinnedQuery.Store(ctx.QueryID)
 	return e.ID
 }
 
@@ -444,20 +546,20 @@ func protectSet(args []mal.Value) map[uint64]bool {
 func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, sig string, deps []ColumnRef) *Entry {
 	now := r.pool.Tick()
 	e := &Entry{
-		Sig:         sig,
-		OpName:      in.Name(),
-		Render:      render(in, args),
-		Result:      ret,
-		Bytes:       ret.Bytes(),
-		Tuples:      ret.Tuples(),
-		Cost:        elapsed,
-		AdmitTick:   now,
-		LastUseTick: now,
-		QueryID:     ctx.QueryID,
-		TemplID:     ctx.Template.ID,
-		PC:          pc,
-		Args:        append([]mal.Value(nil), args...),
+		Sig:       sig,
+		OpName:    in.Name(),
+		Render:    render(in, args),
+		Result:    ret,
+		Bytes:     ret.Bytes(),
+		Tuples:    ret.Tuples(),
+		Cost:      elapsed,
+		AdmitTick: now,
+		QueryID:   ctx.QueryID,
+		TemplID:   ctx.Template.ID,
+		PC:        pc,
+		Args:      append([]mal.Value(nil), args...),
 	}
+	e.LastUseTick.Store(now)
 	seen := map[uint64]bool{}
 	for _, a := range args {
 		if a.IsBat() && a.Prov != 0 && !seen[a.Prov] {
@@ -488,10 +590,15 @@ func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 // columnDeps derives the persistent columns an instruction's result
 // depends on: binds name them directly, join indices depend on both
 // tables wholesale, and derived instructions union their parents'.
-func (r *Recycler) columnDeps(in *mal.Instr, args []mal.Value) []ColumnRef {
+// ok=false reports that a BAT operand's parent entry is gone from the
+// pool (invalidated or evicted while the query was in flight): the
+// dependencies are then unknowable and the result must not be
+// admitted. Caller holds the writer lock (parent lookups walk the
+// entries map).
+func (r *Recycler) columnDeps(in *mal.Instr, args []mal.Value) ([]ColumnRef, bool) {
 	switch in.Name() {
 	case "sql.bind":
-		return []ColumnRef{{Table: args[0].S + "." + args[1].S, Column: args[2].S}}
+		return []ColumnRef{{Table: args[0].S + "." + args[1].S, Column: args[2].S}}, true
 	case "sql.bindIdxbat":
 		qname := args[0].S + "." + args[1].S
 		deps := []ColumnRef{{Table: qname, Column: "*"}}
@@ -502,7 +609,7 @@ func (r *Recycler) columnDeps(in *mal.Instr, args []mal.Value) []ColumnRef {
 				}
 			}
 		}
-		return deps
+		return deps, true
 	}
 	set := map[ColumnRef]bool{}
 	var out []ColumnRef
@@ -511,8 +618,8 @@ func (r *Recycler) columnDeps(in *mal.Instr, args []mal.Value) []ColumnRef {
 			continue
 		}
 		parent := r.pool.Get(a.Prov)
-		if parent == nil {
-			continue
+		if parent == nil || !parent.valid.Load() {
+			return nil, false
 		}
 		for _, d := range parent.Deps {
 			if !set[d] {
@@ -521,5 +628,5 @@ func (r *Recycler) columnDeps(in *mal.Instr, args []mal.Value) []ColumnRef {
 			}
 		}
 	}
-	return out
+	return out, true
 }

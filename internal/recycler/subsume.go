@@ -13,6 +13,16 @@ import (
 // cached intermediate whose result set is a superset of — or a set of
 // intermediates whose union covers — the result the planned
 // instruction would compute.
+//
+// The candidate scans walk the pool's subsumption indexes and
+// therefore run under the writer lock. Combined subsumption's operator
+// execution (the piecewise selects and the merge) does NOT: the
+// chosen candidates are snapshotted under the lock, the algebra runs
+// over the immutable snapshots with no lock held, and the result is
+// only admitted after re-acquiring the writer lock and re-validating
+// that every piece is still valid and usable — a concurrent
+// invalidation between snapshot and admission aborts the combined hit
+// instead of resurrecting stale pieces.
 
 // rangeContains reports whether the candidate range [cLo, cHi]
 // contains the target range [tLo, tHi], honouring open bounds (nil)
@@ -63,14 +73,28 @@ func rangesOverlap(aLo, aHi, bLo, bHi any) bool {
 	return true
 }
 
+// pieceSnap is a consistent copy of one combined-subsumption candidate
+// taken under the writer lock: the entry pointer for re-validation
+// plus the matching metadata and result the unlocked search and
+// execution phases work from.
+type pieceSnap struct {
+	e      *Entry
+	lo, hi any
+	tuples int
+	result mal.Value
+}
+
 // subsumeSelect implements select subsumption: first the singleton
 // form (one superset intermediate, §5.1), then the combined form over
 // a set of overlapping intermediates (§5.2, Algorithm 2).
 func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) mal.EntryResult {
 	lo, hi, incLo, incHi := mal.SelectBounds(args)
 	colKey := args[0].Key()
+
+	r.lockWriter()
 	cands := r.pool.SelectCandidates(colKey)
 	if len(cands) == 0 {
+		r.mu.Unlock()
 		return mal.EntryResult{}
 	}
 
@@ -90,39 +114,50 @@ func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal
 	}
 	if best != nil {
 		r.noteReuse(ctx, in, best)
-		ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
 		newArgs := append([]mal.Value(nil), args...)
 		newArgs[0] = best.Result
-		return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
+		id := best.ID
+		r.mu.Unlock()
+		ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
+		return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}}
 	}
 
 	if !r.cfg.CombinedSubsumption || lo == nil || hi == nil {
+		r.mu.Unlock()
 		return mal.EntryResult{}
 	}
-	return r.combinedSelect(ctx, pc, in, args, lo, hi, incLo, incHi, cands)
-}
 
-// combinedSelect runs Algorithm 2: build combinations of overlapping
-// cached selects, prune by cost against the best solution so far
-// (seeded with the regular execution cost = operand size), and if a
-// covering combination cheaper than the base scan exists, execute the
-// select piecewise over the pieces and merge with oid deduplication.
-func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, lo, hi any, incLo, incHi bool, cands []*Entry) mal.EntryResult {
-	searchStart := time.Now()
-
-	// R: candidates overlapping the target range, capped for safety.
-	var R []*Entry
+	// R: snapshots of candidates overlapping the target range, capped
+	// for safety. The writer lock is released after the copy; search
+	// and piecewise execution run over the snapshots without it.
+	var R []pieceSnap
 	for _, e := range cands {
 		if !r.usable(ctx, e) {
 			continue
 		}
 		if rangesOverlap(e.SelLo, e.SelHi, lo, hi) {
-			R = append(R, e)
+			R = append(R, pieceSnap{e: e, lo: e.SelLo, hi: e.SelHi, tuples: e.Tuples, result: e.Result})
 			if len(R) >= r.cfg.MaxCombined {
 				break
 			}
 		}
 	}
+	r.mu.Unlock()
+	return r.combinedSelect(ctx, pc, in, args, lo, hi, incLo, incHi, R)
+}
+
+// combinedSelect runs Algorithm 2 over the snapshotted candidates:
+// build combinations of overlapping cached selects, prune by cost
+// against the best solution so far (seeded with the regular execution
+// cost = operand size), and if a covering combination cheaper than the
+// base scan exists, execute the select piecewise over the pieces and
+// merge with oid deduplication — all without any pool lock. The
+// writer lock is only re-acquired to validate the pieces and admit
+// the merged result; if any piece was invalidated or refreshed in the
+// meantime the combined hit is abandoned (the interpreter then simply
+// executes the instruction).
+func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, lo, hi any, incLo, incHi bool, R []pieceSnap) mal.EntryResult {
+	searchStart := time.Now()
 	if len(R) < 2 {
 		overhead := time.Since(searchStart)
 		ctx.UpdateStats(func(s *mal.QueryStats) { s.SubsumeOverhead += overhead })
@@ -161,8 +196,8 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	// overlapping cheap selects must not stall the query.
 	budget := 4096
 	p1 := make([]partial, 0, len(R))
-	for i, e := range R {
-		p := partial{mask: 1 << uint(i), lo: e.SelLo, hi: e.SelHi, cost: e.Tuples}
+	for i, s := range R {
+		p := partial{mask: 1 << uint(i), lo: s.lo, hi: s.hi, cost: s.tuples}
 		seen[p.mask] = true
 		if p.cost < solCost && covers(p) {
 			// Degenerate: a single candidate covers (would have been
@@ -177,12 +212,12 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	for n := 1; n < len(R) && len(p1) > 0 && budget > 0; n++ {
 		var p2 []partial
 		for _, s := range p1 {
-			for i, e := range R {
+			for i, c := range R {
 				bit := uint32(1) << uint(i)
 				if s.mask&bit != 0 || seen[s.mask|bit] {
 					continue
 				}
-				if !rangesOverlap(s.lo, s.hi, e.SelLo, e.SelHi) {
+				if !rangesOverlap(s.lo, s.hi, c.lo, c.hi) {
 					continue
 				}
 				seen[s.mask|bit] = true
@@ -191,9 +226,9 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 				}
 				u := partial{
 					mask: s.mask | bit,
-					lo:   ext(s.lo, e.SelLo, true),
-					hi:   ext(s.hi, e.SelHi, false),
-					cost: s.cost + e.Tuples,
+					lo:   ext(s.lo, c.lo, true),
+					hi:   ext(s.hi, c.hi, false),
+					cost: s.cost + c.tuples,
 				}
 				if u.cost >= solCost {
 					continue // cut unpromising partial solutions
@@ -214,18 +249,45 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 		return mal.EntryResult{}
 	}
 
-	// Execute piecewise over the chosen cover and merge.
+	// Execute piecewise over the chosen cover and merge, with no lock
+	// held: the snapshots' BATs are immutable.
 	execStart := time.Now()
 	var parts []*bat.BAT
-	for i, e := range R {
+	for i, s := range R {
 		if sol.mask&(1<<uint(i)) == 0 {
 			continue
 		}
-		r.noteReuse(ctx, in, e)
-		parts = append(parts, algebra.Select(e.Result.Bat, lo, hi, incLo, incHi))
+		parts = append(parts, algebra.Select(s.result.Bat, lo, hi, incLo, incHi))
 	}
 	merged := algebra.MergeDedupByHead(parts)
 	elapsed := time.Since(execStart)
+
+	if r.testBeforeRevalidate != nil {
+		r.testBeforeRevalidate()
+	}
+
+	// Re-validate under the writer lock: every piece must still be
+	// valid (not invalidated/evicted), unchanged (not refreshed by
+	// delta propagation) and usable by this query (epoch guard). Any
+	// failure means the merged result may encode pre-update state that
+	// the invalidation pass already erased from the pool — serving or
+	// admitting it would resurrect exactly what invalidation killed.
+	r.lockWriter()
+	defer r.mu.Unlock()
+	for i, s := range R {
+		if sol.mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !s.e.valid.Load() || s.e.Result.Bat != s.result.Bat || !r.usable(ctx, s.e) {
+			return mal.EntryResult{}
+		}
+	}
+	for i, s := range R {
+		if sol.mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		r.noteReuse(ctx, in, s.e)
+	}
 	ctx.UpdateStats(func(s *mal.QueryStats) {
 		s.CombinedExec += elapsed
 		s.Hits++
@@ -237,9 +299,10 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 
 	val := mal.BatV(merged)
 	// Admit the combined result under the original signature so later
-	// instances match exactly. The caller (Entry) holds the lock.
-	prov := r.exitLocked(ctx, pc, in, args, val, elapsed, nil)
-	val.Prov = prov
+	// instances match exactly.
+	if sig, ok := signature(in, args); ok {
+		val.Prov = r.exitLocked(ctx, pc, in, args, val, elapsed, nil, sig)
+	}
 	return mal.EntryResult{Hit: true, Val: val}
 }
 
@@ -250,6 +313,7 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 func (r *Recycler) subsumeLike(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) mal.EntryResult {
 	colKey := args[0].Key()
 	target := args[1].S
+	r.lockWriter()
 	var best *Entry
 	for _, e := range r.pool.LikeCandidates(colKey) {
 		if !r.usable(ctx, e) {
@@ -267,13 +331,16 @@ func (r *Recycler) subsumeLike(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) ma
 		}
 	}
 	if best == nil {
+		r.mu.Unlock()
 		return mal.EntryResult{}
 	}
 	r.noteReuse(ctx, in, best)
-	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
 	newArgs := append([]mal.Value(nil), args...)
 	newArgs[0] = best.Result
-	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
+	id := best.ID
+	r.mu.Unlock()
+	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
+	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}}
 }
 
 // literalRunContains reports whether lit occurs inside a single
@@ -296,6 +363,7 @@ func (r *Recycler) subsumeSemijoin(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 	if px == 0 || pw == 0 {
 		return mal.EntryResult{}
 	}
+	r.lockWriter()
 	var best *Entry
 	for _, e := range r.pool.SemijoinCandidates(px) {
 		if !r.usable(ctx, e) {
@@ -312,19 +380,23 @@ func (r *Recycler) subsumeSemijoin(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 		}
 	}
 	if best == nil {
+		r.mu.Unlock()
 		return mal.EntryResult{}
 	}
 	r.noteReuse(ctx, in, best)
-	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
 	newArgs := append([]mal.Value(nil), args...)
 	newArgs[0] = best.Result
-	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: best.ID}}
+	id := best.ID
+	r.mu.Unlock()
+	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
+	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}}
 }
 
 // isSubsetOf reports whether the result of entry a is a subset of the
 // result of entry b, established either through recorded derivation
 // edges (a was computed from b by subsumption) or through range
-// containment of selects over the same column operand.
+// containment of selects over the same column operand. Caller holds
+// the writer lock.
 func (r *Recycler) isSubsetOf(a, b uint64) bool {
 	for id := a; id != 0; {
 		if id == b {

@@ -72,6 +72,14 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		"Intermediates evicted from the pool.", st.Engine.Recycler.Evicted)
 	metric("repro_pool_invalidated_total", "counter",
 		"Intermediates invalidated by updates.", st.Engine.Recycler.Invalidated)
+	metric("repro_pool_writer_lock_waits_total", "counter",
+		"Recycler writer-lock acquisitions that blocked on contention.", st.Engine.Recycler.WriterLockWaits)
+	metric("repro_pool_writer_lock_wait_seconds_total", "counter",
+		"Total time spent blocked on the recycler writer lock.", st.Engine.Recycler.WriterLockWait.Seconds())
+	metric("repro_pool_shard_lock_waits_total", "counter",
+		"Hit-path signature-shard read-lock acquisitions that blocked.", st.Engine.Recycler.ShardLockWaits)
+	metric("repro_pool_shard_lock_wait_seconds_total", "counter",
+		"Total time spent blocked on signature-shard read locks.", st.Engine.Recycler.ShardLockWait.Seconds())
 
 	metric("repro_admission_granted_total", "counter",
 		"Admission decisions that allowed the intermediate in.", st.Engine.Admission.Granted)
