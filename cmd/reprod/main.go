@@ -7,6 +7,7 @@
 //
 //	reprod -db sky -objects 200000 -http :8080 -tcp :5432
 //	reprod -db tpch -sf 0.05 -admission crd -credits 5 -eviction lru -maxbytes 64000000
+//	reprod -db sky -data-dir /var/lib/reprod -checkpoint-interval 5m -spill-budget 268435456
 //
 // Endpoints:
 //
@@ -16,9 +17,20 @@
 //	GET  /metrics Prometheus text format
 //	GET  /healthz liveness probe
 //
+// With -data-dir set the server is durable: committed DML is WAL-
+// logged (fsync-batched), checkpoints fold the log into a columnar
+// snapshot, evicted recycle pool entries are demoted to a disk tier
+// instead of destroyed, and a restart recovers the catalog
+// (snapshot + WAL tail) and pre-warms the pool from the surviving
+// spilled entries — the first queries after a deploy hit instead of
+// paying full naive cost.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners close, queued
 // statements are refused, in-flight queries drain (releasing their
-// recycle pool pins), and the process reports the final pool state.
+// recycle pool pins) and their count is logged; if the drain deadline
+// is exceeded the process reports the stragglers and exits non-zero.
+// A durable server then demotes the warm pool to the disk tier and
+// takes a final checkpoint.
 package main
 
 import (
@@ -38,10 +50,13 @@ import (
 	"repro/internal/recycler"
 	"repro/internal/server"
 	"repro/internal/sky"
+	"repro/internal/store"
 	"repro/internal/tpch"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	db := flag.String("db", "sky", "database to generate: sky or tpch")
 	objects := flag.Int("objects", 200000, "sky object count")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
@@ -62,24 +77,76 @@ func main() {
 	subsume := flag.Bool("subsume", true, "enable singleton subsumption")
 	combined := flag.Bool("combined", false, "enable combined subsumption (Algorithm 2)")
 	syncMode := flag.String("sync", "invalidate", "update synchronisation: invalidate or propagate")
+
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+	ckptInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence (0 = only at shutdown)")
+	spillBudget := flag.Int64("spill-budget", 0, "disk tier byte cap for demoted pool entries (0 = unlimited)")
+	walSync := flag.Duration("wal-sync", 2*time.Millisecond, "WAL fsync batching window (0 = fsync every commit)")
 	flag.Parse()
 
-	cat, desc := generate(*db, *objects, *sf)
-	fmt.Println(desc)
+	// --- storage: recover a durable catalog or generate a fresh one ---
+	var st *store.Store
+	var cat *catalog.Catalog
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{SyncEvery: *walSync, SpillBudget: *spillBudget})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if st.HasSnapshot() {
+			cat, err = st.Recover()
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			torn := ""
+			if st.TornTail {
+				torn = " (torn final record discarded)"
+			}
+			fmt.Printf("store: recovered %s (commit seq %d, %d WAL records replayed%s)\n",
+				*dataDir, cat.CommitSeq(), st.Replayed, torn)
+		} else {
+			var desc string
+			cat, desc = generate(*db, *objects, *sf)
+			fmt.Println(desc)
+			// A fresh lineage: spilled entries from a previous life must
+			// not alias the new catalog's table versions.
+			st.Spill().Purge()
+			if err := st.Bootstrap(cat); err != nil {
+				log.Print(err)
+				return 1
+			}
+			fmt.Printf("store: bootstrapped %s (initial checkpoint at commit seq %d)\n", *dataDir, cat.CommitSeq())
+		}
+	} else {
+		var desc string
+		cat, desc = generate(*db, *objects, *sf)
+		fmt.Println(desc)
+	}
 
 	opts := []repro.Option{repro.WithWorkers(*workers)}
 	if !*noRecycle {
 		cfg, err := recyclerConfig(*admission, *credits, *eviction, *maxBytes, *maxEntries, *subsume, *combined, *syncMode)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
+		}
+		if st != nil {
+			cfg.Spill = st.Spill()
 		}
 		opts = append(opts, repro.WithRecycler(cfg))
-		fmt.Printf("recycler: admission=%s eviction=%s subsume=%v combined=%v sync=%s\n",
-			*admission, *eviction, *subsume, *combined, *syncMode)
+		fmt.Printf("recycler: admission=%s eviction=%s subsume=%v combined=%v sync=%s spill=%v\n",
+			*admission, *eviction, *subsume, *combined, *syncMode, st != nil)
 	} else {
 		fmt.Println("recycler: disabled")
 	}
 	eng := repro.NewEngine(cat, opts...)
+	if rec := eng.Recycler(); rec != nil && st != nil {
+		if n := rec.Prewarm(); n > 0 {
+			fmt.Printf("store: pre-warmed %d pool entries from the disk tier\n", n)
+		}
+	}
 	srv := server.New(eng, server.Config{
 		MaxConcurrency: *maxConc,
 		QueueTimeout:   *queueTimeout,
@@ -97,12 +164,33 @@ func main() {
 	if *tcpAddr != "" {
 		ln, err := net.Listen("tcp", *tcpAddr)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Printf("tcp: listening on %s\n", *tcpAddr)
 		go func() {
 			if err := srv.ServeTCP(ln); err != nil {
 				errc <- err
+			}
+		}()
+	}
+
+	// Periodic checkpoints fold the WAL back into the snapshot while
+	// the server runs; a failure is logged, never fatal.
+	ckptStop := make(chan struct{})
+	if st != nil && *ckptInterval > 0 {
+		go func() {
+			t := time.NewTicker(*ckptInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := st.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				case <-ckptStop:
+					return
+				}
 			}
 		}()
 	}
@@ -115,22 +203,49 @@ func main() {
 	case err := <-errc:
 		log.Printf("serve error: %v; shutting down", err)
 	}
+	close(ckptStop)
 
+	exit := 0
+	inflight := srv.Stats().Server.Active
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		remaining := srv.Stats().Server.Active
+		fmt.Printf("drain deadline exceeded after %v: %d of %d in-flight statements still running\n",
+			*drainTimeout, remaining, inflight)
+		exit = 1
+	} else {
+		fmt.Printf("drained %d in-flight statements within budget\n", inflight)
 	}
-	st := srv.Stats()
+
+	st2 := srv.Stats()
 	fmt.Printf("served %d queries, %d execs (%d errors, %d rejected)\n",
-		st.Server.Queries, st.Server.Execs, st.Server.Errors, st.Server.Rejected)
-	if st.Engine.Recycling {
+		st2.Server.Queries, st2.Server.Execs, st2.Server.Errors, st2.Server.Rejected)
+	if st2.Engine.Recycling {
 		fmt.Printf("pool: %d entries / %d KB, %d reuses, %d invalidated; active queries at exit: %d\n",
-			st.Engine.Recycler.Entries, st.Engine.Recycler.Bytes/1024,
-			st.Engine.Recycler.Reuses, st.Engine.Recycler.Invalidated,
-			st.Engine.ActiveQueries)
+			st2.Engine.Recycler.Entries, st2.Engine.Recycler.Bytes/1024,
+			st2.Engine.Recycler.Reuses, st2.Engine.Recycler.Invalidated,
+			st2.Engine.ActiveQueries)
 	}
+
+	// Durable shutdown: demote the warm pool so a restart pre-warms,
+	// then checkpoint so a restart replays nothing.
+	if st != nil {
+		if rec := eng.Recycler(); rec != nil {
+			n := rec.SpillAll()
+			fmt.Printf("store: demoted %d pool entries to the disk tier\n", n)
+		}
+		if err := st.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+			exit = 1
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("store close: %v", err)
+			exit = 1
+		}
+	}
+	return exit
 }
 
 func generate(db string, objects int, sf float64) (*catalog.Catalog, string) {

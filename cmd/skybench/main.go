@@ -16,7 +16,13 @@
 //	serve    closed-loop HTTP load against an in-process server
 //	         (internal/server): -clients workers for -duration, naive
 //	         vs shared-recycler, measuring over-the-wire speedup
+//	restart  durable-store cycle (internal/store): warm a server, shut
+//	         it down gracefully, recover snapshot + WAL, and compare
+//	         cold vs warm-pool first-N-queries latency after restart
 //	all      everything above except serve (serve needs wall-clock time)
+//
+// All workload generators take -seed (and the catalog generator
+// -dbseed), so mt/serve/restart runs are reproducible across hosts.
 package main
 
 import (
@@ -41,10 +47,12 @@ func main() {
 	n := flag.Int("n", 100, "workload batch size")
 	seeds := flag.Int("seeds", 12, "seed queries per micro-benchmark")
 	sel := flag.Float64("s", 0.02, "seed query selectivity (micro-benchmarks)")
-	seed := flag.Int64("seed", 42, "workload random seed")
+	seed := flag.Int64("seed", 42, "workload random seed (reproducible runs across hosts)")
+	dbseed := flag.Int64("dbseed", 17, "catalog generator random seed")
 	clients := flag.Int("clients", max(4, runtime.GOMAXPROCS(0)), "max concurrent clients (mt and serve experiments)")
 	workers := flag.Int("workers", 0, "per-query dataflow workers (mt experiment; 0 = max(2, GOMAXPROCS))")
 	duration := flag.Duration("duration", 5*time.Second, "closed-loop run length per configuration (serve experiment)")
+	first := flag.Int("first", 25, "first-N queries measured after restart (restart experiment)")
 	flag.Parse()
 
 	exp := flag.Arg(0)
@@ -52,8 +60,15 @@ func main() {
 		exp = "all"
 	}
 
+	if exp == "restart" {
+		// The restart experiment generates its own catalog (it must
+		// live inside the durable store's lifecycle).
+		runRestart(*objects, *n, *first, *seed, *dbseed)
+		return
+	}
+
 	fmt.Printf("# SkyServer experiments, %d objects\n\n", *objects)
-	db := sky.Generate(*objects, 17)
+	db := sky.Generate(*objects, *dbseed)
 
 	switch exp {
 	case "batch":
@@ -75,6 +90,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
+}
+
+// runRestart exercises the durable store: boot on a fresh directory,
+// warm the pool, shut down gracefully (spill + checkpoint), recover,
+// and measure cold vs warm-pool first-N-queries latency over HTTP.
+func runRestart(objects, n, first int, seed, dbseed int64) {
+	fmt.Printf("== Restart: cold vs warm recycle pool, %d objects, %d-query warmup ==\n", objects, n)
+	dir, err := os.MkdirTemp("", "skybench-restart-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// os.Exit skips defers, so the data directory (snapshot + WAL +
+	// spill files) is removed explicitly on every path.
+	phases, err := runRestartExperiment(os.Stdout, restartConfig{
+		Dir: dir, Objects: objects, N: n, First: first, Seed: seed, DBSeed: dbseed,
+	})
+	os.RemoveAll(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if phases[1].FirstHits == 0 || phases[1].Reuses == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: warm-started server served no pool hits on the first iteration")
+		os.Exit(1)
+	}
+	fmt.Println()
 }
 
 func runBatch(db *sky.DB, n int, seed int64) {

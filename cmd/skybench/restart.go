@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/catalog"
+	"repro/internal/recycler"
+	"repro/internal/server"
+	"repro/internal/sky"
+	"repro/internal/store"
+)
+
+// This file implements the restart experiment: the scenario class the
+// durable store (internal/store) exists for. A server is booted on a
+// fresh data directory, warmed with the SkyServer workload, and shut
+// down gracefully (pool demoted to the disk tier, final checkpoint).
+// The "restarted" server then recovers the catalog from snapshot + WAL
+// tail and is measured twice over HTTP on the first `first` queries:
+// cold (empty pool, the state every pre-store deploy woke up in) and
+// warm (pool pre-warmed from the spill tier). The warm run must show
+// pool hits on the very first iteration — reuse before any
+// recomputation has happened in the new process.
+
+// restartConfig parametrises the experiment.
+type restartConfig struct {
+	Dir     string // data directory (typically a temp dir)
+	Objects int    // sky object count
+	N       int    // workload size used to warm the first life
+	First   int    // first-N queries measured after restart
+	Seed    int64  // workload seed (reproducible across hosts)
+	DBSeed  int64  // generator seed
+}
+
+// restartPhase is one measured serving phase after the restart.
+type restartPhase struct {
+	Label     string
+	Total     time.Duration // wall time of the first N queries
+	Avg       time.Duration
+	Hits      int // non-bind pool hits reported by those queries
+	FirstHits int // pool hits of the very first query — the warm-start proof
+	Reuses    int64
+	Prewarmed int
+}
+
+// restartWire mirrors the response and /stats slices the experiment
+// reads off the wire.
+type restartWire struct {
+	Stats struct {
+		HitsNonBind int `json:"hits_nonbind"`
+	} `json:"stats"`
+	Error string `json:"error"`
+}
+
+type restartStatsWire struct {
+	Engine struct {
+		Recycler struct {
+			Entries      int
+			Reuses       int64
+			Spilled      int64
+			Reloaded     int64
+			Prewarmed    int64
+			StaleDropped int64
+		}
+	} `json:"engine"`
+}
+
+// runRestartExperiment executes the full cycle and renders its report.
+// The returned phases are (cold, warm).
+func runRestartExperiment(w io.Writer, cfg restartConfig) ([2]restartPhase, error) {
+	var out [2]restartPhase
+	queries := bench.SkySQLWorkload(cfg.N, cfg.Seed)
+	first := cfg.First
+	if first <= 0 || first > len(queries) {
+		first = len(queries)
+	}
+
+	// --- first life: bootstrap, warm, graceful shutdown ---------------
+	st, err := store.Open(cfg.Dir, store.Options{})
+	if err != nil {
+		return out, err
+	}
+	db := sky.Generate(cfg.Objects, cfg.DBSeed)
+	if err := st.Bootstrap(db.Cat); err != nil {
+		return out, err
+	}
+	eng := repro.NewEngine(db.Cat, repro.WithRecycler(recycler.Config{
+		Admission: recycler.KeepAll, Subsumption: true, Spill: st.Spill(),
+	}))
+	for _, q := range queries {
+		if _, err := eng.ExecSQL(q); err != nil {
+			return out, fmt.Errorf("warmup query: %w", err)
+		}
+	}
+	poolEntries := eng.Recycler().Pool().Len()
+	poolKB := eng.Recycler().Pool().Bytes() / 1024
+	spilled := eng.Recycler().SpillAll()
+	if err := st.Checkpoint(); err != nil {
+		return out, err
+	}
+	if err := st.Close(); err != nil {
+		return out, err
+	}
+	eng.Recycler().Close()
+	fmt.Fprintf(w, "boot:    %d queries warmed %d pool entries (%d KB); shutdown demoted %d to disk\n",
+		len(queries), poolEntries, poolKB, spilled)
+
+	// --- restart: recover the catalog once, serve it twice ------------
+	st2, err := store.Open(cfg.Dir, store.Options{})
+	if err != nil {
+		return out, err
+	}
+	cat, err := st2.Recover()
+	if err != nil {
+		return out, err
+	}
+	fmt.Fprintf(w, "recover: snapshot + %d WAL records (commit seq %d)\n", st2.Replayed, cat.CommitSeq())
+
+	cold, err := measureRestartPhase(w, "cold", cat, nil, queries[:first])
+	if err != nil {
+		return out, err
+	}
+	warm, err := measureRestartPhase(w, "warm", cat, st2.Spill(), queries[:first])
+	if err != nil {
+		return out, err
+	}
+	if err := st2.Close(); err != nil {
+		return out, err
+	}
+	out[0], out[1] = cold, warm
+
+	fmt.Fprintf(w, "\nfirst %d queries after restart (HTTP, single client):\n", first)
+	for _, p := range out {
+		pre := ""
+		if p.Label == "warm" {
+			pre = fmt.Sprintf("  (prewarmed %d entries)", p.Prewarmed)
+		}
+		fmt.Fprintf(w, "  %-5s total %-10v avg %-10v hits %-4d first-query hits %-3d reuses %d%s\n",
+			p.Label, p.Total.Round(time.Microsecond), p.Avg.Round(time.Microsecond),
+			p.Hits, p.FirstHits, p.Reuses, pre)
+	}
+	if cold.Total > 0 && warm.Total > 0 {
+		fmt.Fprintf(w, "warm/cold first-%d speedup: %.2fx\n", first, float64(cold.Total)/float64(warm.Total))
+	}
+	return out, nil
+}
+
+// measureRestartPhase serves the recovered catalog over HTTP with a
+// fresh recycler (pre-warmed from the disk tier when one is given) and
+// times the first queries of the workload from a single closed-loop
+// client — the "first requests after a deploy" a user would feel.
+func measureRestartPhase(w io.Writer, label string, cat *catalog.Catalog, tier *store.Spill, queries []string) (restartPhase, error) {
+	phase := restartPhase{Label: label}
+	cfg := recycler.Config{Admission: recycler.KeepAll, Subsumption: true}
+	if tier != nil {
+		cfg.Spill = tier
+	}
+	eng := repro.NewEngine(cat, repro.WithRecycler(cfg))
+	defer eng.Recycler().Close()
+	if tier != nil {
+		phase.Prewarmed = eng.Recycler().Prewarm()
+	}
+
+	srv := server.New(eng, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return phase, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	baseURL := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	start := time.Now()
+	for i, q := range queries {
+		body, _ := json.Marshal(map[string]string{"sql": q})
+		resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return phase, err
+		}
+		var wire restartWire
+		decErr := json.NewDecoder(resp.Body).Decode(&wire)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			return phase, fmt.Errorf("query failed (%d): %s %v", resp.StatusCode, wire.Error, decErr)
+		}
+		phase.Hits += wire.Stats.HitsNonBind
+		if i == 0 {
+			phase.FirstHits = wire.Stats.HitsNonBind
+		}
+	}
+	phase.Total = time.Since(start)
+	if len(queries) > 0 {
+		phase.Avg = phase.Total / time.Duration(len(queries))
+	}
+
+	// The acceptance signal: /stats must report the pool reuses (and,
+	// warm, the spill counters) the phase produced.
+	if resp, err := client.Get(baseURL + "/stats"); err == nil {
+		var st restartStatsWire
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		phase.Reuses = st.Engine.Recycler.Reuses
+		if tier != nil {
+			fmt.Fprintf(w, "  /stats[%s]: entries=%d reuses=%d spilled=%d reloaded=%d prewarmed=%d stale=%d\n",
+				label, st.Engine.Recycler.Entries, st.Engine.Recycler.Reuses,
+				st.Engine.Recycler.Spilled, st.Engine.Recycler.Reloaded,
+				st.Engine.Recycler.Prewarmed, st.Engine.Recycler.StaleDropped)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	hs.Shutdown(ctx)
+	srv.Shutdown(ctx)
+	cancel()
+	return phase, nil
+}

@@ -67,8 +67,11 @@ type Option func(*Engine)
 // keepall/crd/adapt (§4.2) with Credits as the k parameter, Eviction
 // selects lru/bp/hp (§4.3), MaxBytes/MaxEntries bound the pool,
 // Subsumption and CombinedSubsumption enable the §5 matching
-// extensions, and Sync picks invalidate vs propagate (§6). See
-// docs/TUNING.md for guidance on choosing a combination.
+// extensions, and Sync picks invalidate vs propagate (§6). Spill
+// attaches a disk tier (internal/store) so eviction demotes entries
+// instead of destroying them and a restarted engine can pre-warm via
+// Recycler.Prewarm. See docs/TUNING.md for guidance on choosing a
+// combination.
 func WithRecycler(cfg recycler.Config) Option {
 	return func(e *Engine) { e.rec = recycler.New(e.cat, cfg) }
 }

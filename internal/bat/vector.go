@@ -331,6 +331,51 @@ func EmptyVector(k Kind) Vector {
 	panic(fmt.Sprintf("bat: empty vector of unknown kind %d", k))
 }
 
+// FromAnys materialises boxed values of one kind into a vector. The
+// catalog's commit hook uses it to encode in-place update values for
+// the write-ahead log; elements must already have the kind's Go type.
+func FromAnys(k Kind, vals []any) Vector {
+	switch k {
+	case KOid:
+		v := make([]Oid, len(vals))
+		for i, x := range vals {
+			v[i] = x.(Oid)
+		}
+		return NewOids(v)
+	case KInt:
+		v := make([]int64, len(vals))
+		for i, x := range vals {
+			v[i] = x.(int64)
+		}
+		return NewInts(v)
+	case KFloat:
+		v := make([]float64, len(vals))
+		for i, x := range vals {
+			v[i] = x.(float64)
+		}
+		return NewFloats(v)
+	case KStr:
+		v := make([]string, len(vals))
+		for i, x := range vals {
+			v[i] = x.(string)
+		}
+		return NewStrings(v)
+	case KDate:
+		v := make([]Date, len(vals))
+		for i, x := range vals {
+			v[i] = x.(Date)
+		}
+		return NewDates(v)
+	case KBool:
+		v := make([]bool, len(vals))
+		for i, x := range vals {
+			v[i] = x.(bool)
+		}
+		return NewBools(v)
+	}
+	panic(fmt.Sprintf("bat: FromAnys of unknown kind %d", k))
+}
+
 // AppendVectors concatenates two vectors of the same kind into a newly
 // materialised vector. It is used by delta propagation and combined
 // subsumption merges.

@@ -28,6 +28,107 @@ type Catalog struct {
 	mu        sync.RWMutex
 	tables    map[string]*Table
 	listeners []UpdateListener
+
+	// commitSeq counts committed statements (DDL and DML) catalog-wide.
+	// It is the durable commit epoch: the store layer snapshots it with
+	// every checkpoint and stamps every WAL record with it, so replay
+	// after a crash can skip records the snapshot already covers.
+	commitSeq uint64
+	// commitHook, when set, observes every committed statement *under
+	// the catalog write lock*, immediately after the mutation became
+	// visible — hook invocation order is therefore exactly commit
+	// order, which is what a write-ahead log needs. The hook must be
+	// fast and must not call back into the catalog.
+	commitHook func(CommitRecord)
+}
+
+// CommitKind enumerates the durable statement classes a CommitRecord
+// can describe.
+type CommitKind uint8
+
+// Commit record kinds.
+const (
+	// CommitCreate records a CreateTable.
+	CommitCreate CommitKind = iota
+	// CommitInsert records an Append.
+	CommitInsert
+	// CommitDelete records a Delete.
+	CommitDelete
+	// CommitUpdate records an UpdateInPlace.
+	CommitUpdate
+	// CommitDrop records a DropTable.
+	CommitDrop
+)
+
+// CommitRecord describes one committed statement for the durability
+// hook (SetCommitHook). Unlike UpdateEvent it is self-contained —
+// plain names and value vectors, no *Table pointers — so it can be
+// serialised and replayed against a recovered catalog.
+type CommitRecord struct {
+	// Seq is the catalog-wide commit sequence number of the statement,
+	// assigned under the write lock.
+	Seq          uint64
+	Kind         CommitKind
+	Schema, Name string
+
+	// Cols holds the column definitions (CommitCreate).
+	Cols []ColDef
+
+	// Inserts maps column name to the per-column insert delta
+	// (CommitInsert); FirstOid/NumRows locate the appended rows.
+	Inserts  map[string]bat.Vector
+	FirstOid bat.Oid
+	NumRows  int
+
+	// Deleted holds the tombstoned oids (CommitDelete).
+	Deleted []bat.Oid
+
+	// UpdCol/UpdOids/UpdVals describe an in-place column overwrite
+	// (CommitUpdate).
+	UpdCol  string
+	UpdOids []bat.Oid
+	UpdVals bat.Vector
+}
+
+// SetCommitHook installs the durability hook. The hook is called for
+// every committed statement while the catalog write lock is held, so
+// its invocation order equals commit order. Pass nil to detach.
+func (c *Catalog) SetCommitHook(h func(CommitRecord)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commitHook = h
+}
+
+// CommitSeq returns the catalog-wide commit sequence number.
+func (c *Catalog) CommitSeq() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.commitSeq
+}
+
+// RestoreCommitSeq sets the commit sequence during recovery, before
+// WAL replay re-applies the statements the last snapshot missed.
+func (c *Catalog) RestoreCommitSeq(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commitSeq = seq
+}
+
+// TableStamp returns the named table's identity stamp: the commit
+// sequence at which it was created, plus its committed-update counter.
+// The recycler's disk tier keys spilled intermediates on the pair: a
+// spilled entry is only reloadable while every dependency table still
+// has both the creation stamp and the version recorded at spill time —
+// the creation stamp catches a dropped-and-recreated table whose
+// restarted version counter would otherwise alias the old one.
+func (c *Catalog) TableStamp(schema, name string) (created uint64, version int64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t := c.tables[key(schema, name)]
+	if t == nil {
+		return 0, 0, false
+	}
+	return t.created, t.Version, true
 }
 
 // UpdateListener observes committed changes to persistent tables. The
@@ -116,6 +217,14 @@ func (c *Catalog) CreateTable(schema, name string, cols []ColDef) *Table {
 		t.colByName[d.Name] = col
 	}
 	c.tables[key(schema, name)] = t
+	c.commitSeq++
+	t.created = c.commitSeq
+	if c.commitHook != nil {
+		c.commitHook(CommitRecord{
+			Seq: c.commitSeq, Kind: CommitCreate, Schema: schema, Name: name,
+			Cols: append([]ColDef(nil), cols...),
+		})
+	}
 	return t
 }
 
@@ -131,6 +240,10 @@ func (c *Catalog) DropTable(schema, name string) {
 	ok = ok && cur == t // a recreated table under the same name is not ours to drop
 	if ok {
 		delete(c.tables, key(schema, name))
+		c.commitSeq++
+		if c.commitHook != nil {
+			c.commitHook(CommitRecord{Seq: c.commitSeq, Kind: CommitDrop, Schema: schema, Name: name})
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -198,6 +311,11 @@ type Table struct {
 	// Version counts committed updates; bind results are tagged with
 	// it so staleness is detectable.
 	Version int64
+
+	// created is the catalog commit sequence at which the table was
+	// created — a durable identity distinguishing a table from a later
+	// re-creation under the same name (see TableStamp).
+	created uint64
 
 	keyIndexes  map[string]map[int64]bat.Oid // unique int key column -> oid
 	joinIdx     map[string][]bat.Oid         // FK join indices, child row -> parent oid
@@ -285,8 +403,24 @@ func (c *Column) Bind() *bat.BAT {
 // Row is a tuple addressed by column name, used by bulk loads and DML.
 type Row map[string]any
 
-// commitLocked finalises one DML statement under the write lock.
-func (t *Table) commitLocked() { t.Version++ }
+// commitLocked finalises one DML statement under the write lock,
+// bumping both the table's version and the catalog-wide commit
+// sequence (the durable commit epoch).
+func (t *Table) commitLocked() {
+	t.Version++
+	t.catalog.commitSeq++
+}
+
+// hookLocked delivers a commit record to the durability hook, under
+// the write lock and after commitLocked assigned the sequence number.
+func (t *Table) hookLocked(rec CommitRecord) {
+	if t.catalog.commitHook == nil {
+		return
+	}
+	rec.Seq = t.catalog.commitSeq
+	rec.Schema, rec.Name = t.Schema, t.Name
+	t.catalog.commitHook(rec)
+}
 
 // Append inserts rows and commits them as one update event.
 // It returns the oid of the first inserted row.
@@ -307,12 +441,20 @@ func (t *Table) Append(rows []Row) bat.Oid {
 		defer t.catalog.mu.Unlock()
 		first := bat.Oid(t.nrows)
 		inserts := make(map[string]*bat.BAT, len(t.Cols))
+		logging := t.catalog.commitHook != nil
+		var deltas map[string]bat.Vector
+		if logging {
+			deltas = make(map[string]bat.Vector, len(t.Cols))
+		}
 		cols := make([]string, 0, len(t.Cols))
 		for _, c := range t.Cols {
 			delta := buildDelta(c.KindOf, rows, c.Name)
 			c.Data = bat.AppendVectors(c.Data, delta)
 			db := bat.New(bat.NewDense(first, len(rows)), delta)
 			inserts[c.Name] = db
+			if logging {
+				deltas[c.Name] = delta
+			}
 			cols = append(cols, c.Name)
 			if c.Sorted {
 				c.Sorted = stillSorted(c.Data)
@@ -322,6 +464,7 @@ func (t *Table) Append(rows []Row) bat.Oid {
 		t.maintainIndexesOnAppend(first, rows)
 		ev = UpdateEvent{Table: t, Cols: cols, Inserts: inserts}
 		t.commitLocked()
+		t.hookLocked(CommitRecord{Kind: CommitInsert, Inserts: deltas, FirstOid: first, NumRows: len(rows)})
 		return first
 	}()
 	committed = true
@@ -481,6 +624,7 @@ func (t *Table) Delete(oids []bat.Oid) {
 		}
 		ev = UpdateEvent{Table: t, Cols: cols, Deleted: really}
 		t.commitLocked()
+		t.hookLocked(CommitRecord{Kind: CommitDelete, Deleted: really})
 		committed = true
 	}()
 }
@@ -494,7 +638,10 @@ func (t *Table) Delete(oids []bat.Oid) {
 // in the committed vector itself: binds taken *after* the update see
 // the new values, but a session still holding a view bound before the
 // update would observe the write mid-query. Run in-place updates only
-// when no query is concurrently reading the affected column.
+// when no query is concurrently reading the affected column — the
+// same exclusion covers the durable store's background readers
+// (checkpoint serialisation and recycle pool spilling), which read
+// bind views over the committed vectors without the catalog lock.
 func (t *Table) UpdateInPlace(col string, oids []bat.Oid, vals []any) {
 	c := t.MustColumn(col)
 	if len(oids) != len(vals) {
@@ -531,6 +678,11 @@ func (t *Table) UpdateInPlace(col string, oids []bat.Oid, vals []any) {
 			panic("catalog: update of unsupported column type")
 		}
 		t.commitLocked()
+		t.hookLocked(CommitRecord{
+			Kind: CommitUpdate, UpdCol: col,
+			UpdOids: append([]bat.Oid(nil), oids...),
+			UpdVals: bat.FromAnys(c.KindOf, vals),
+		})
 	}()
 	committed = true
 }
@@ -728,3 +880,133 @@ func (t *Table) maintainIndexesOnDelete(oids []bat.Oid) {
 
 // joinIdxMeta records join index definitions for incremental
 // maintenance. Declared on Table; initialised lazily.
+
+// --- durable export / import ------------------------------------------
+
+// JoinIndexDef names a join index by plain strings, so checkpoint
+// metadata can round-trip without table pointers. The index array
+// itself is not exported: DefineJoinIndex rebuilds it deterministically
+// from the recovered column data.
+type JoinIndexDef struct {
+	Name, FKCol, ParentSchema, ParentName, ParentKey string
+}
+
+// TableState is a consistent export of one table's durable state, the
+// unit a checkpoint serialises. Data holds references to the committed
+// column vectors: appends are copy-on-write, so the referenced storage
+// is immutable under concurrent DML — with the same caveat as
+// UpdateInPlace, which overwrites storage in place and therefore must
+// not run concurrently with a checkpoint.
+type TableState struct {
+	Schema, Name string
+	// Cols carries the definitions with their *current* Sorted flags
+	// (appends may have cleared a declared sortedness).
+	Cols []ColDef
+	// Data holds the committed vectors, one per column, in Cols order.
+	// Length equals NRows (tombstoned rows keep their slots).
+	Data []bat.Vector
+	// NRows counts committed rows including tombstoned ones.
+	NRows int
+	// Deleted lists the tombstoned oids in ascending order.
+	Deleted []bat.Oid
+	// Version is the table's committed-update counter.
+	Version int64
+	// Created is the commit sequence at which the table was created
+	// (the durable half of TableStamp).
+	Created uint64
+	// KeyIndexCols names the unique key indexes to rebuild.
+	KeyIndexCols []string
+	// JoinIndexes names the FK join indexes to rebuild.
+	JoinIndexes []JoinIndexDef
+}
+
+// ExportState captures every table's durable state plus the commit
+// sequence, consistently under one shared-lock acquisition. Checkpoint
+// writers serialise the result after the lock is released.
+func (c *Catalog) ExportState() ([]TableState, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]TableState, 0, len(names))
+	for _, n := range names {
+		t := c.tables[n]
+		ts := TableState{
+			Schema:  t.Schema,
+			Name:    t.Name,
+			NRows:   t.nrows,
+			Version: t.Version,
+			Created: t.created,
+		}
+		for _, col := range t.Cols {
+			ts.Cols = append(ts.Cols, ColDef{Name: col.Name, Kind: col.KindOf, Sorted: col.Sorted})
+			ts.Data = append(ts.Data, col.Data)
+		}
+		for o := range t.deleted {
+			ts.Deleted = append(ts.Deleted, o)
+		}
+		sort.Slice(ts.Deleted, func(i, j int) bool { return ts.Deleted[i] < ts.Deleted[j] })
+		for col := range t.keyIndexes {
+			ts.KeyIndexCols = append(ts.KeyIndexCols, col)
+		}
+		sort.Strings(ts.KeyIndexCols)
+		for name, def := range t.joinIdxMeta {
+			ts.JoinIndexes = append(ts.JoinIndexes, JoinIndexDef{
+				Name: name, FKCol: def.fkCol,
+				ParentSchema: def.parent.Schema, ParentName: def.parent.Name,
+				ParentKey: def.parentKey,
+			})
+		}
+		sort.Slice(ts.JoinIndexes, func(i, j int) bool { return ts.JoinIndexes[i].Name < ts.JoinIndexes[j].Name })
+		out = append(out, ts)
+	}
+	return out, c.commitSeq
+}
+
+// ImportTable recreates a table from exported state during recovery:
+// data, tombstones, version and key indexes are restored without
+// notifying listeners or the commit hook, and without advancing the
+// commit sequence (RestoreCommitSeq sets it explicitly). Join indexes
+// are not rebuilt here — the caller re-issues DefineJoinIndex once all
+// tables are imported, since parents may import later.
+func (c *Catalog) ImportTable(ts TableState) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[key(ts.Schema, ts.Name)]; dup {
+		return nil, fmt.Errorf("catalog: import of existing table %s.%s", ts.Schema, ts.Name)
+	}
+	if len(ts.Cols) != len(ts.Data) {
+		return nil, fmt.Errorf("catalog: import of %s.%s: %d defs, %d vectors", ts.Schema, ts.Name, len(ts.Cols), len(ts.Data))
+	}
+	t := &Table{
+		Schema:    ts.Schema,
+		Name:      ts.Name,
+		catalog:   c,
+		colByName: make(map[string]*Column, len(ts.Cols)),
+		nrows:     ts.NRows,
+		Version:   ts.Version,
+		created:   ts.Created,
+	}
+	for i, d := range ts.Cols {
+		if ts.Data[i].Len() != ts.NRows {
+			return nil, fmt.Errorf("catalog: import of %s.%s.%s: %d values for %d rows", ts.Schema, ts.Name, d.Name, ts.Data[i].Len(), ts.NRows)
+		}
+		col := &Column{Table: t, Name: d.Name, KindOf: d.Kind, Data: ts.Data[i], Sorted: d.Sorted}
+		t.Cols = append(t.Cols, col)
+		t.colByName[d.Name] = col
+	}
+	if len(ts.Deleted) > 0 {
+		t.deleted = make(map[bat.Oid]struct{}, len(ts.Deleted))
+		for _, o := range ts.Deleted {
+			t.deleted[o] = struct{}{}
+		}
+	}
+	for _, col := range ts.KeyIndexCols {
+		t.defineKeyIndexLocked(col)
+	}
+	c.tables[key(ts.Schema, ts.Name)] = t
+	return t, nil
+}

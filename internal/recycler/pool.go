@@ -33,6 +33,16 @@ type Entry struct {
 	ID  uint64
 	Sig string
 
+	// CanonSig is the provenance-free canonical signature keying the
+	// disk spill tier: BAT argument keys are replaced by the producing
+	// entry's own canonical signature, recursively, so the key stays
+	// stable after the producers are evicted — and across restarts.
+	// Empty when the lineage was not canonicalisable (no spilling).
+	CanonSig string
+	// SpillArgs snapshots the per-argument spill keys (see SpillArg),
+	// captured at admission while all producers are still pooled.
+	SpillArgs []SpillArg
+
 	// OpName is "module.op" of the captured instruction.
 	OpName string
 	// Render is a human-readable instruction listing for pool dumps
@@ -163,6 +173,12 @@ type sigShard struct {
 type Pool struct {
 	shards [numSigShards]sigShard
 
+	// canonByID mirrors each live entry's canonical signature, keyed by
+	// entry id. It exists so the miss path can render an instruction's
+	// canonical signature (resolving its BAT arguments' producers)
+	// without the writer lock; maintained in Add/Remove.
+	canonByID sync.Map // uint64 -> string
+
 	entries map[uint64]*Entry
 	// selIdx indexes valid range-select entries by column operand key.
 	selIdx map[string][]*Entry
@@ -286,6 +302,9 @@ func (p *Pool) Add(e *Entry) {
 	e.valid.Store(true)
 	e.Result.Prov = e.ID
 	p.entries[e.ID] = e
+	if e.CanonSig != "" {
+		p.canonByID.Store(e.ID, e.CanonSig)
+	}
 	sh := p.shard(e.Sig)
 	sh.mu.Lock()
 	sh.bySig[e.Sig] = e
@@ -326,6 +345,7 @@ func (p *Pool) Remove(e *Entry) {
 	}
 	e.valid.Store(false)
 	delete(p.entries, e.ID)
+	p.canonByID.Delete(e.ID)
 	sh := p.shard(e.Sig)
 	sh.mu.Lock()
 	if sh.bySig[e.Sig] == e {

@@ -56,6 +56,13 @@ func (r *Recycler) propagate(ev catalog.UpdateEvent, refs []ColumnRef) {
 		if !e.valid.Load() {
 			continue
 		}
+		if len(e.Args) == 0 {
+			// Entries reloaded from the disk tier carry no argument
+			// snapshot to re-execute against; they invalidate like any
+			// non-propagatable class.
+			r.invalidate(e)
+			continue
+		}
 		if e.Result.Kind == mal.VBat {
 			st.old[id] = e.Result.Bat
 		}

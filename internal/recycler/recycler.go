@@ -52,6 +52,12 @@ type Config struct {
 
 	// Sync selects update synchronisation behaviour.
 	Sync SyncMode
+
+	// Spill attaches a disk tier (internal/store) to the pool:
+	// eviction victims are demoted to it instead of destroyed,
+	// exact-match misses consult it before recomputing, and Prewarm
+	// reloads surviving entries at startup. Nil disables the tier.
+	Spill SpillTier
 }
 
 // Recycler is the run-time module: it implements mal.RecyclerHook
@@ -120,6 +126,19 @@ type Recycler struct {
 	tableEpoch map[string]uint64
 	pending    map[string]int
 
+	// Disk-tier plumbing (see spill.go). spillQ carries eviction
+	// victims to the asynchronous spiller goroutine so disk writes
+	// never run under the writer lock; spillClosed (written under the
+	// writer lock) gates sends so Close cannot race an enqueue. The
+	// counters are the tier's lifetime statistics.
+	spillQ       chan *SpillRecord
+	spillDone    chan struct{}
+	spillClosed  bool
+	spilled      atomic.Int64
+	reloaded     atomic.Int64
+	staleDropped atomic.Int64
+	prewarmed    atomic.Int64
+
 	// testBeforeRevalidate, when set by tests, runs between combined
 	// subsumption's unlocked piecewise execution and its re-validation
 	// under the writer lock — the window a concurrent invalidation
@@ -143,6 +162,11 @@ func New(cat *catalog.Catalog, cfg Config) *Recycler {
 	}
 	if cat != nil {
 		cat.AddListener(r)
+	}
+	if cfg.Spill != nil {
+		r.spillQ = make(chan *SpillRecord, 256)
+		r.spillDone = make(chan struct{})
+		go r.spiller()
 	}
 	return r
 }
@@ -168,6 +192,7 @@ func (r *Recycler) Close() {
 	if r.cat != nil {
 		r.cat.RemoveListener(r)
 	}
+	r.closeSpiller()
 	r.Reset()
 }
 
@@ -200,6 +225,17 @@ type Stats struct {
 	WriterLockWait  time.Duration
 	ShardLockWaits  int64
 	ShardLockWait   time.Duration
+
+	// Disk-tier counters (zero when no spill tier is attached):
+	// Spilled counts records demoted to disk (evictions and SpillAll),
+	// Reloaded counts exact-match misses served from disk, Prewarmed
+	// counts entries reloaded at startup, and StaleDropped counts
+	// spilled records lazily invalidated because a dependency table
+	// committed past their recorded version.
+	Spilled      int64
+	Reloaded     int64
+	Prewarmed    int64
+	StaleDropped int64
 }
 
 // Snapshot captures the current statistics. It takes the writer lock
@@ -223,6 +259,10 @@ func (r *Recycler) Snapshot() Stats {
 		WriterLockWait:  time.Duration(r.writerWaitNs.Load()),
 		ShardLockWaits:  sw,
 		ShardLockWait:   swd,
+		Spilled:         r.spilled.Load(),
+		Reloaded:        r.reloaded.Load(),
+		Prewarmed:       r.prewarmed.Load(),
+		StaleDropped:    r.staleDropped.Load(),
 	}
 }
 
@@ -413,6 +453,13 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 			})
 			return mal.EntryResult{Hit: true, Val: res}
 		}
+		// Second tier: an exact miss consults the disk-backed spill
+		// store before falling through to subsumption or recomputation.
+		if r.cfg.Spill != nil {
+			if res, ok := r.reloadFromSpill(ctx, pc, in, args, sig); ok {
+				return res
+			}
+		}
 	}
 	if r.cfg.Subsumption && matchable {
 		switch in.Name() {
@@ -437,13 +484,20 @@ func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
 	e.LastUseTick.Store(r.pool.Tick())
 	e.SavedTotal.Add(int64(e.Cost))
 	e.pinnedQuery.Store(ctx.QueryID)
-	key := instrKey{templ: e.TemplID, pc: e.PC}
 	local := e.QueryID == ctx.QueryID
-	if local {
-		r.adm.onLocalReuse(key)
-	} else {
+	if e.TemplID != 0 {
+		// Entries prewarmed from the disk tier carry no instruction
+		// identity (template ids start at 1); their reuses must not
+		// pile credit bookkeeping onto the bogus {0,0} key.
+		key := instrKey{templ: e.TemplID, pc: e.PC}
+		if local {
+			r.adm.onLocalReuse(key)
+		} else {
+			r.adm.onGlobalReuse(key)
+		}
+	}
+	if !local {
 		e.GlobalReuse.Store(true)
-		r.adm.onGlobalReuse(key)
 	}
 	ctx.UpdateStats(func(s *mal.QueryStats) {
 		if local {
@@ -568,6 +622,14 @@ func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		}
 	}
 	e.Deps = deps
+	// The canonical signature (provenance-free, stable across restarts)
+	// keys the disk tier; every BAT argument's producer is still in the
+	// pool here (columnDeps verified them), so it is always computable
+	// at admission time and never later. Without a tier it is dead
+	// weight (recursive string builds per admission) and skipped.
+	if r.cfg.Spill != nil {
+		e.CanonSig, e.SpillArgs, _ = r.canonical(in, args)
+	}
 
 	switch in.Name() {
 	case "algebra.select":

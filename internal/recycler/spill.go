@@ -1,0 +1,573 @@
+package recycler
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/mal"
+)
+
+// This file implements the recycle pool's second tier: a disk-backed
+// store for evicted intermediates (the paper's eviction policies, §4.3,
+// extended with demotion instead of destruction). Eviction victims are
+// demoted to the tier keyed by their *canonical signature* — the
+// run-time signature with every pool-entry provenance replaced by the
+// producing entry's own canonical signature, recursively. Unlike the
+// run-time signature (whose eN argument keys die with the entries they
+// name), the canonical form is stable across evictions and across
+// process restarts, so a spilled select over a spilled bind remains
+// addressable after both left memory — and after the server itself
+// restarted.
+//
+// Validity is keyed on catalog table versions: a spill record stores,
+// for every persistent column the intermediate depends on, the
+// dependency table's committed-update version at demotion time. A
+// record is reloadable only while every dependency table still has
+// exactly that version; otherwise it is dropped lazily at the first
+// lookup (or prewarm) that notices — spilled entries are never
+// eagerly scanned by the §6 invalidation passes.
+//
+// Reloaded and prewarmed entries re-enter the pool as exact-match
+// lines only: their subsumption metadata and argument snapshots are
+// not rehydrated, so they serve repeat-template hits (and are found by
+// column-wise invalidation through Deps) but do not join subsumption
+// searches or delta propagation. Fresh admissions rebuild those
+// abilities as the workload re-runs.
+//
+// Concurrency caveat: the spiller serialises entry results off the hot
+// path, and bind-class results are views over committed column
+// storage. Append/Delete are copy-on-write and safe; UpdateInPlace
+// overwrites that storage in place and already carries a no-concurrent-
+// readers contract — the spiller (like checkpoint serialisation) is
+// one of those readers.
+
+// SpillArg describes one argument of a spilled instruction: either a
+// scalar (its literal matching key) or a BAT (the canonical signature
+// of the pool entry that produced it).
+type SpillArg struct {
+	Bat   bool
+	Canon string // canonical signature of the producing entry (Bat)
+	Key   string // literal Value.Key() (scalar)
+}
+
+// SpillDep pins a spilled record to the catalog state its content was
+// computed from.
+type SpillDep struct {
+	Ref ColumnRef
+	// Created identifies the dependency table itself (its creation
+	// commit sequence): a dropped-and-recreated table under the same
+	// name restarts its version counter, and the creation stamp keeps
+	// records of the old table from aliasing the new one.
+	Created uint64
+	// Version is the dependency table's committed-update counter at
+	// demotion time; any later commit makes the record stale.
+	Version int64
+}
+
+// SpillRecord is one demoted intermediate, self-contained enough to be
+// serialised, validated and re-admitted by a later process.
+type SpillRecord struct {
+	CanonSig string
+	OpName   string
+	Render   string
+	Args     []SpillArg
+	Deps     []SpillDep
+	Cost     time.Duration
+	Result   mal.Value
+	Bytes    int64
+	Tuples   int
+}
+
+// SpillTier is the disk tier the recycler demotes eviction victims to.
+// Implementations (internal/store) must be safe for concurrent use;
+// all methods may perform I/O and are called without recycler locks
+// held, except Spill which may be called from the asynchronous spiller
+// goroutine only.
+type SpillTier interface {
+	// Spill persists one record, overwriting any record with the same
+	// canonical signature.
+	Spill(rec *SpillRecord)
+	// Lookup returns the record for a canonical signature, if present.
+	Lookup(canon string) (*SpillRecord, bool)
+	// Drop removes a record (lazy invalidation of stale entries).
+	Drop(canon string)
+	// Metas returns every stored record WITHOUT its Result payload
+	// (startup pre-warming scans). The tier may hold far more than
+	// fits in memory; Prewarm validates against the metadata and calls
+	// Lookup only for records it actually admits, so peak memory is
+	// bounded by the pool's own limits, not the tier size.
+	Metas() []*SpillRecord
+	// Empty reports whether the tier holds no records. It must be
+	// cheap: the miss path bails on it before doing any lock or I/O
+	// work toward a reload.
+	Empty() bool
+}
+
+// canonical renders the canonical signature of an instruction instance
+// and the per-argument spill keys. ok=false when a BAT argument's
+// producing entry is gone from the pool (or was itself un-canonical),
+// in which case the instance cannot interact with the disk tier.
+// Lock-free: producers resolve through the pool's canonByID mirror, so
+// the exact-miss path never takes the writer lock just to render a
+// signature (a producer evicted mid-render reads as a miss — benign).
+func (r *Recycler) canonical(in *mal.Instr, args []mal.Value) (canon string, sargs []SpillArg, ok bool) {
+	var sb strings.Builder
+	sb.WriteString(in.Name())
+	sb.WriteByte('(')
+	sargs = make([]SpillArg, 0, len(args))
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if a.IsBat() {
+			if a.Prov == 0 {
+				return "", nil, false
+			}
+			pc, found := r.pool.canonByID.Load(a.Prov)
+			if !found {
+				return "", nil, false
+			}
+			parentCanon := pc.(string)
+			sb.WriteByte('[')
+			sb.WriteString(parentCanon)
+			sb.WriteByte(']')
+			sargs = append(sargs, SpillArg{Bat: true, Canon: parentCanon})
+		} else {
+			k := a.Key()
+			sb.WriteString(k)
+			sargs = append(sargs, SpillArg{Key: k})
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String(), sargs, true
+}
+
+// depVersions resolves the current committed-update version of every
+// dependency table. ok=false when a table is unknown (dropped) or no
+// catalog is attached. Safe with or without the writer lock (takes the
+// catalog's shared lock per table).
+func (r *Recycler) depVersions(deps []ColumnRef) ([]SpillDep, bool) {
+	if r.cat == nil {
+		return nil, false
+	}
+	out := make([]SpillDep, 0, len(deps))
+	for _, d := range deps {
+		schema, name, ok := splitQName(d.Table)
+		if !ok {
+			return nil, false
+		}
+		created, v, ok := r.cat.TableStamp(schema, name)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, SpillDep{Ref: d, Created: created, Version: v})
+	}
+	return out, true
+}
+
+// depsFresh reports whether every dependency table still has the
+// version recorded at demotion time.
+func (r *Recycler) depsFresh(deps []SpillDep) bool {
+	if r.cat == nil {
+		return false
+	}
+	for _, d := range deps {
+		schema, name, ok := splitQName(d.Ref.Table)
+		if !ok {
+			return false
+		}
+		created, v, ok := r.cat.TableStamp(schema, name)
+		if !ok || created != d.Created || v != d.Version {
+			return false
+		}
+	}
+	return true
+}
+
+func splitQName(qname string) (schema, name string, ok bool) {
+	i := strings.IndexByte(qname, '.')
+	if i <= 0 || i == len(qname)-1 {
+		return "", "", false
+	}
+	return qname[:i], qname[i+1:], true
+}
+
+func depRefs(deps []SpillDep) []ColumnRef {
+	out := make([]ColumnRef, len(deps))
+	for i, d := range deps {
+		out[i] = d.Ref
+	}
+	return out
+}
+
+// spillRecordLocked captures an entry for demotion, stamping the
+// current dependency-table versions. nil when the entry cannot be
+// spilled (no canonical signature, no catalog, or a dropped dep), or
+// when a dependency table has a commit in flight: in that window the
+// table's version is already bumped while the entry — still valid,
+// the invalidation pass runs later under this same writer lock — was
+// computed from pre-commit data, so stamping now would label stale
+// content as fresh. Caller holds the writer lock.
+func (r *Recycler) spillRecordLocked(e *Entry) *SpillRecord {
+	if e.CanonSig == "" || !e.valid.Load() {
+		return nil
+	}
+	deps, ok := r.depVersions(e.Deps)
+	if !ok {
+		return nil
+	}
+	// The in-flight check runs AFTER the version reads: OnBeforeUpdate
+	// (pending++) takes only stateMu, so a commit can slip its version
+	// bump between an earlier check and depVersions — but it cannot
+	// complete (publishCommit needs the writer lock we hold), so if it
+	// bumped a version we just read, pending is still > 0 here.
+	// Conversely pending == 0 now proves every commit reflected in the
+	// stamps also finished its invalidation pass before we took the
+	// writer lock, and this entry survived it.
+	r.stateMu.RLock()
+	inFlight := false
+	for _, d := range e.Deps {
+		if r.pending[d.Table] > 0 {
+			inFlight = true
+			break
+		}
+	}
+	r.stateMu.RUnlock()
+	if inFlight {
+		return nil
+	}
+	return &SpillRecord{
+		CanonSig: e.CanonSig,
+		OpName:   e.OpName,
+		Render:   e.Render,
+		Args:     e.SpillArgs,
+		Deps:     deps,
+		Cost:     e.Cost,
+		Result:   e.Result,
+		Bytes:    e.Bytes,
+		Tuples:   e.Tuples,
+	}
+}
+
+// demoteLocked enqueues an eviction victim for the asynchronous
+// spiller. Disk I/O must not run under the writer lock, so the record
+// (immutable result included) is captured here and written out of
+// band; a full queue drops the demotion — the tier is a cache, losing
+// a spill only costs a future recomputation. Caller holds the writer
+// lock.
+func (r *Recycler) demoteLocked(e *Entry) {
+	if r.cfg.Spill == nil || r.spillClosed {
+		return
+	}
+	rec := r.spillRecordLocked(e)
+	if rec == nil {
+		return
+	}
+	select {
+	case r.spillQ <- rec:
+	default:
+	}
+}
+
+// spiller drains the demotion queue onto the disk tier.
+func (r *Recycler) spiller() {
+	defer close(r.spillDone)
+	for rec := range r.spillQ {
+		r.cfg.Spill.Spill(rec)
+		r.spilled.Add(1)
+	}
+}
+
+// closeSpiller stops the asynchronous spiller, flushing the queue.
+func (r *Recycler) closeSpiller() {
+	if r.cfg.Spill == nil {
+		return
+	}
+	r.lockWriter()
+	already := r.spillClosed
+	r.spillClosed = true
+	r.mu.Unlock()
+	if already {
+		return
+	}
+	close(r.spillQ)
+	<-r.spillDone
+}
+
+// SpillAll demotes every currently valid pool entry to the disk tier,
+// synchronously. A gracefully draining server calls it before exit so
+// a restart can pre-warm from the full pool, not just from entries
+// that happened to be evicted. The pool itself is left intact. Returns
+// the number of records written.
+func (r *Recycler) SpillAll() int {
+	tier := r.cfg.Spill
+	if tier == nil {
+		return 0
+	}
+	r.lockWriter()
+	var recs []*SpillRecord
+	for _, e := range r.pool.All() {
+		if rec := r.spillRecordLocked(e); rec != nil {
+			recs = append(recs, rec)
+		}
+	}
+	r.mu.Unlock()
+	for _, rec := range recs {
+		tier.Spill(rec)
+		r.spilled.Add(1)
+	}
+	return len(recs)
+}
+
+// entryFromSpill rebuilds a pool entry from a validated record. The
+// caller supplies the run-time signature (whose eN argument keys are
+// only meaningful in this process) and the lineage edges, and holds
+// the writer lock for the subsequent pool.Add. Bytes are re-derived
+// from the decoded result, not copied from the record: the original
+// entry may have been a cheap view over shared storage, but the
+// decoded copy is fully materialised and must be accounted as such —
+// otherwise MaxBytes would stop bounding a prewarmed pool.
+func entryFromSpill(rec *SpillRecord, sig string, dependsOn []uint64, tick int64) *Entry {
+	e := &Entry{
+		Sig:       sig,
+		CanonSig:  rec.CanonSig,
+		OpName:    rec.OpName,
+		Render:    rec.Render,
+		Result:    rec.Result,
+		Bytes:     rec.Result.Bytes(),
+		Tuples:    rec.Tuples,
+		Cost:      rec.Cost,
+		AdmitTick: tick,
+		SpillArgs: rec.Args,
+		DependsOn: dependsOn,
+		Deps:      depRefs(rec.Deps),
+	}
+	e.LastUseTick.Store(tick)
+	return e
+}
+
+// reloadFromSpill is the exact-match miss path's disk-tier consult: if
+// the instruction's canonical signature names a spilled record that
+// survives epoch validation, the record is re-admitted to the pool and
+// served as a hit; a record whose dependency versions no longer match
+// is dropped — the lazy invalidation of the tier.
+func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, sig string) (mal.EntryResult, bool) {
+	tier := r.cfg.Spill
+	if tier == nil || tier.Empty() {
+		// Cheap gate: a cold tier must not add per-miss work.
+		return mal.EntryResult{}, false
+	}
+	canon, _, ok := r.canonical(in, args)
+	if !ok {
+		return mal.EntryResult{}, false
+	}
+	rec, ok := tier.Lookup(canon)
+	if !ok {
+		return mal.EntryResult{}, false
+	}
+	// Cheap rejects before taking the writer lock: stale records are
+	// dropped for good, records merely unusable by *this* query (it
+	// straddles a commit) stay for others.
+	if !r.depsFresh(rec.Deps) {
+		tier.Drop(canon)
+		r.staleDropped.Add(1)
+		return mal.EntryResult{}, false
+	}
+	deps := depRefs(rec.Deps)
+	if r.staleForQuery(ctx.QueryID, deps) {
+		return mal.EntryResult{}, false
+	}
+
+	r.lockWriter()
+	defer r.mu.Unlock()
+	// Re-validate under the writer lock: a commit may have landed
+	// between the unlocked check and here. Holding the lock excludes
+	// the invalidation passes, so a fresh verdict cannot be
+	// invalidated before the entry is indexed (byCol) below.
+	if !r.depsFresh(rec.Deps) || r.staleForQuery(ctx.QueryID, deps) {
+		return mal.EntryResult{}, false
+	}
+	if e := r.pool.Lookup(sig); e != nil {
+		// A concurrent reload (or a fresh execution) re-admitted the
+		// signature first; serve it (if this query may).
+		if !r.usable(ctx, e) {
+			return mal.EntryResult{}, false
+		}
+		r.noteReuse(ctx, in, e)
+		ctx.UpdateStats(func(s *mal.QueryStats) {
+			s.Hits++
+			if in.Module != "sql" {
+				s.HitsNonBind++
+			}
+		})
+		return mal.EntryResult{Hit: true, Val: e.Result}, true
+	}
+	// Make room within the configured bounds; reloads bypass the
+	// admission policy (the instruction earned its place when it was
+	// first admitted) but never the capacity limits. If room cannot be
+	// made, the value is still served — it just stays disk-only. The
+	// decoded result is fully materialised, so capacity is checked
+	// against its real size, not the (possibly view-accounted) size
+	// recorded at demotion.
+	admit := true
+	protect := protectSet(args)
+	bytes := rec.Result.Bytes()
+	if r.cfg.MaxBytes > 0 && bytes > r.cfg.MaxBytes {
+		admit = false
+	}
+	if admit && r.cfg.MaxBytes > 0 && r.pool.Bytes()+bytes > r.cfg.MaxBytes {
+		admit = r.cleanCache(r.pool.Bytes()+bytes-r.cfg.MaxBytes, 0, protect)
+	}
+	if admit && r.cfg.MaxEntries > 0 && r.pool.Len()+1 > r.cfg.MaxEntries {
+		admit = r.cleanCache(0, r.pool.Len()+1-r.cfg.MaxEntries, protect)
+	}
+	val := rec.Result
+	if admit {
+		// Like prewarmed entries, reloads keep TemplID == 0: they were
+		// admitted without paying a credit, so the credit bookkeeping
+		// (reuse refunds, eviction refunds) must not attach to the
+		// current instruction — it would mint credits never charged.
+		e := entryFromSpill(rec, sig, lineageOf(args), r.pool.Tick())
+		r.pool.Add(e)
+		e.pinnedQuery.Store(ctx.QueryID)
+		val = e.Result
+		r.noteReuse(ctx, in, e)
+	} else {
+		ctx.UpdateStats(func(s *mal.QueryStats) {
+			s.GlobalHits++
+			s.SavedGlobal += rec.Cost
+			s.SavedTime += rec.Cost
+		})
+	}
+	r.reloaded.Add(1)
+	ctx.UpdateStats(func(s *mal.QueryStats) {
+		s.Hits++
+		if in.Module != "sql" {
+			s.HitsNonBind++
+		}
+	})
+	return mal.EntryResult{Hit: true, Val: val}, true
+}
+
+// lineageOf extracts the distinct pool-entry provenances of the BAT
+// arguments (the lineage edges of a reloaded entry).
+func lineageOf(args []mal.Value) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, a := range args {
+		if a.IsBat() && a.Prov != 0 && !seen[a.Prov] {
+			seen[a.Prov] = true
+			out = append(out, a.Prov)
+		}
+	}
+	return out
+}
+
+// Prewarm loads every spilled record that survives epoch validation
+// back into the pool, resolving lineage bottom-up: a record becomes
+// admissible once all its BAT arguments' canonical signatures resolve
+// to already-present entries, and its run-time signature is rebuilt
+// from their fresh entry ids. Stale records are dropped from the tier.
+// Servers call it once at startup, before accepting traffic; capacity
+// limits are respected (prewarming stops admitting rather than
+// evicting). Returns the number of entries admitted.
+func (r *Recycler) Prewarm() int {
+	tier := r.cfg.Spill
+	if tier == nil {
+		return 0
+	}
+	metas := tier.Metas()
+	if len(metas) == 0 {
+		return 0
+	}
+	r.lockWriter()
+	defer r.mu.Unlock()
+	byCanon := make(map[string]uint64, len(metas))
+	for _, e := range r.pool.All() {
+		if e.CanonSig != "" {
+			byCanon[e.CanonSig] = e.ID
+		}
+	}
+	n := 0
+	pending := metas
+	for progress := true; progress && len(pending) > 0; {
+		progress = false
+		var next []*SpillRecord
+		for _, meta := range pending {
+			if _, dup := byCanon[meta.CanonSig]; dup {
+				continue
+			}
+			if !r.depsFresh(meta.Deps) {
+				tier.Drop(meta.CanonSig)
+				r.staleDropped.Add(1)
+				progress = true
+				continue
+			}
+			sig, dependsOn, ok := r.sigFromSpill(meta, byCanon)
+			if !ok {
+				next = append(next, meta)
+				continue
+			}
+			// Cheap pre-checks on the recorded size, then load the full
+			// record (Result included) only for survivors — the final
+			// check re-runs against the materialised size.
+			if r.cfg.MaxBytes > 0 && r.pool.Bytes()+meta.Bytes > r.cfg.MaxBytes {
+				continue
+			}
+			if r.cfg.MaxEntries > 0 && r.pool.Len()+1 > r.cfg.MaxEntries {
+				continue
+			}
+			if e := r.pool.Lookup(sig); e != nil {
+				byCanon[meta.CanonSig] = e.ID
+				progress = true
+				continue
+			}
+			rec, ok := tier.Lookup(meta.CanonSig)
+			if !ok {
+				progress = true
+				continue
+			}
+			if r.cfg.MaxBytes > 0 && r.pool.Bytes()+rec.Result.Bytes() > r.cfg.MaxBytes {
+				continue
+			}
+			e := entryFromSpill(rec, sig, dependsOn, r.pool.Tick())
+			r.pool.Add(e)
+			byCanon[rec.CanonSig] = e.ID
+			r.prewarmed.Add(1)
+			n++
+			progress = true
+		}
+		pending = next
+	}
+	return n
+}
+
+// sigFromSpill rebuilds a record's run-time signature by substituting
+// the fresh entry id of every BAT argument's canonical signature.
+// ok=false while an argument's producer has not been admitted yet.
+func (r *Recycler) sigFromSpill(rec *SpillRecord, byCanon map[string]uint64) (sig string, dependsOn []uint64, ok bool) {
+	var sb strings.Builder
+	sb.WriteString(rec.OpName)
+	sb.WriteByte('(')
+	seen := map[uint64]bool{}
+	for i, a := range rec.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if a.Bat {
+			id, found := byCanon[a.Canon]
+			if !found {
+				return "", nil, false
+			}
+			sb.WriteString(mal.Value{Kind: mal.VBat, Prov: id}.Key())
+			if !seen[id] {
+				seen[id] = true
+				dependsOn = append(dependsOn, id)
+			}
+		} else {
+			sb.WriteString(a.Key)
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String(), dependsOn, true
+}

@@ -80,6 +80,14 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		"Hit-path signature-shard read-lock acquisitions that blocked.", st.Engine.Recycler.ShardLockWaits)
 	metric("repro_pool_shard_lock_wait_seconds_total", "counter",
 		"Total time spent blocked on signature-shard read locks.", st.Engine.Recycler.ShardLockWait.Seconds())
+	metric("repro_pool_spilled_total", "counter",
+		"Intermediates demoted to the disk spill tier.", st.Engine.Recycler.Spilled)
+	metric("repro_pool_spill_reloads_total", "counter",
+		"Exact-match misses served by reloading a spilled intermediate.", st.Engine.Recycler.Reloaded)
+	metric("repro_pool_prewarmed_total", "counter",
+		"Spilled intermediates reloaded into the pool at startup.", st.Engine.Recycler.Prewarmed)
+	metric("repro_pool_spill_stale_drops_total", "counter",
+		"Spilled intermediates lazily dropped as epoch-stale.", st.Engine.Recycler.StaleDropped)
 
 	metric("repro_admission_granted_total", "counter",
 		"Admission decisions that allowed the intermediate in.", st.Engine.Admission.Granted)

@@ -1,0 +1,24 @@
+// Package store is the persistence subsystem: it makes the engine's
+// catalog — and the warm recycle pool the paper's whole thesis rests
+// on — survive a restart.
+//
+// Three cooperating parts share one binary columnar codec (CRC32-
+// checked, length-prefixed frames with per-kind vector encodings):
+//
+//   - A write-ahead log of committed DML. The catalog's commit hook
+//     appends one self-contained record per statement, in commit
+//     order, with batched fsyncs; replay after a crash re-applies the
+//     tail the last snapshot missed and truncates a torn final record.
+//
+//   - Full columnar checkpoints. A checkpoint rotates the WAL, exports
+//     the catalog consistently (tables, tombstones, versions, index
+//     definitions, commit sequence) and atomically replaces the
+//     snapshot file, after which the covered WAL segments are deleted.
+//     Recovery = load snapshot + replay WAL tail.
+//
+//   - A disk tier for the recycle pool (recycler.SpillTier): eviction
+//     victims are demoted to per-record spill files keyed by canonical
+//     signature and stamped with dependency-table versions, consulted
+//     on exact-match misses, lazily invalidated when stale, and
+//     reloaded wholesale by Recycler.Prewarm at startup.
+package store

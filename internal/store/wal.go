@@ -1,0 +1,390 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+)
+
+// The write-ahead log is a directory of numbered segment files, each a
+// sequence of CRC32-checked frames holding one catalog.CommitRecord
+// per frame. Appends go to the newest segment; a checkpoint rotates to
+// a fresh segment before exporting the catalog, so every record in an
+// older segment is guaranteed to be covered by the snapshot (records
+// race into the *new* segment during the export, which is harmless:
+// each record carries its commit sequence number and replay skips
+// anything the snapshot already contains).
+//
+// Durability is batched: appends land in the OS page cache immediately
+// and a background syncer fsyncs the segment at most every SyncEvery.
+// SyncEvery = 0 degrades to one fsync per commit (group commit off).
+// A crash can therefore lose up to SyncEvery of committed statements —
+// and, independently, tear the final record mid-write. Replay detects
+// a torn or checksum-failing tail frame, truncates the segment back to
+// the last whole record and stops; torn frames anywhere but the final
+// segment's tail are real corruption and fail recovery.
+
+type wal struct {
+	dir string
+
+	mu    sync.Mutex
+	f     *os.File
+	seg   int
+	dirty bool
+
+	syncEvery time.Duration
+	stopc     chan struct{}
+	done      chan struct{}
+}
+
+func segName(n int) string { return fmt.Sprintf("wal-%08d.log", n) }
+
+// listSegments returns the existing segment paths in ascending order.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &n); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths, nil
+}
+
+// openWAL opens the log directory for appending. Existing segments are
+// left untouched (recovery reads them); appends always start a fresh
+// segment so a truncated tail is never appended after.
+func openWAL(dir string, syncEvery time.Duration) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(segs) > 0 {
+		fmt.Sscanf(filepath.Base(segs[len(segs)-1]), "wal-%08d.log", &next)
+		next++
+	}
+	w := &wal{dir: dir, seg: next, syncEvery: syncEvery}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if syncEvery > 0 {
+		w.stopc = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// openSegmentLocked creates the active segment file. Caller holds w.mu
+// (or is the constructor).
+func (w *wal) openSegmentLocked() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+// append frames one payload onto the active segment. With batching
+// enabled the write is durable only after the next background fsync.
+func (w *wal) append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: wal is closed")
+	}
+	if err := writeFrame(w.f, payload); err != nil {
+		return err
+	}
+	if w.syncEvery == 0 {
+		return w.f.Sync()
+	}
+	w.dirty = true
+	return nil
+}
+
+// sync flushes the active segment if it has unsynced appends.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *wal) syncLocked() error {
+	if w.f == nil || !w.dirty {
+		return nil
+	}
+	w.dirty = false
+	return w.f.Sync()
+}
+
+func (w *wal) syncLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.syncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.sync()
+		case <-w.stopc:
+			return
+		}
+	}
+}
+
+// rotate syncs and retires the active segment, opens the next one and
+// returns the paths of all older segments (the checkpoint deletes them
+// once the snapshot is durable).
+func (w *wal) rotate() ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil, fmt.Errorf("store: wal is closed")
+	}
+	if err := w.syncLocked(); err != nil {
+		return nil, err
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, err
+	}
+	old := make([]string, 0, w.seg)
+	for n := 1; n <= w.seg; n++ {
+		p := filepath.Join(w.dir, segName(n))
+		if _, err := os.Stat(p); err == nil {
+			old = append(old, p)
+		}
+	}
+	w.seg++
+	if err := w.openSegmentLocked(); err != nil {
+		w.f = nil
+		return nil, err
+	}
+	return old, nil
+}
+
+// close stops the syncer and durably closes the active segment.
+func (w *wal) close() error {
+	if w.stopc != nil {
+		close(w.stopc)
+		<-w.done
+		w.stopc = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL reads every segment in order and applies each record with
+// Seq > minSeq. A torn tail in the final segment is truncated away and
+// reported through tornTail; a torn frame anywhere else fails. Returns
+// the number of records applied.
+func replayWAL(dir string, minSeq uint64, apply func(catalog.CommitRecord) error) (applied int, tornTail bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		n, torn, err := replaySegment(seg, last, minSeq, apply)
+		applied += n
+		if err != nil {
+			return applied, torn, err
+		}
+		if torn {
+			tornTail = true
+		}
+	}
+	return applied, tornTail, nil
+}
+
+func replaySegment(path string, last bool, minSeq uint64, apply func(catalog.CommitRecord) error) (applied int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	var good int64
+	for {
+		payload, rerr := readFrame(f)
+		if rerr == io.EOF {
+			return applied, false, nil
+		}
+		if rerr == errTornFrame {
+			if !last {
+				return applied, false, fmt.Errorf("store: corrupt WAL frame mid-log in %s", filepath.Base(path))
+			}
+			// Crash mid-append: discard the torn tail so it is never
+			// replayed, and never appended after (appends use a fresh
+			// segment anyway; the truncate keeps the log tidy).
+			f.Close()
+			if terr := os.Truncate(path, good); terr != nil {
+				return applied, true, terr
+			}
+			return applied, true, nil
+		}
+		if rerr != nil {
+			return applied, false, rerr
+		}
+		rec, derr := decodeCommit(payload)
+		if derr != nil {
+			return applied, false, fmt.Errorf("store: undecodable WAL record in %s: %w", filepath.Base(path), derr)
+		}
+		if rec.Seq > minSeq {
+			if aerr := apply(rec); aerr != nil {
+				return applied, false, aerr
+			}
+			applied++
+		}
+		pos, perr := f.Seek(0, io.SeekCurrent)
+		if perr != nil {
+			return applied, false, perr
+		}
+		good = pos
+	}
+}
+
+// --- commit record codec --------------------------------------------------
+
+func encodeCommit(rec catalog.CommitRecord) []byte {
+	e := &enc{}
+	e.u8(uint8(rec.Kind))
+	e.u64(rec.Seq)
+	e.str(rec.Schema)
+	e.str(rec.Name)
+	switch rec.Kind {
+	case catalog.CommitCreate:
+		e.u32(uint32(len(rec.Cols)))
+		for _, d := range rec.Cols {
+			e.str(d.Name)
+			e.u8(uint8(d.Kind))
+			if d.Sorted {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+		}
+	case catalog.CommitInsert:
+		e.u64(uint64(rec.FirstOid))
+		e.u32(uint32(rec.NumRows))
+		cols := make([]string, 0, len(rec.Inserts))
+		for c := range rec.Inserts {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		e.u32(uint32(len(cols)))
+		for _, c := range cols {
+			e.str(c)
+			encodeVector(e, rec.Inserts[c])
+		}
+	case catalog.CommitDelete:
+		e.u32(uint32(len(rec.Deleted)))
+		for _, o := range rec.Deleted {
+			e.u64(uint64(o))
+		}
+	case catalog.CommitUpdate:
+		e.str(rec.UpdCol)
+		e.u32(uint32(len(rec.UpdOids)))
+		for _, o := range rec.UpdOids {
+			e.u64(uint64(o))
+		}
+		encodeVector(e, rec.UpdVals)
+	case catalog.CommitDrop:
+	}
+	return e.b
+}
+
+func decodeCommit(payload []byte) (catalog.CommitRecord, error) {
+	d := &dec{b: payload}
+	rec := catalog.CommitRecord{
+		Kind:   catalog.CommitKind(d.u8()),
+		Seq:    d.u64(),
+		Schema: d.str(),
+		Name:   d.str(),
+	}
+	switch rec.Kind {
+	case catalog.CommitCreate:
+		n := int(d.u32())
+		if n < 0 || n > maxFramePayload {
+			d.fail = true
+			n = 0
+		}
+		for i := 0; i < n && !d.fail; i++ {
+			def := catalog.ColDef{Name: d.str(), Kind: bat.Kind(d.u8()), Sorted: d.u8() != 0}
+			rec.Cols = append(rec.Cols, def)
+		}
+	case catalog.CommitInsert:
+		rec.FirstOid = bat.Oid(d.u64())
+		rec.NumRows = int(d.u32())
+		n := int(d.u32())
+		if rec.NumRows < 0 || rec.NumRows > maxFramePayload || n < 0 || n > maxFramePayload {
+			d.fail = true
+			n = 0
+		}
+		rec.Inserts = make(map[string]bat.Vector, min(n, 1024))
+		for i := 0; i < n && !d.fail; i++ {
+			c := d.str()
+			rec.Inserts[c] = decodeVector(d)
+		}
+	case catalog.CommitDelete:
+		n := int(d.u32())
+		if n > maxFramePayload {
+			d.fail = true
+			n = 0
+		}
+		rec.Deleted = make([]bat.Oid, 0, n)
+		for i := 0; i < n && !d.fail; i++ {
+			rec.Deleted = append(rec.Deleted, bat.Oid(d.u64()))
+		}
+	case catalog.CommitUpdate:
+		rec.UpdCol = d.str()
+		n := int(d.u32())
+		if n > maxFramePayload {
+			d.fail = true
+			n = 0
+		}
+		rec.UpdOids = make([]bat.Oid, 0, n)
+		for i := 0; i < n && !d.fail; i++ {
+			rec.UpdOids = append(rec.UpdOids, bat.Oid(d.u64()))
+		}
+		rec.UpdVals = decodeVector(d)
+	case catalog.CommitDrop:
+	default:
+		return rec, ErrCorrupt
+	}
+	if !d.done() {
+		return rec, ErrCorrupt
+	}
+	return rec, nil
+}
