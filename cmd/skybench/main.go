@@ -19,10 +19,19 @@
 //	restart  durable-store cycle (internal/store): warm a server, shut
 //	         it down gracefully, recover snapshot + WAL, and compare
 //	         cold vs warm-pool first-N-queries latency after restart
+//	equiv    equivalent-query workload: semantically equal SQL spelled
+//	         differently (shuffled conjuncts, literal variants, BETWEEN
+//	         splits), exact-hit rate with the normalization pipeline
+//	         off vs on; exits non-zero if the normalized rate is below
+//	         -min-hit-rate (the CI gate)
 //	all      everything above except serve (serve needs wall-clock time)
 //
 // All workload generators take -seed (and the catalog generator
 // -dbseed), so mt/serve/restart runs are reproducible across hosts.
+// -json FILE additionally writes the machine-readable per-mode rows
+// (QPS, hit/miss/subsumption counts, lock waits) of the experiments
+// that ran, conventionally to BENCH_recycle.json, so the perf
+// trajectory is diffable across PRs.
 package main
 
 import (
@@ -53,11 +62,25 @@ func main() {
 	workers := flag.Int("workers", 0, "per-query dataflow workers (mt experiment; 0 = max(2, GOMAXPROCS))")
 	duration := flag.Duration("duration", 5*time.Second, "closed-loop run length per configuration (serve experiment)")
 	first := flag.Int("first", 25, "first-N queries measured after restart (restart experiment)")
+	jsonPath := flag.String("json", "", "write machine-readable per-mode results to FILE (e.g. BENCH_recycle.json)")
+	variants := flag.Int("variants", 3, "equivalent spellings per query (equiv experiment)")
+	minHitRate := flag.Float64("min-hit-rate", 0.95, "fail the equiv experiment when the normalized exact-hit rate is below this")
 	flag.Parse()
 
 	exp := flag.Arg(0)
 	if exp == "" {
 		exp = "all"
+	}
+	report := bench.NewReport()
+	writeReport := func() {
+		if *jsonPath == "" {
+			return
+		}
+		if err := report.Write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d mode rows to %s\n", len(report.Modes), *jsonPath)
 	}
 
 	if exp == "restart" {
@@ -72,24 +95,63 @@ func main() {
 
 	switch exp {
 	case "batch":
-		runBatch(db, *n, *seed)
+		runBatch(db, *n, *seed, report)
 	case "table3":
 		runTable3(db, *n, *seed)
 	case "subsume":
 		runSubsume(db, *seeds, *sel, *seed)
 	case "mt":
-		runMT(db, *n, *clients, *workers, *seed)
+		runMT(db, *n, *clients, *workers, *seed, report)
 	case "serve":
-		runServe(db, *n, *clients, *duration, *seed)
+		runServe(db, *n, *clients, *duration, *seed, report)
+	case "equiv":
+		ok := runEquiv(db, *n, *variants, *seed, *minHitRate, report)
+		writeReport()
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	case "all":
-		runBatch(db, *n, *seed)
+		runBatch(db, *n, *seed, report)
 		runTable3(db, *n, *seed)
 		runSubsume(db, *seeds, *sel, *seed)
-		runMT(db, *n, *clients, *workers, *seed)
+		runMT(db, *n, *clients, *workers, *seed, report)
+		if !runEquiv(db, *n, *variants, *seed, *minHitRate, report) {
+			writeReport()
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
+	writeReport()
+}
+
+// runEquiv measures the normalization pipeline's effect on the
+// recycler: the same semantically-equal workload with normalization
+// off (every spelling its own template — variants miss) and on (one
+// template — variants hit exactly). Returns false when the normalized
+// exact-hit rate misses the gate.
+func runEquiv(db *sky.DB, n, variants int, seed int64, minRate float64, report *bench.Report) bool {
+	fmt.Printf("== Equivalent-query workload: %d queries x %d spellings (shuffled conjuncts, literal variants) ==\n", n, variants)
+	queries := bench.EquivWorkload(n, variants, seed)
+	rows := []bench.EquivResult{
+		bench.RunEquiv(db, queries, false),
+		bench.RunEquiv(db, queries, true),
+	}
+	bench.PrintEquiv(os.Stdout, rows)
+	for _, r := range rows {
+		report.AddEquiv(r)
+	}
+	norm := rows[1]
+	if rate := norm.ExactHitRate(); rate < minRate {
+		fmt.Fprintf(os.Stderr, "FAIL: normalized exact-hit rate %.1f%% below gate %.1f%%\n",
+			100*rate, 100*minRate)
+		return false
+	}
+	fmt.Printf("normalized exact-hit rate %.1f%% (gate %.1f%%), baseline %.1f%%\n\n",
+		100*norm.ExactHitRate(), 100*minRate, 100*rows[0].ExactHitRate())
+	return true
 }
 
 // runRestart exercises the durable store: boot on a fresh directory,
@@ -119,7 +181,7 @@ func runRestart(objects, n, first int, seed, dbseed int64) {
 	fmt.Println()
 }
 
-func runBatch(db *sky.DB, n int, seed int64) {
+func runBatch(db *sky.DB, n int, seed int64, report *bench.Report) {
 	fmt.Printf("== Fig. 14: recycler effect on the %d-query batch ==\n", n)
 	w := sky.SampleWorkload(db, n, seed)
 	var rows []bench.Fig14Row
@@ -127,6 +189,9 @@ func runBatch(db *sky.DB, n int, seed int64) {
 		rows = append(rows, bench.SkyBatch(db, w, segments, seed))
 	}
 	bench.PrintFig14(os.Stdout, rows)
+	for _, r := range rows {
+		report.AddBatch(r, n)
+	}
 	fmt.Println()
 }
 
@@ -142,7 +207,7 @@ func runTable3(db *sky.DB, n int, seed int64) {
 // the sequential interpreter and the dataflow scheduler, naive and
 // recycled. Each configuration starts from a warmed catalog and an
 // empty pool.
-func runMT(db *sky.DB, n, maxClients, workers int, seed int64) {
+func runMT(db *sky.DB, n, maxClients, workers int, seed int64, report *bench.Report) {
 	if workers <= 0 {
 		// Force at least two workers so the scheduler path is exercised
 		// even on single-core hosts (where it cannot win wall-clock,
@@ -189,6 +254,9 @@ func runMT(db *sky.DB, n, maxClients, workers int, seed int64) {
 		}
 	}
 	bench.PrintMT(os.Stdout, rows)
+	for _, r := range rows {
+		report.AddMT(r)
+	}
 	fmt.Println()
 }
 
@@ -197,7 +265,7 @@ func runMT(db *sky.DB, n, maxClients, workers int, seed int64) {
 // closed-loop workers for `dur`, once without and once with a shared
 // recycler. The workload is the SkyServer SQL mix, so overlapping
 // bounding-box searches from different clients meet in the pool.
-func runServe(db *sky.DB, n, clients int, dur time.Duration, seed int64) {
+func runServe(db *sky.DB, n, clients int, dur time.Duration, seed int64, report *bench.Report) {
 	fmt.Printf("== Closed-loop HTTP load: %d clients for %v per configuration ==\n", clients, dur)
 	queries := bench.SkySQLWorkload(n, seed)
 	var rows []bench.LoadResult
@@ -242,6 +310,9 @@ func runServe(db *sky.DB, n, clients int, dur time.Duration, seed int64) {
 		}
 	}
 	bench.PrintLoad(os.Stdout, rows)
+	for _, r := range rows {
+		report.AddServe(r)
+	}
 	if rows[0].QPS > 0 {
 		fmt.Printf("over-the-wire speedup (recycled/naive QPS): %.2fx\n", rows[1].QPS/rows[0].QPS)
 	}

@@ -76,6 +76,17 @@ func WithRecycler(cfg recycler.Config) Option {
 	return func(e *Engine) { e.rec = recycler.New(e.cat, cfg) }
 }
 
+// WithOptimizer selects the optimizer configuration the engine's SQL
+// front end compiles with — which normalization passes run (CSE,
+// commutative argument ordering, SQL query normalization) and which
+// are skipped. The default (zero Options) runs the full pipeline;
+// disabling passes is for experiments that need the denormalized plan
+// shapes (e.g. measuring the recycler's run-time dedup of duplicates
+// the optimizer would otherwise merge). See docs/TUNING.md.
+func WithOptimizer(opts opt.Options) Option {
+	return func(e *Engine) { e.fe = sqlfe.NewFrontendOpt(e.cat, opts) }
+}
+
 // WithMeasure enables per-instruction timing of marked instructions
 // even without a recycler, so naive runs report potential savings
 // (QueryStats.TimeInMarked). It adds one clock read per marked

@@ -30,6 +30,8 @@ type MTRow struct {
 	SumQuery time.Duration // summed per-query elapsed (total work done)
 	Hits     int           // non-bind pool hits across all clients
 	Pot      int           // non-bind monitored instructions (potential)
+	Subsumed int           // singleton subsumption rewrites
+	Combined int           // combined subsumption hits
 	PoolMem  int64         // recycle pool bytes after the batch
 
 	// LockWaits/LockWait aggregate the recycler's contention during the
@@ -57,8 +59,8 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 		clients = 1
 	}
 	type tally struct {
-		n, hits, pot int
-		sum          time.Duration
+		n, hits, pot, sub, comb int
+		sum                     time.Duration
 	}
 	tallies := make([]tally, clients)
 	var lockBase recycler.Stats
@@ -78,6 +80,8 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 				t.n++
 				t.hits += ctx.Stats.HitsNonBind
 				t.pot += ctx.Stats.MarkedNonBind
+				t.sub += ctx.Stats.Subsumed
+				t.comb += ctx.Stats.Combined
 				t.sum += ctx.Stats.Elapsed
 			}
 		}(c)
@@ -113,6 +117,8 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 		row.Queries += t.n
 		row.Hits += t.hits
 		row.Pot += t.pot
+		row.Subsumed += t.sub
+		row.Combined += t.comb
 		row.SumQuery += t.sum
 	}
 	if wall > 0 {

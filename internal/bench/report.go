@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// This file implements skybench's machine-readable output: one JSON
+// document (conventionally BENCH_recycle.json) accumulating a ModeStat
+// row per benchmark configuration, so the perf trajectory — QPS,
+// hit/miss/subsumption counts, lock waits — is diffable across PRs
+// without scraping the human tables.
+
+// ReportSchema versions the JSON layout; bump it when ModeStat fields
+// change meaning.
+const ReportSchema = 1
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     int        `json:"schema"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Modes      []ModeStat `json:"modes"`
+}
+
+// ModeStat is one benchmark configuration's outcome in comparable
+// units.
+type ModeStat struct {
+	Experiment string  `json:"experiment"`        // "equiv", "mt", "serve", "batch"
+	Mode       string  `json:"mode"`              // configuration label within the experiment
+	Clients    int     `json:"clients,omitempty"` // concurrent clients (mt/serve)
+	Queries    int     `json:"queries"`           // statements executed
+	QPS        float64 `json:"qps"`
+	// Hits/Misses split the non-bind monitored instructions into pool
+	// hits and executions; Subsumed/Combined count the subsumption
+	// rewrites among the hits' production.
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	Subsumed int `json:"subsumed"`
+	Combined int `json:"combined"`
+	// ExactHitRate is the equivalence workload's headline number
+	// (variant exact hits / variant potential); zero elsewhere.
+	ExactHitRate float64 `json:"exact_hit_rate,omitempty"`
+	LockWaits    int64   `json:"lock_waits"`
+	LockWaitNS   int64   `json:"lock_wait_ns"`
+}
+
+// NewReport starts an empty report for this host.
+func NewReport() *Report {
+	return &Report{Schema: ReportSchema, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
+// Add appends one configuration row.
+func (r *Report) Add(m ModeStat) { r.Modes = append(r.Modes, m) }
+
+// AddEquiv records an equivalence-workload result.
+func (r *Report) AddEquiv(e EquivResult) {
+	r.Add(ModeStat{
+		Experiment:   "equiv",
+		Mode:         e.Mode,
+		Queries:      e.Queries + e.Variants,
+		QPS:          e.QPS,
+		Hits:         e.Hits,
+		Misses:       e.Marked - e.Hits,
+		ExactHitRate: e.ExactHitRate(),
+		LockWaits:    e.LockWaits,
+		LockWaitNS:   e.LockWait.Nanoseconds(),
+	})
+}
+
+// AddMT records a multi-client throughput row.
+func (r *Report) AddMT(m MTRow) {
+	mode := m.Exec + "/naive"
+	if m.Recycled {
+		mode = m.Exec + "/recycled"
+	}
+	r.Add(ModeStat{
+		Experiment: "mt",
+		Mode:       mode,
+		Clients:    m.Clients,
+		Queries:    m.Queries,
+		QPS:        m.QPS,
+		Hits:       m.Hits,
+		Misses:     m.Pot - m.Hits,
+		Subsumed:   m.Subsumed,
+		Combined:   m.Combined,
+		LockWaits:  m.LockWaits,
+		LockWaitNS: m.LockWait.Nanoseconds(),
+	})
+}
+
+// AddServe records an over-the-wire load row.
+func (r *Report) AddServe(l LoadResult) {
+	r.Add(ModeStat{
+		Experiment: "serve",
+		Mode:       l.Label,
+		Clients:    l.Clients,
+		Queries:    l.Queries,
+		QPS:        l.QPS,
+		Hits:       l.Hits,
+		Misses:     l.Marked - l.Hits,
+		LockWaits:  l.LockWaits,
+		LockWaitNS: l.LockWait.Nanoseconds(),
+	})
+}
+
+// AddBatch records a Fig. 14 batch split as an effective-QPS row (the
+// batch has no wall-clock loop; per-query elapsed sums stand in).
+func (r *Report) AddBatch(f Fig14Row, queries int) {
+	for _, m := range []struct {
+		label string
+		d     time.Duration
+	}{{"naive", f.Naive}, {"crd-lru", f.CrdLru}, {"keepall", f.KeepAll}} {
+		qps := 0.0
+		if m.d > 0 {
+			qps = float64(queries) / m.d.Seconds()
+		}
+		r.Add(ModeStat{
+			Experiment: "batch",
+			Mode:       f.Split + "/" + m.label,
+			Queries:    queries,
+			QPS:        qps,
+		})
+	}
+}
+
+// Write marshals the report to path (pretty-printed, trailing
+// newline).
+func (r *Report) Write(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -214,7 +214,7 @@ func buildDAG(t *Template) *DAG {
 			}
 			lastEffect = i
 		}
-		key := staticSig(in)
+		key := in.StaticSig()
 		if prev, ok := sameSig[key]; ok {
 			addPred(prev)
 		}
@@ -229,10 +229,14 @@ func buildDAG(t *Template) *DAG {
 	return d
 }
 
-// staticSig renders an instruction's compile-time identity: operation
+// StaticSig renders an instruction's compile-time identity: operation
 // plus argument slots/literals. Two instructions with equal static
-// signatures compute the same value in every instance of the template.
-func staticSig(in *Instr) string {
+// signatures compute the same value in every instance of the template
+// — the identity the optimizer's CSE pass merges on and the dataflow
+// DAG chains duplicate instructions by. It is the compile-time
+// counterpart of the run-time plan.Signature (which resolves variable
+// slots to actual operand values).
+func (in *Instr) StaticSig() string {
 	var sb strings.Builder
 	sb.WriteString(in.Name())
 	sb.WriteByte('(')
@@ -241,7 +245,12 @@ func staticSig(in *Instr) string {
 			sb.WriteByte(',')
 		}
 		if a.IsConst() {
-			sb.WriteString(a.Const.String())
+			// The TYPED literal key, not the display form: IntV(2)
+			// and FloatV(2) both render "2" but are different
+			// constants, and CSE merges on this signature — a
+			// display-form collision would substitute a value of the
+			// wrong kind.
+			sb.WriteString(a.Const.Key())
 		} else {
 			fmt.Fprintf(&sb, "V%d", a.Var)
 		}

@@ -1,9 +1,18 @@
 // Package opt implements the engine's optimizer pipeline: constant
-// expression evaluation, dead-code elimination and — the pass this
-// reproduction exists for — the recycler optimizer that marks
-// instructions eligible for run-time recycling (paper §3.1).
+// expression evaluation, canonical argument ordering for commutative
+// operations, common-subexpression elimination, dead-code elimination
+// and — the pass this reproduction exists for — the recycler optimizer
+// that marks instructions eligible for run-time recycling (paper
+// §3.1).
 //
-// The recycler pass must run after constant folding and dead-code
-// elimination but before any resource-release instructions would be
-// injected, mirroring the ordering constraints discussed in the paper.
+// The commute and CSE passes are the plan-level half of the
+// normalization pipeline (the SQL front end's query normalization is
+// the other half): they make semantically equal plans render ONE
+// identity, so equivalent work shares recycle pool entries instead of
+// missing. See docs/ARCHITECTURE.md, "the single-signature
+// invariant".
+//
+// Pass order is fixed in Optimize: folding first (later passes compare
+// materialised literals), commute before CSE (so commuted duplicates
+// merge), marking last (it must see the final instruction list).
 package opt

@@ -1,20 +1,71 @@
 package opt
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"repro/internal/mal"
 )
 
-// Options selects which passes run. The zero value runs everything.
+// Options selects which passes run. The zero value runs everything —
+// the normalization passes exist to make semantically equal plans
+// render identically (one semantic signature from the SQL front end
+// down to the recycler and its spill tier), so disabling them is an
+// experiment/debugging knob, not a tuning default. See docs/TUNING.md.
 type Options struct {
 	SkipConstFold bool
 	SkipDeadCode  bool
 	SkipRecycler  bool
+	// SkipCommute disables canonical argument ordering for commutative
+	// scalar operations.
+	SkipCommute bool
+	// SkipCSE disables intra-template common-subexpression
+	// elimination.
+	SkipCSE bool
+	// SkipNormalizeSQL disables the SQL front end's query
+	// normalization (canonical conjunct order, range-pair merging).
+	// It is honoured by internal/sqlfe, not by Optimize itself, but
+	// lives here so one Options value gates the whole normalization
+	// pipeline.
+	SkipNormalizeSQL bool
+
+	// Stats, when non-nil, accumulates pass counters across Optimize
+	// calls (the SQL front end threads one collector through all its
+	// compiles and surfaces it in /stats and /metrics).
+	Stats *Stats
 }
 
-// Optimize runs the pipeline over the template in place and returns it.
+// Stats counts the normalization work the pipeline performed. Counters
+// are atomic so concurrent compiles may share one collector.
+type Stats struct {
+	// CSEMerged counts instructions removed by common-subexpression
+	// elimination (each merged into an earlier identical instruction).
+	CSEMerged atomic.Int64
+	// Commuted counts commutative instructions whose arguments were
+	// reordered into canonical form.
+	Commuted atomic.Int64
+}
+
+// Optimize runs the pipeline over the template in place and returns
+// it. Pass order matters: constant folding first (it materialises
+// literals the later passes compare), then canonical argument ordering
+// (so CSE sees commuted duplicates as equal), then CSE, then dead code
+// and recycler marking over the final instruction list.
 func Optimize(t *mal.Template, opts Options) *mal.Template {
 	if !opts.SkipConstFold {
 		ConstFold(t)
+	}
+	if !opts.SkipCommute {
+		n := CommuteArgs(t)
+		if opts.Stats != nil {
+			opts.Stats.Commuted.Add(int64(n))
+		}
+	}
+	if !opts.SkipCSE {
+		n := CSE(t)
+		if opts.Stats != nil {
+			opts.Stats.CSEMerged.Add(int64(n))
+		}
 	}
 	if !opts.SkipDeadCode {
 		DeadCode(t)
@@ -107,6 +158,107 @@ func DeadCode(t *mal.Template) {
 		}
 	}
 	t.Instrs = out
+}
+
+// commutative lists operations whose result is invariant under any
+// permutation of their arguments. Only pure scalar arithmetic
+// qualifies: the BAT-valued batcalc zips take their result head from
+// the first operand, so swapping them is NOT semantics-preserving in
+// general.
+var commutative = map[string]bool{
+	"calc.addInt": true,
+	"calc.addFlt": true,
+	"calc.mulFlt": true,
+}
+
+// CommuteArgs sorts the arguments of commutative operations into a
+// canonical order (variables by slot, then constants by literal key),
+// so the two spellings of a+b carry one compile-time identity — and,
+// downstream, one run-time signature in the recycle pool. Returns the
+// number of instructions whose argument order changed.
+func CommuteArgs(t *mal.Template) int {
+	n := 0
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		if !commutative[in.Name()] || len(in.Args) < 2 {
+			continue
+		}
+		if sortArgsCanonical(in.Args) {
+			n++
+		}
+	}
+	return n
+}
+
+// sortArgsCanonical orders args by their canonical key and reports
+// whether anything moved.
+func sortArgsCanonical(args []mal.Arg) bool {
+	if sort.SliceIsSorted(args, func(i, j int) bool { return argLess(args[i], args[j]) }) {
+		return false
+	}
+	sort.SliceStable(args, func(i, j int) bool { return argLess(args[i], args[j]) })
+	return true
+}
+
+// argLess orders variable references before constants, variables by
+// slot, constants by typed literal key.
+func argLess(a, b mal.Arg) bool {
+	switch {
+	case !a.IsConst() && b.IsConst():
+		return true
+	case a.IsConst() && !b.IsConst():
+		return false
+	case !a.IsConst():
+		return a.Var < b.Var
+	default:
+		return a.Const.Key() < b.Const.Key()
+	}
+}
+
+// CSE merges duplicate pure instructions: two instructions with the
+// same static signature (operation + identical argument slots and
+// literals) compute the same value in every template instance, so the
+// later one is removed and its uses rewritten to the earlier result.
+// Side-effecting instructions are never merged (each export emits a
+// result). Value numbering is transitive: once X2 is rewritten to X1,
+// instructions over X2 become instructions over X1 and merge with
+// their X1 twins. Returns the number of instructions removed.
+//
+// Beyond shrinking plans, CSE canonicalises them: the SQL front end
+// freely emits repeated binds and projections, and without CSE each
+// duplicate is a separate recycler-monitored instruction (a guaranteed
+// pool lookup per execution). Merging them before the recycler ever
+// sees the plan turns that run-time dedup into a compile-time one.
+func CSE(t *mal.Template) int {
+	repl := make([]int, t.NumVars) // var slot -> canonical var slot
+	for i := range repl {
+		repl[i] = i
+	}
+	seen := make(map[string]int, len(t.Instrs)) // static sig -> canonical ret slot
+	out := t.Instrs[:0]
+	merged := 0
+	for i := range t.Instrs {
+		in := t.Instrs[i]
+		for j, a := range in.Args {
+			if !a.IsConst() {
+				in.Args[j].Var = repl[a.Var]
+			}
+		}
+		if in.HasSideEffect() || in.Ret < 0 {
+			out = append(out, in)
+			continue
+		}
+		key := in.StaticSig()
+		if prev, ok := seen[key]; ok {
+			repl[in.Ret] = prev
+			merged++
+			continue
+		}
+		seen[key] = in.Ret
+		out = append(out, in)
+	}
+	t.Instrs = out
+	return merged
 }
 
 // recyclableModules lists modules whose BAT-producing operations are

@@ -151,6 +151,155 @@ func TestOptimizePipeline(t *testing.T) {
 	}
 }
 
+func TestCSEMergesDuplicateBinds(t *testing.T) {
+	// The SQL front end emits one bind per column mention; CSE must
+	// fold them so the plan carries each bind once.
+	b := mal.NewBuilder("dupbind")
+	a0 := b.Param("A0", mal.VInt)
+	bind := func() mal.Arg {
+		return b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("c")), mal.C(mal.IntV(0)))
+	}
+	x1 := bind()
+	sel := b.Op1("algebra", "uselect", x1, a0)
+	x2 := bind() // duplicate of x1
+	out := b.Op1("algebra", "semijoin", x2, sel)
+	b.Do("sql", "exportCol", mal.C(mal.StrV("c")), out)
+	tmpl := b.Freeze()
+	if n := CSE(tmpl); n != 1 {
+		t.Fatalf("CSE merged %d, want 1", n)
+	}
+	binds := 0
+	for i := range tmpl.Instrs {
+		if tmpl.Instrs[i].Name() == "sql.bind" {
+			binds++
+		}
+	}
+	if binds != 1 {
+		t.Fatalf("binds after CSE = %d, want 1", binds)
+	}
+	// The semijoin must now reference the surviving bind's slot.
+	semi := instrByName(tmpl, "algebra.semijoin")
+	if semi.Args[0].Var != x1.Var {
+		t.Fatalf("semijoin arg not rewired: %+v", semi.Args[0])
+	}
+}
+
+func TestCSEIsTransitive(t *testing.T) {
+	// Two identical bind+select chains: the second select only merges
+	// because its bind argument was value-numbered onto the first.
+	b := mal.NewBuilder("chain")
+	mk := func() mal.Arg {
+		bind := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("c")), mal.C(mal.IntV(0)))
+		return b.Op1("algebra", "uselect", bind, mal.C(mal.IntV(7)))
+	}
+	s1 := mk()
+	s2 := mk()
+	j := b.Op1("algebra", "semijoin", s1, s2)
+	b.Do("sql", "exportCol", mal.C(mal.StrV("c")), j)
+	tmpl := b.Freeze()
+	if n := CSE(tmpl); n != 2 {
+		t.Fatalf("CSE merged %d, want 2 (bind and select)", n)
+	}
+	semi := instrByName(tmpl, "algebra.semijoin")
+	if semi.Args[0].Var != semi.Args[1].Var {
+		t.Fatalf("both semijoin args must name the surviving select: %+v", semi.Args)
+	}
+}
+
+func TestCSEKeepsSideEffects(t *testing.T) {
+	b := mal.NewBuilder("effects")
+	x := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("c")), mal.C(mal.IntV(0)))
+	b.Do("sql", "exportCol", mal.C(mal.StrV("c")), x)
+	b.Do("sql", "exportCol", mal.C(mal.StrV("c")), x) // identical export: must survive
+	tmpl := b.Freeze()
+	if n := CSE(tmpl); n != 0 {
+		t.Fatalf("CSE merged %d side-effecting instructions", n)
+	}
+	if len(tmpl.Instrs) != 3 {
+		t.Fatalf("instrs = %d, want 3", len(tmpl.Instrs))
+	}
+}
+
+func TestCSEDoesNotMergeAcrossConstKinds(t *testing.T) {
+	// IntV(2) and FloatV(2) display identically ("2") but are
+	// different constants; merging them would substitute a value of
+	// the wrong kind. StaticSig must key on the typed literal.
+	b := mal.NewBuilder("kinds")
+	a0 := b.Param("A0", mal.VFloat)
+	x1 := b.Op1("calc", "addFlt", a0, mal.C(mal.FloatV(2)))
+	x2 := b.Op1("calc", "addFlt", a0, mal.C(mal.IntV(2)))
+	b.Do("sql", "exportValue", mal.C(mal.StrV("f")), x1)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("i")), x2)
+	tmpl := b.Freeze()
+	if n := CSE(tmpl); n != 0 {
+		t.Fatalf("CSE merged %d instructions across constant kinds", n)
+	}
+}
+
+func TestCommuteArgsCanonicalises(t *testing.T) {
+	// a+b and b+a must render one static identity; const operands sort
+	// after variables.
+	b := mal.NewBuilder("commute")
+	a0 := b.Param("A0", mal.VInt)
+	a1 := b.Param("A1", mal.VInt)
+	x1 := b.Op1("calc", "addInt", a1, a0)
+	x2 := b.Op1("calc", "addInt", a0, a1)
+	x3 := b.Op1("calc", "addInt", mal.C(mal.IntV(3)), a0)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("s")), x1)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("t")), x2)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("u")), x3)
+	tmpl := b.Freeze()
+	if n := CommuteArgs(tmpl); n != 2 {
+		t.Fatalf("commuted %d, want 2", n)
+	}
+	if tmpl.Instrs[0].StaticSig() != tmpl.Instrs[1].StaticSig() {
+		t.Fatalf("commuted spellings differ: %q vs %q",
+			tmpl.Instrs[0].StaticSig(), tmpl.Instrs[1].StaticSig())
+	}
+	if tmpl.Instrs[2].Args[0].IsConst() {
+		t.Fatal("constant must sort after the variable operand")
+	}
+	// And CSE can now fold the two spellings.
+	if n := CSE(tmpl); n != 1 {
+		t.Fatalf("CSE after commute merged %d, want 1", n)
+	}
+}
+
+func TestCommuteArgsLeavesNonCommutative(t *testing.T) {
+	b := mal.NewBuilder("noncommute")
+	x := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("c")), mal.C(mal.IntV(0)))
+	// batcalc zips take the result head from the first operand —
+	// not in the commutative set.
+	y := b.Op1("batcalc", "mul", x, x)
+	b.Do("sql", "exportCol", mal.C(mal.StrV("c")), y)
+	tmpl := b.Freeze()
+	before := tmpl.Instrs[1].StaticSig()
+	if n := CommuteArgs(tmpl); n != 0 {
+		t.Fatalf("commuted %d non-commutative instructions", n)
+	}
+	if tmpl.Instrs[1].StaticSig() != before {
+		t.Fatal("non-commutative args reordered")
+	}
+}
+
+func TestOptimizeStatsCollector(t *testing.T) {
+	var st Stats
+	b := mal.NewBuilder("stats")
+	a0 := b.Param("A0", mal.VInt)
+	a1 := b.Param("A1", mal.VInt)
+	x1 := b.Op1("calc", "addInt", a1, a0)
+	x2 := b.Op1("calc", "addInt", a0, a1)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("s")), x1)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("t")), x2)
+	Optimize(b.Freeze(), Options{Stats: &st})
+	if st.Commuted.Load() != 1 {
+		t.Fatalf("Commuted = %d, want 1", st.Commuted.Load())
+	}
+	if st.CSEMerged.Load() != 1 {
+		t.Fatalf("CSEMerged = %d, want 1", st.CSEMerged.Load())
+	}
+}
+
 func TestScalarDerivationFlowsThroughMarking(t *testing.T) {
 	// A select whose bound comes via mtime over params must still be
 	// marked: scalar args are value-compared at run time.

@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+func batVal(prov uint64) mal.Value {
+	v := mal.BatV(bat.NewDenseHead(bat.NewInts([]int64{1})))
+	v.Prov = prov
+	return v
+}
+
+func TestSignUnmatchableOnUnknownProvenance(t *testing.T) {
+	if _, ok := Sign("algebra.select", []mal.Value{batVal(0)}); ok {
+		t.Fatal("bat arg without provenance must be unmatchable")
+	}
+	sig, ok := Sign("algebra.select", []mal.Value{batVal(3), mal.IntV(7)})
+	if !ok || sig.Key() != "algebra.select(e3,i7)" {
+		t.Fatalf("key = %q, ok = %v", sig.Key(), ok)
+	}
+}
+
+func TestKeyScalarKinds(t *testing.T) {
+	sig, ok := Sign("x.y", []mal.Value{
+		mal.IntV(-4), mal.FloatV(0.5), mal.StrV("ab"), mal.BoolV(true), mal.VoidV(),
+	})
+	if !ok {
+		t.Fatal("scalar-only signature must sign")
+	}
+	if got := sig.Key(); got != "x.y(i-4,f0.5,sab,bT,v)" {
+		t.Fatalf("key = %q", got)
+	}
+}
+
+func TestCanonicalRecursesThroughProducers(t *testing.T) {
+	// e1 = bind, e2 = select over e1: the canonical form of the select
+	// names the bind's canonical signature, not the entry id.
+	canonOf := func(id uint64) (string, bool) {
+		if id == 1 {
+			return `sql.bind(ssys,st,sc,i0)`, true
+		}
+		return "", false
+	}
+	sig, _ := Sign("algebra.select", []mal.Value{batVal(1), mal.IntV(5)})
+	canon, args, ok := sig.Canonical(canonOf)
+	if !ok {
+		t.Fatal("canonical must resolve")
+	}
+	want := "algebra.select([sql.bind(ssys,st,sc,i0)],i5)"
+	if canon != want {
+		t.Fatalf("canon = %q, want %q", canon, want)
+	}
+	if len(args) != 2 || !args[0].Bat || args[0].Canon == "" || args[1].Key != "i5" {
+		t.Fatalf("args = %+v", args)
+	}
+	if CanonKey(sig.Op, args) != canon {
+		t.Fatal("CanonKey must reproduce Canonical's rendering")
+	}
+
+	// An unresolvable producer (evicted, never canonical) has no
+	// durable identity.
+	sig2, _ := Sign("algebra.select", []mal.Value{batVal(9), mal.IntV(5)})
+	if _, _, ok := sig2.Canonical(canonOf); ok {
+		t.Fatal("unresolvable producer must not canonicalise")
+	}
+}
+
+func TestRuntimeKeyRoundTrip(t *testing.T) {
+	canonOf := func(id uint64) (string, bool) { return "sql.bind(sa,sb,sc,i0)", id == 1 }
+	sig, _ := Sign("algebra.semijoin", []mal.Value{batVal(1), batVal(1)})
+	_, cargs, ok := sig.Canonical(canonOf)
+	if !ok {
+		t.Fatal("canonical failed")
+	}
+	// In a later process the producer lives under a fresh entry id.
+	key, deps, ok := RuntimeKey(sig.Op, cargs, func(canon string) (uint64, bool) {
+		return 42, canon == "sql.bind(sa,sb,sc,i0)"
+	})
+	if !ok || key != "algebra.semijoin(e42,e42)" {
+		t.Fatalf("key = %q, ok = %v", key, ok)
+	}
+	if len(deps) != 1 || deps[0] != 42 {
+		t.Fatalf("deps = %v (must be distinct)", deps)
+	}
+	// A missing producer defers the record.
+	if _, _, ok := RuntimeKey(sig.Op, cargs, func(string) (uint64, bool) { return 0, false }); ok {
+		t.Fatal("unresolved canon must not produce a runtime key")
+	}
+}
+
+func TestRenderInstrTruncatesLongStrings(t *testing.T) {
+	long := strings.Repeat("x", 100)
+	r := RenderInstr("algebra.likeselect", []mal.Value{mal.StrV(long)})
+	if len(r) > 60 {
+		t.Fatalf("render too long: %d chars", len(r))
+	}
+}
+
+func TestRenderInstrTruncatesOnRuneBoundary(t *testing.T) {
+	// 1 ASCII byte then 4-byte runes: the cut lands mid-rune and must
+	// back up instead of emitting invalid UTF-8.
+	long := "a" + strings.Repeat("\U0001F642", 10)
+	r := RenderInstr("algebra.likeselect", []mal.Value{mal.StrV(long)})
+	if !utf8.ValidString(r) {
+		t.Fatalf("render emitted invalid UTF-8: %q", r)
+	}
+	if !strings.Contains(r, "…") {
+		t.Fatalf("long constant not truncated: %q", r)
+	}
+}
+
+func TestRenderInstrHandlesDegenerateBat(t *testing.T) {
+	// A BAT value with zero provenance renders as a bare "e" rather
+	// than failing; render must stay total because it runs on
+	// arbitrary captured instruction instances.
+	r := RenderInstr("algebra.select", []mal.Value{batVal(0), mal.IntV(3)})
+	if !strings.HasPrefix(r, "algebra.select(e") {
+		t.Fatalf("render = %q", r)
+	}
+}

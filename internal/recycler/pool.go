@@ -30,7 +30,13 @@ type ColumnRef struct {
 // atomics, so the read-mostly hit path can update them without any
 // pool-wide lock.
 type Entry struct {
-	ID  uint64
+	ID uint64
+	// Sig is the encoded run-time exact-match key under which the
+	// entry is indexed: plan.Signature.Key() for fresh admissions,
+	// rebuilt from the canonical form via plan.RuntimeKey for entries
+	// rehydrated from the disk tier. The structured Signature itself
+	// is not retained — every derivation (index key, canonical key,
+	// render) is taken at admission time.
 	Sig string
 
 	// CanonSig is the provenance-free canonical signature keying the
@@ -221,6 +227,19 @@ func NewPool() *Pool {
 		p.shards[i].bySig = make(map[string]*Entry)
 	}
 	return p
+}
+
+// canonOf resolves a live entry id to its canonical signature through
+// the canonByID mirror — the resolver plan.Signature.Canonical runs
+// on. Lock-free, so the miss path can render canonical keys without
+// the writer lock (a producer evicted mid-render reads as a miss —
+// benign).
+func (p *Pool) canonOf(id uint64) (string, bool) {
+	c, ok := p.canonByID.Load(id)
+	if !ok {
+		return "", false
+	}
+	return c.(string), true
 }
 
 // shard maps a signature to its shard (FNV-1a).

@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 	"time"
-	"unicode/utf8"
 
 	"repro/internal/bat"
 	"repro/internal/mal"
@@ -196,51 +195,24 @@ func TestTypeBreakdownAverages(t *testing.T) {
 	}
 }
 
-func TestSignatureUnmatchableOnUnknownProvenance(t *testing.T) {
+// TestSignatureDerivesFromPlanPackage pins the recycler's identity
+// derivation to the shared plan.Signature type: the matching key the
+// pool indexes on is Signature.Key(), and un-provenanced BAT operands
+// are unmatchable. (Rendering/truncation behaviour is tested where it
+// lives, in internal/plan.)
+func TestSignatureDerivesFromPlanPackage(t *testing.T) {
 	in := &mal.Instr{Module: "algebra", Op: "select"}
 	v := mal.BatV(bat.NewDenseHead(bat.NewInts([]int64{1})))
-	if _, matchable := signature(in, []mal.Value{v}); matchable {
+	if _, _, matchable := signature(in, []mal.Value{v}); matchable {
 		t.Fatal("bat arg without provenance must be unmatchable")
 	}
 	v.Prov = 3
-	sig, matchable := signature(in, []mal.Value{v, mal.IntV(7)})
-	if !matchable || sig != "algebra.select(e3,i7)" {
-		t.Fatalf("sig = %q, matchable = %v", sig, matchable)
+	sig, key, matchable := signature(in, []mal.Value{v, mal.IntV(7)})
+	if !matchable || key != "algebra.select(e3,i7)" {
+		t.Fatalf("key = %q, matchable = %v", key, matchable)
 	}
-}
-
-func TestRenderTruncatesLongStrings(t *testing.T) {
-	in := &mal.Instr{Module: "algebra", Op: "likeselect"}
-	long := strings.Repeat("x", 100)
-	r := render(in, []mal.Value{mal.StrV(long)})
-	if len(r) > 60 {
-		t.Fatalf("render too long: %d chars", len(r))
-	}
-}
-
-func TestRenderTruncatesOnRuneBoundary(t *testing.T) {
-	in := &mal.Instr{Module: "algebra", Op: "likeselect"}
-	// 1 ASCII byte then 4-byte runes: the 24-byte cut lands mid-rune
-	// and must back up instead of emitting invalid UTF-8.
-	long := "a" + strings.Repeat("\U0001F642", 10)
-	r := render(in, []mal.Value{mal.StrV(long)})
-	if !utf8.ValidString(r) {
-		t.Fatalf("render emitted invalid UTF-8: %q", r)
-	}
-	if !strings.Contains(r, "…") {
-		t.Fatalf("long constant not truncated: %q", r)
-	}
-}
-
-func TestRenderHandlesDegenerateBatKey(t *testing.T) {
-	// A BAT value with zero provenance renders as a bare "e" rather
-	// than panicking on Key()[1:]; render must stay total because it
-	// runs on arbitrary captured instruction instances.
-	in := &mal.Instr{Module: "algebra", Op: "select"}
-	v := mal.BatV(bat.NewDenseHead(bat.NewInts([]int64{1})))
-	r := render(in, []mal.Value{v, mal.IntV(3)})
-	if !strings.HasPrefix(r, "algebra.select(e") {
-		t.Fatalf("render = %q", r)
+	if sig.Key() != key {
+		t.Fatalf("key %q must be the structured signature's own encoding %q", key, sig.Key())
 	}
 }
 

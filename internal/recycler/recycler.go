@@ -1,14 +1,13 @@
 package recycler
 
 import (
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
-	"unicode/utf8"
 
 	"repro/internal/catalog"
 	"repro/internal/mal"
+	"repro/internal/plan"
 )
 
 // SyncMode selects how the pool reacts to updates of persistent data
@@ -371,60 +370,20 @@ func (r *Recycler) usable(ctx *mal.Ctx, e *Entry) bool {
 	return !r.staleForQuery(ctx.QueryID, e.Deps)
 }
 
-// signature renders the canonical matching key of an instruction
-// instance: operation name plus the Key() of every argument. It
-// reports matchable=false when a BAT argument has unknown provenance,
-// in which case neither matching nor admission is possible (the
-// lineage was cut, e.g. by an exhausted credit).
-func signature(in *mal.Instr, args []mal.Value) (sig string, matchable bool) {
-	var sb strings.Builder
-	sb.WriteString(in.Name())
-	sb.WriteByte('(')
-	for i, a := range args {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		if a.IsBat() && a.Prov == 0 {
-			return "", false
-		}
-		sb.WriteString(a.Key())
+// signature derives the structured plan.Signature of an instruction
+// instance together with its encoded run-time matching key. It reports
+// matchable=false when a BAT argument has unknown provenance, in which
+// case neither matching nor admission is possible (the lineage was
+// cut, e.g. by an exhausted credit). This is the recycler's ONLY
+// identity derivation: the pool index, the spill tier's canonical keys
+// and the pool-dump rendering are all derived from the same Signature
+// value (see internal/plan).
+func signature(in *mal.Instr, args []mal.Value) (sig plan.Signature, key string, matchable bool) {
+	sig, matchable = plan.Sign(in.Name(), args)
+	if !matchable {
+		return plan.Signature{}, "", false
 	}
-	sb.WriteByte(')')
-	return sb.String(), true
-}
-
-// truncateRunes shortens s to at most max bytes without splitting a
-// multi-byte rune, appending an ellipsis when it cut anything.
-func truncateRunes(s string, max int) string {
-	if len(s) <= max {
-		return s
-	}
-	cut := max
-	for cut > 0 && !utf8.RuneStart(s[cut]) {
-		cut--
-	}
-	return s[:cut] + "…"
-}
-
-func render(in *mal.Instr, args []mal.Value) string {
-	var sb strings.Builder
-	sb.WriteString(in.Name())
-	sb.WriteByte('(')
-	for i, a := range args {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		if a.IsBat() {
-			sb.WriteString("e")
-			if k := a.Key(); len(k) > 1 {
-				sb.WriteString(k[1:])
-			}
-		} else {
-			sb.WriteString(truncateRunes(a.String(), 24))
-		}
-	}
-	sb.WriteByte(')')
-	return sb.String()
+	return sig, sig.Key(), true
 }
 
 // Entry implements recycleEntry (Algorithm 1, lines 9–17): exact
@@ -441,9 +400,9 @@ func render(in *mal.Instr, args []mal.Value) string {
 // the underlying data can have changed. The subsumption paths scan
 // pool indexes and therefore take the writer lock (see subsume.go).
 func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) mal.EntryResult {
-	sig, matchable := signature(in, args)
+	sig, key, matchable := signature(in, args)
 	if matchable {
-		if e, res, ok := r.pool.LookupHit(sig); ok && r.usable(ctx, e) {
+		if e, res, ok := r.pool.LookupHit(key); ok && r.usable(ctx, e) {
 			r.noteReuse(ctx, in, e)
 			ctx.UpdateStats(func(s *mal.QueryStats) {
 				s.Hits++
@@ -456,7 +415,7 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 		// Second tier: an exact miss consults the disk-backed spill
 		// store before falling through to subsumption or recomputation.
 		if r.cfg.Spill != nil {
-			if res, ok := r.reloadFromSpill(ctx, pc, in, args, sig); ok {
+			if res, ok := r.reloadFromSpill(ctx, in, args, sig, key); ok {
 				return res
 			}
 		}
@@ -514,19 +473,19 @@ func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
 // Exit implements recycleExit (Algorithm 1, lines 18–23): admission of
 // the freshly computed intermediate, after making room if needed.
 func (r *Recycler) Exit(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
-	sig, matchable := signature(in, args)
+	sig, key, matchable := signature(in, args)
 	if !matchable {
 		return 0
 	}
 	r.lockWriter()
 	defer r.mu.Unlock()
-	return r.exitLocked(ctx, pc, in, args, ret, elapsed, rw, sig)
+	return r.exitLocked(ctx, pc, in, args, ret, elapsed, rw, sig, key)
 }
 
 // exitLocked is the admission body; the caller holds the writer lock.
 // Combined subsumption admits its computed result through this path
 // after its re-validation step.
-func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite, sig string) uint64 {
+func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite, sig plan.Signature, sigKey string) uint64 {
 	deps, ok := r.columnDeps(in, args)
 	if !ok {
 		// A BAT operand's pool entry disappeared while the query was
@@ -544,7 +503,7 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		// invalidation pass that already ran.
 		return 0
 	}
-	if existing := r.pool.Lookup(sig); existing != nil {
+	if existing := r.pool.Lookup(sigKey); existing != nil {
 		// Another query re-admitted the same signature concurrently.
 		// Refresh the survivor's recency and pin it for this query,
 		// so the entry this query is about to rely on is not the
@@ -575,7 +534,7 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 			return 0
 		}
 	}
-	e := r.buildEntry(ctx, pc, in, args, ret, elapsed, sig, deps)
+	e := r.buildEntry(ctx, pc, in, args, ret, elapsed, sig, sigKey, deps)
 	if rw != nil {
 		e.SubsetOf = rw.SubsetOf
 	}
@@ -597,12 +556,12 @@ func protectSet(args []mal.Value) map[uint64]bool {
 // buildEntry captures an executed instruction instance into a pool
 // entry, deriving lineage edges, column dependencies and subsumption
 // metadata.
-func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, sig string, deps []ColumnRef) *Entry {
+func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, sig plan.Signature, key string, deps []ColumnRef) *Entry {
 	now := r.pool.Tick()
 	e := &Entry{
-		Sig:       sig,
+		Sig:       key,
 		OpName:    in.Name(),
-		Render:    render(in, args),
+		Render:    plan.RenderInstr(in.Name(), args),
 		Result:    ret,
 		Bytes:     ret.Bytes(),
 		Tuples:    ret.Tuples(),
@@ -628,7 +587,7 @@ func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 	// at admission time and never later. Without a tier it is dead
 	// weight (recursive string builds per admission) and skipped.
 	if r.cfg.Spill != nil {
-		e.CanonSig, e.SpillArgs, _ = r.canonical(in, args)
+		e.CanonSig, e.SpillArgs, _ = sig.Canonical(r.pool.canonOf)
 	}
 
 	switch in.Name() {

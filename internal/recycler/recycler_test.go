@@ -62,7 +62,17 @@ func selectCountTemplate() *mal.Template {
 }
 
 // localReuseTemplate computes the same select twice within one query.
+// It compiles with CSE disabled deliberately: the static duplicate IS
+// the point — these tests exercise the run-time local-reuse path,
+// which still matters for duplicates the optimizer cannot see (two
+// statically distinct instructions whose parameter values coincide at
+// run time). The default pipeline merges static duplicates before the
+// recycler ever sees them; TestCSERemovesStaticLocalReuse pins that.
 func localReuseTemplate() *mal.Template {
+	return opt.Optimize(buildLocalReuse(), opt.Options{SkipCSE: true})
+}
+
+func buildLocalReuse() *mal.Template {
 	b := mal.NewBuilder("local")
 	a0 := b.Param("A0", mal.VInt)
 	x1 := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("v")), mal.C(mal.IntV(0)))
@@ -72,7 +82,7 @@ func localReuseTemplate() *mal.Template {
 	x4 := b.Op1("aggr", "count", x2b)
 	b.Do("sql", "exportValue", mal.C(mal.StrV("n1")), x3)
 	b.Do("sql", "exportValue", mal.C(mal.StrV("n2")), x4)
-	return opt.Optimize(b.Freeze(), opt.Options{})
+	return b.Freeze()
 }
 
 func resultInt(t *testing.T, ctx *mal.Ctx, i int) int64 {
@@ -137,6 +147,25 @@ func TestLocalReuse(t *testing.T) {
 	}
 	if ctx.Stats.LocalHits != 2 { // duplicated select + its count
 		t.Fatalf("local hits = %d, want 2", ctx.Stats.LocalHits)
+	}
+}
+
+// TestCSERemovesStaticLocalReuse pins the default pipeline's division
+// of labour: static duplicates are merged at compile time (no run-time
+// local hits left to serve), with identical results and a smaller
+// pool.
+func TestCSERemovesStaticLocalReuse(t *testing.T) {
+	f := newFixture(t, Config{Admission: KeepAll})
+	tmpl := opt.Optimize(buildLocalReuse(), opt.Options{})
+	ctx := f.run(t, tmpl, mal.IntV(5))
+	if resultInt(t, ctx, 0) != 6 || resultInt(t, ctx, 1) != 6 {
+		t.Fatal("wrong counts")
+	}
+	if ctx.Stats.LocalHits != 0 {
+		t.Fatalf("local hits = %d, want 0 (duplicates merged statically)", ctx.Stats.LocalHits)
+	}
+	if got := f.rec.Pool().Len(); got != 3 { // bind, select, count — once each
+		t.Fatalf("pool entries = %d, want 3", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mal"
+	"repro/internal/plan"
 )
 
 // This file implements the recycle pool's second tier: a disk-backed
@@ -43,12 +44,10 @@ import (
 
 // SpillArg describes one argument of a spilled instruction: either a
 // scalar (its literal matching key) or a BAT (the canonical signature
-// of the pool entry that produced it).
-type SpillArg struct {
-	Bat   bool
-	Canon string // canonical signature of the producing entry (Bat)
-	Key   string // literal Value.Key() (scalar)
-}
+// of the pool entry that produced it). It is exactly the canonical
+// operand form of the shared signature type — the spill tier persists
+// plan.Signature derivations, not a parallel identity.
+type SpillArg = plan.CanonArg
 
 // SpillDep pins a spilled record to the catalog state its content was
 // computed from.
@@ -101,45 +100,6 @@ type SpillTier interface {
 	// cheap: the miss path bails on it before doing any lock or I/O
 	// work toward a reload.
 	Empty() bool
-}
-
-// canonical renders the canonical signature of an instruction instance
-// and the per-argument spill keys. ok=false when a BAT argument's
-// producing entry is gone from the pool (or was itself un-canonical),
-// in which case the instance cannot interact with the disk tier.
-// Lock-free: producers resolve through the pool's canonByID mirror, so
-// the exact-miss path never takes the writer lock just to render a
-// signature (a producer evicted mid-render reads as a miss — benign).
-func (r *Recycler) canonical(in *mal.Instr, args []mal.Value) (canon string, sargs []SpillArg, ok bool) {
-	var sb strings.Builder
-	sb.WriteString(in.Name())
-	sb.WriteByte('(')
-	sargs = make([]SpillArg, 0, len(args))
-	for i, a := range args {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		if a.IsBat() {
-			if a.Prov == 0 {
-				return "", nil, false
-			}
-			pc, found := r.pool.canonByID.Load(a.Prov)
-			if !found {
-				return "", nil, false
-			}
-			parentCanon := pc.(string)
-			sb.WriteByte('[')
-			sb.WriteString(parentCanon)
-			sb.WriteByte(']')
-			sargs = append(sargs, SpillArg{Bat: true, Canon: parentCanon})
-		} else {
-			k := a.Key()
-			sb.WriteString(k)
-			sargs = append(sargs, SpillArg{Key: k})
-		}
-	}
-	sb.WriteByte(')')
-	return sb.String(), sargs, true
 }
 
 // depVersions resolves the current committed-update version of every
@@ -350,14 +310,18 @@ func entryFromSpill(rec *SpillRecord, sig string, dependsOn []uint64, tick int64
 // the instruction's canonical signature names a spilled record that
 // survives epoch validation, the record is re-admitted to the pool and
 // served as a hit; a record whose dependency versions no longer match
-// is dropped — the lazy invalidation of the tier.
-func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, sig string) (mal.EntryResult, bool) {
+// is dropped — the lazy invalidation of the tier. sig is the
+// instruction instance's structured signature, key its encoded
+// run-time form (the same values the exact-match lookup just missed
+// on); the canonical lookup key is derived from sig, lock-free,
+// through the pool's canonByID mirror.
+func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, in *mal.Instr, args []mal.Value, sig plan.Signature, key string) (mal.EntryResult, bool) {
 	tier := r.cfg.Spill
 	if tier == nil || tier.Empty() {
 		// Cheap gate: a cold tier must not add per-miss work.
 		return mal.EntryResult{}, false
 	}
-	canon, _, ok := r.canonical(in, args)
+	canon, _, ok := sig.Canonical(r.pool.canonOf)
 	if !ok {
 		return mal.EntryResult{}, false
 	}
@@ -387,7 +351,7 @@ func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, pc int, in *mal.Instr, args []m
 	if !r.depsFresh(rec.Deps) || r.staleForQuery(ctx.QueryID, deps) {
 		return mal.EntryResult{}, false
 	}
-	if e := r.pool.Lookup(sig); e != nil {
+	if e := r.pool.Lookup(key); e != nil {
 		// A concurrent reload (or a fresh execution) re-admitted the
 		// signature first; serve it (if this query may).
 		if !r.usable(ctx, e) {
@@ -427,7 +391,7 @@ func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, pc int, in *mal.Instr, args []m
 		// admitted without paying a credit, so the credit bookkeeping
 		// (reuse refunds, eviction refunds) must not attach to the
 		// current instruction — it would mint credits never charged.
-		e := entryFromSpill(rec, sig, lineageOf(args), r.pool.Tick())
+		e := entryFromSpill(rec, key, lineageOf(args), r.pool.Tick())
 		r.pool.Add(e)
 		e.pinnedQuery.Store(ctx.QueryID)
 		val = e.Result
@@ -546,28 +510,8 @@ func (r *Recycler) Prewarm() int {
 // the fresh entry id of every BAT argument's canonical signature.
 // ok=false while an argument's producer has not been admitted yet.
 func (r *Recycler) sigFromSpill(rec *SpillRecord, byCanon map[string]uint64) (sig string, dependsOn []uint64, ok bool) {
-	var sb strings.Builder
-	sb.WriteString(rec.OpName)
-	sb.WriteByte('(')
-	seen := map[uint64]bool{}
-	for i, a := range rec.Args {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		if a.Bat {
-			id, found := byCanon[a.Canon]
-			if !found {
-				return "", nil, false
-			}
-			sb.WriteString(mal.Value{Kind: mal.VBat, Prov: id}.Key())
-			if !seen[id] {
-				seen[id] = true
-				dependsOn = append(dependsOn, id)
-			}
-		} else {
-			sb.WriteString(a.Key)
-		}
-	}
-	sb.WriteByte(')')
-	return sb.String(), dependsOn, true
+	return plan.RuntimeKey(rec.OpName, rec.Args, func(canon string) (uint64, bool) {
+		id, found := byCanon[canon]
+		return id, found
+	})
 }

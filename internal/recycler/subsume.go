@@ -300,8 +300,8 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	val := mal.BatV(merged)
 	// Admit the combined result under the original signature so later
 	// instances match exactly.
-	if sig, ok := signature(in, args); ok {
-		val.Prov = r.exitLocked(ctx, pc, in, args, val, elapsed, nil, sig)
+	if sig, key, ok := signature(in, args); ok {
+		val.Prov = r.exitLocked(ctx, pc, in, args, val, elapsed, nil, sig, key)
 	}
 	return mal.EntryResult{Hit: true, Val: val}
 }

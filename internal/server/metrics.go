@@ -38,6 +38,10 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		"Statements served from the prepared-statement cache.", st.Server.PreparedHits)
 	metric("repro_server_prepared_misses_total", "counter",
 		"Statements compiled through the SQL front end.", st.Server.PreparedMisses)
+	metric("repro_server_prepared_texts", "gauge",
+		"Distinct SQL texts in the prepared-statement cache.", st.Server.PreparedTexts)
+	metric("repro_server_prepared_shapes", "gauge",
+		"Distinct normalized shapes those texts collapse onto (texts/shapes = spellings shared per shape).", st.Server.PreparedShapes)
 
 	metric("repro_engine_queries_total", "counter",
 		"Queries started by the engine.", st.Engine.Queries)
@@ -51,6 +55,10 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		"Template compiles served from the shape cache.", st.Engine.TemplateCache.Hits)
 	metric("repro_template_cache_misses_total", "counter",
 		"Template compiles that built a fresh plan.", st.Engine.TemplateCache.Misses)
+	metric("repro_opt_cse_merged_total", "counter",
+		"Instructions merged away by common-subexpression elimination.", st.Engine.TemplateCache.CSEMerged)
+	metric("repro_opt_commuted_total", "counter",
+		"Commutative instructions reordered into canonical argument order.", st.Engine.TemplateCache.Commuted)
 
 	recycling := 0
 	if st.Engine.Recycling {

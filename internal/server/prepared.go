@@ -8,27 +8,42 @@ import (
 	"repro/internal/mal"
 )
 
-// preparedCache is the server-side prepared-statement cache. It keys
-// on the *exact* SQL text: a repeated statement skips lexing, parsing
-// and parameter extraction entirely and re-executes the stored
-// template with the stored parameter values. Distinct texts of the
-// same shape still share one template underneath through the SQL
-// front end's shape cache — this layer only removes the parse.
+// preparedCache is the server-side prepared-statement cache. The text
+// level keys on the *exact* SQL text: a repeated statement skips
+// lexing, parsing and parameter extraction entirely and re-executes
+// the stored template with the stored parameter values. Beneath it,
+// statements are re-keyed on their *normalized shape* (the template's
+// identity, recovered from the SQL front end): distinct texts of one
+// shape — shuffled conjunct order, literal spelling variants — share
+// one shape entry and therefore one template, and the texts-per-shape
+// ratio is the sharing the normalization pipeline buys, exported via
+// /stats and /metrics.
 //
-// The cache is bounded; when full, an arbitrary entry is dropped
+// The text level is bounded; when full, an arbitrary entry is dropped
 // (Go map iteration order), which is good enough for a cache whose
-// entries are all equally cheap to rebuild.
+// entries are all equally cheap to rebuild. Shape entries are
+// reference-counted by their texts and die with the last one.
 type preparedCache struct {
 	limit int
 
 	mu      sync.Mutex
 	stmts   map[string]*preparedStmt
+	shapes  map[string]*preparedShape
 	hitsN   atomic.Uint64
 	missesN atomic.Uint64
 }
 
+// preparedShape is one normalized shape: the shared template plus the
+// number of cached texts that compile onto it.
+type preparedShape struct {
+	tmpl  *mal.Template
+	texts int
+}
+
+// preparedStmt is one exact text: its parameter values plus the shape
+// it normalizes to.
 type preparedStmt struct {
-	tmpl   *mal.Template
+	shape  *preparedShape
 	params []mal.Value
 }
 
@@ -36,7 +51,11 @@ func newPreparedCache(limit int) *preparedCache {
 	if limit <= 0 {
 		limit = 1024
 	}
-	return &preparedCache{limit: limit, stmts: make(map[string]*preparedStmt)}
+	return &preparedCache{
+		limit:  limit,
+		stmts:  make(map[string]*preparedStmt),
+		shapes: make(map[string]*preparedShape),
+	}
 }
 
 // compile returns the template and parameters for src, from cache or
@@ -47,7 +66,7 @@ func (p *preparedCache) compile(eng *repro.Engine, src string) (*mal.Template, [
 	p.mu.Unlock()
 	if st != nil {
 		p.hitsN.Add(1)
-		return st.tmpl, st.params, nil
+		return st.shape.tmpl, st.params, nil
 	}
 	tmpl, params, err := eng.CompileSQL(src)
 	if err != nil {
@@ -55,17 +74,59 @@ func (p *preparedCache) compile(eng *repro.Engine, src string) (*mal.Template, [
 	}
 	p.missesN.Add(1)
 	p.mu.Lock()
+	if prev := p.stmts[src]; prev != nil {
+		// A concurrent miss on the same text compiled and published
+		// first (the lock is released around the compile). Keep the
+		// winner: inserting again would bump its shape's text count
+		// for a single stmts entry and leak the shape at eviction.
+		p.mu.Unlock()
+		return prev.shape.tmpl, prev.params, nil
+	}
 	if len(p.stmts) >= p.limit {
 		for k := range p.stmts {
-			delete(p.stmts, k)
+			p.evictLocked(k)
 			break
 		}
 	}
-	p.stmts[src] = &preparedStmt{tmpl: tmpl, params: params}
+	// The template's name IS the normalized shape (the front end
+	// builds it as "sql:"+shape), and the front end returns one shared
+	// *Template per shape — so keying on it re-keys the cache on the
+	// normalized shape without re-deriving it here.
+	sh := p.shapes[tmpl.Name]
+	if sh == nil {
+		sh = &preparedShape{tmpl: tmpl}
+		p.shapes[tmpl.Name] = sh
+	}
+	sh.texts++
+	p.stmts[src] = &preparedStmt{shape: sh, params: params}
 	p.mu.Unlock()
 	return tmpl, params, nil
 }
 
+// evictLocked drops one text, unreferencing (and possibly freeing) its
+// shape. Caller holds p.mu.
+func (p *preparedCache) evictLocked(src string) {
+	st := p.stmts[src]
+	if st == nil {
+		return
+	}
+	delete(p.stmts, src)
+	st.shape.texts--
+	if st.shape.texts <= 0 {
+		delete(p.shapes, st.shape.tmpl.Name)
+	}
+}
+
 func (p *preparedCache) stats() (hits, misses uint64) {
 	return p.hitsN.Load(), p.missesN.Load()
+}
+
+// shapeStats reports the cache's sharing: how many distinct SQL texts
+// are cached and how many normalized shapes they collapse onto.
+// texts/shapes > 1 means the normalization pipeline is deduplicating
+// spellings.
+func (p *preparedCache) shapeStats() (texts, shapes int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.stmts), len(p.shapes)
 }

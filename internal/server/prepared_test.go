@@ -1,0 +1,55 @@
+package server
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+)
+
+// TestPreparedCacheSharesNormalizedShapes pins the prepared layer's
+// re-keying: distinct SQL texts that normalize to one shape share one
+// shape entry (and template), and the /stats sharing counters see it.
+func TestPreparedCacheSharesNormalizedShapes(t *testing.T) {
+	cat := catalog.New()
+	tb := cat.CreateTable("sys", "t", []catalog.ColDef{
+		{Name: "a", Kind: bat.KInt},
+		{Name: "b", Kind: bat.KInt},
+	})
+	tb.Append([]catalog.Row{{"a": int64(1), "b": int64(2)}})
+	eng := repro.NewEngine(cat)
+	p := newPreparedCache(8)
+
+	t1, _, err := p.compile(eng, "SELECT COUNT(*) FROM sys.t WHERE a > 1 AND b < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := p.compile(eng, "SELECT COUNT(*) FROM sys.t WHERE b < 5 AND a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("equivalent texts must share one template")
+	}
+	texts, shapes := p.shapeStats()
+	if texts != 2 || shapes != 1 {
+		t.Fatalf("texts/shapes = %d/%d, want 2/1", texts, shapes)
+	}
+	// A repeated text is a text-level hit, not a new entry.
+	if _, _, err := p.compile(eng, "SELECT COUNT(*) FROM sys.t WHERE a > 1 AND b < 5"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := p.stats(); h != 1 || m != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", h, m)
+	}
+
+	// Eviction unreferences the shape; the last text out frees it.
+	p.mu.Lock()
+	p.evictLocked("SELECT COUNT(*) FROM sys.t WHERE a > 1 AND b < 5")
+	p.evictLocked("SELECT COUNT(*) FROM sys.t WHERE b < 5 AND a > 1")
+	p.mu.Unlock()
+	if texts, shapes := p.shapeStats(); texts != 0 || shapes != 0 {
+		t.Fatalf("after eviction texts/shapes = %d/%d, want 0/0", texts, shapes)
+	}
+}

@@ -331,11 +331,19 @@ type ServerStats struct {
 	MaxConcurrency int    `json:"max_concurrency"`
 	PreparedHits   uint64 `json:"prepared_hits"`
 	PreparedMisses uint64 `json:"prepared_misses"`
+	// PreparedTexts / PreparedShapes report the prepared-statement
+	// cache's normalized-shape sharing: how many distinct SQL texts
+	// are cached and how many normalized shapes they collapse onto.
+	// texts/shapes is the average number of spellings each shape
+	// absorbed.
+	PreparedTexts  int `json:"prepared_texts"`
+	PreparedShapes int `json:"prepared_shapes"`
 }
 
 // Stats snapshots the serving layer and the engine underneath.
 func (s *Server) Stats() StatsResponse {
 	ph, pm := s.prepared.stats()
+	texts, shapes := s.prepared.shapeStats()
 	return StatsResponse{
 		Engine: s.eng.StatsSnapshot(),
 		Server: ServerStats{
@@ -347,6 +355,8 @@ func (s *Server) Stats() StatsResponse {
 			MaxConcurrency: s.cfg.MaxConcurrency,
 			PreparedHits:   ph,
 			PreparedMisses: pm,
+			PreparedTexts:  texts,
+			PreparedShapes: shapes,
 		},
 	}
 }

@@ -172,11 +172,14 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				// Distinct ranges per request: no pool hit, so every
-				// query does real work while the server shuts down.
+				// Distinct bounds in EVERY conjunct: normalization
+				// sorts the conjunction, so a constant conjunct would
+				// become a shared (pool-hit) chain head — each query
+				// must do real work while the server shuts down.
+				k := (c*20 + i) % 300
 				sql := fmt.Sprintf(
-					"SELECT COUNT(*) FROM sky.photoobj WHERE ra BETWEEN %d.0 AND %d.5 AND dec BETWEEN -80.0 AND 80.0",
-					(c*20+i)%300, (c*20+i)%300+3)
+					"SELECT COUNT(*) FROM sky.photoobj WHERE ra BETWEEN %d.0 AND %d.5 AND dec BETWEEN -%d.0 AND %d.0",
+					k, k+3, 50+k%30, 50+(k+7)%30)
 				_, code := postQuery(t, ts.URL, sql)
 				codes <- code
 			}

@@ -12,11 +12,19 @@ import (
 )
 
 // Compile translates a parsed query into an optimizer-marked template
-// plus the parameter values of this instance. All literals become
-// template parameters in a deterministic order (predicate literals
-// left to right, then LIMIT), so re-compiling a query with the same
-// shape yields an identical plan ready for template caching.
+// plus the parameter values of this instance, under the default
+// optimizer pipeline. All literals become template parameters in a
+// deterministic order (predicate literals left to right, then LIMIT),
+// so re-compiling a query with the same shape yields an identical plan
+// ready for template caching.
 func Compile(cat *catalog.Catalog, q *Query) (*mal.Template, []mal.Value, error) {
+	return CompileOpt(cat, q, opt.Options{})
+}
+
+// CompileOpt is Compile with an explicit optimizer configuration (pass
+// gating and the pass-statistics collector the front end threads
+// through every compile).
+func CompileOpt(cat *catalog.Catalog, q *Query, opts opt.Options) (*mal.Template, []mal.Value, error) {
 	schema := q.Schema
 	if schema == "" {
 		schema = "sys"
@@ -68,8 +76,52 @@ func Compile(cat *catalog.Catalog, q *Query) (*mal.Template, []mal.Value, error)
 	if err := c.emit(q); err != nil {
 		return nil, nil, err
 	}
-	tmpl := opt.Optimize(c.b.Freeze(), opt.Options{})
+	tmpl := opt.Optimize(c.b.Freeze(), opts)
 	return tmpl, params, nil
+}
+
+// ExtractParams types this instance's literal values against the
+// catalog WITHOUT building a plan — the template-cache hit path: the
+// cached template already exists, only the parameter vector differs
+// per instance. The walk order must stay in lockstep with CompileOpt's
+// parameter declarations (predicate literals in predicate order, then
+// HAVING, then LIMIT); q must already be normalized when the cached
+// template was compiled from a normalized query.
+func ExtractParams(cat *catalog.Catalog, q *Query) ([]mal.Value, error) {
+	schema := q.Schema
+	if schema == "" {
+		schema = "sys"
+	}
+	tbl := cat.Table(schema, q.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("sqlfe: unknown table %s.%s", schema, q.Table)
+	}
+	var params []mal.Value
+	for pi := range q.Preds {
+		p := &q.Preds[pi]
+		col := tbl.Column(p.Col)
+		if col == nil {
+			return nil, fmt.Errorf("sqlfe: unknown column %s", p.Col)
+		}
+		for _, lit := range p.Args {
+			_, val, err := paramFor(col.KindOf, lit)
+			if err != nil {
+				return nil, fmt.Errorf("sqlfe: predicate on %s: %w", p.Col, err)
+			}
+			params = append(params, val)
+		}
+	}
+	if q.Having != nil {
+		_, val, err := havingParam(tbl, q.Having)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, val)
+	}
+	if q.Limit > 0 {
+		params = append(params, mal.IntV(int64(q.Limit)))
+	}
+	return params, nil
 }
 
 // paramFor types a literal against its column kind, promoting ints to
@@ -107,15 +159,39 @@ func paramFor(colKind bat.Kind, lit Lit) (mal.ValueKind, mal.Value, error) {
 	return 0, mal.Value{}, fmt.Errorf("unsupported column kind %v", colKind)
 }
 
-func parseISODate(s string) (bat.Date, error) {
-	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
-		return 0, fmt.Errorf("bad date %q", s)
+// splitISODate parses a (possibly unpadded) ISO date literal:
+// "2000-01-01" and "2000-1-1" both name the same day. Accepting the
+// sloppy spellings — and keying everything downstream on the parsed
+// value — is the date-form half of literal normalization: two texts
+// differing only in zero padding share one template and one pool
+// signature.
+func splitISODate(s string) (y, m, d int, err error) {
+	var parts [3]int
+	start, idx := 0, 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '-' {
+			if idx >= 3 || i == start {
+				return 0, 0, 0, fmt.Errorf("bad date %q", s)
+			}
+			n, convErr := strconv.Atoi(s[start:i])
+			if convErr != nil {
+				return 0, 0, 0, fmt.Errorf("bad date %q", s)
+			}
+			parts[idx] = n
+			idx++
+			start = i + 1
+		}
 	}
-	y, e1 := strconv.Atoi(s[:4])
-	m, e2 := strconv.Atoi(s[5:7])
-	d, e3 := strconv.Atoi(s[8:])
-	if e1 != nil || e2 != nil || e3 != nil {
-		return 0, fmt.Errorf("bad date %q", s)
+	if idx != 3 || parts[1] < 1 || parts[1] > 12 || parts[2] < 1 || parts[2] > 31 {
+		return 0, 0, 0, fmt.Errorf("bad date %q", s)
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+func parseISODate(s string) (bat.Date, error) {
+	y, m, d, err := splitISODate(s)
+	if err != nil {
+		return 0, err
 	}
 	return algebra.MkDate(y, m, d), nil
 }

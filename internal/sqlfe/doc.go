@@ -5,4 +5,10 @@
 // factored out into a template parameter, so textually different
 // queries that share a shape compile to the *same* cached template —
 // which is what gives the recycler its inter-query reuse surface.
+//
+// Shapes are taken over the NORMALIZED query (see Normalize): the
+// WHERE conjunction in canonical order, >=/<= pairs merged into
+// BETWEEN, literal forms collapsed. Semantically equal texts that
+// merely render differently therefore share one template too, and
+// their parameter vectors align with the normalized predicate order.
 package sqlfe

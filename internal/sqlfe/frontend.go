@@ -5,25 +5,53 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/mal"
+	"repro/internal/opt"
 )
 
 // Frontend compiles SQL text into cached query templates. The cache
-// keys on the query *shape* — the text with literals stripped — so
-// different instances of the same parametrised query reuse one
-// template, exactly as the paper's SQL front end does (§2.2). This is
-// what lets the recycler match instructions across instances.
+// keys on the *normalized* query shape — the text parsed, normalized
+// (canonical conjunct order, merged range pairs; see Normalize) and
+// then literal-stripped — so different spellings of one parametrised
+// query reuse one template, exactly as the paper's SQL front end does
+// (§2.2), and semantically equal texts that merely render differently
+// do too. This is what lets the recycler match instructions across
+// instances and across spellings.
 type Frontend struct {
-	cat *catalog.Catalog
+	cat  *catalog.Catalog
+	opts opt.Options
+	// optStats accumulates optimizer pass counters (CSE merges,
+	// commuted instructions) across every compile this front end runs.
+	optStats opt.Stats
 
 	mu    sync.Mutex
-	cache map[string]*mal.Template
+	cache map[string]*shapeEntry
 	// hits/misses instrument the query cache.
 	Hits, Misses int
 }
 
-// NewFrontend creates a front end over the catalog.
+// shapeEntry is one cached shape: the compiled template plus the
+// number of compiles that mapped onto it. Behind a text-keyed layer
+// (the server's prepared-statement cache) each compile is a distinct
+// SQL text, so Compiles-1 counts the texts this shape absorbed beyond
+// the first — the sharing the normalization pipeline buys.
+type shapeEntry struct {
+	tmpl     *mal.Template
+	compiles int
+}
+
+// NewFrontend creates a front end over the catalog with the default
+// optimizer pipeline (all normalization passes on).
 func NewFrontend(cat *catalog.Catalog) *Frontend {
-	return &Frontend{cat: cat, cache: make(map[string]*mal.Template)}
+	return NewFrontendOpt(cat, opt.Options{})
+}
+
+// NewFrontendOpt creates a front end with an explicit optimizer
+// configuration. opts.Stats is ignored: the front end installs its own
+// collector (see CacheStats).
+func NewFrontendOpt(cat *catalog.Catalog, opts opt.Options) *Frontend {
+	f := &Frontend{cat: cat, opts: opts, cache: make(map[string]*shapeEntry)}
+	f.opts.Stats = &f.optStats
+	return f
 }
 
 // Compile parses the SQL text and returns the (cached) template plus
@@ -33,31 +61,47 @@ func (f *Frontend) Compile(src string) (*mal.Template, []mal.Value, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if !f.opts.SkipNormalizeSQL {
+		q = Normalize(q)
+	}
 	shape := q.Shape()
 
 	f.mu.Lock()
-	cached, ok := f.cache[shape]
+	cached := f.cache[shape]
 	f.mu.Unlock()
-	if ok {
-		f.mu.Lock()
-		f.Hits++
-		f.mu.Unlock()
+	if cached != nil {
 		// Extract this instance's parameter values without rebuilding
-		// the plan.
-		_, params, err := Compile(f.cat, q)
+		// (or re-optimizing) the plan. Parameter extraction follows
+		// the normalized predicate order, so the values line up with
+		// the cached template's parameter slots no matter how this
+		// text spelled its conjuncts — and the optimizer-pass
+		// counters only ever count work on templates that live.
+		params, err := ExtractParams(f.cat, q)
 		if err != nil {
 			return nil, nil, err
 		}
-		return cached, params, nil
+		f.mu.Lock()
+		f.Hits++
+		cached.compiles++
+		tmpl := cached.tmpl
+		f.mu.Unlock()
+		return tmpl, params, nil
 	}
 
-	tmpl, params, err := Compile(f.cat, q)
+	tmpl, params, err := CompileOpt(f.cat, q, f.opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	f.mu.Lock()
 	f.Misses++
-	f.cache[shape] = tmpl
+	if prev := f.cache[shape]; prev != nil {
+		// A concurrent compile published the shape first; keep the
+		// winner so every caller shares one template instance.
+		prev.compiles++
+		tmpl = prev.tmpl
+	} else {
+		f.cache[shape] = &shapeEntry{tmpl: tmpl, compiles: 1}
+	}
 	f.mu.Unlock()
 	return tmpl, params, nil
 }
@@ -69,11 +113,18 @@ func (f *Frontend) CacheSize() int {
 	return len(f.cache)
 }
 
-// CacheStats is a point-in-time snapshot of the template cache.
+// CacheStats is a point-in-time snapshot of the template cache and the
+// optimizer work done on its behalf.
 type CacheStats struct {
-	Size   int // distinct query shapes cached
+	Size   int // distinct normalized query shapes cached
 	Hits   int // compiles served from the cache
 	Misses int // compiles that built a fresh template
+
+	// CSEMerged counts instructions removed by common-subexpression
+	// elimination across all compiles; Commuted counts commutative
+	// instructions whose arguments were reordered into canonical form.
+	CSEMerged int64
+	Commuted  int64
 }
 
 // CacheStats returns the template-cache counters under the cache lock
@@ -82,5 +133,11 @@ type CacheStats struct {
 func (f *Frontend) CacheStats() CacheStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return CacheStats{Size: len(f.cache), Hits: f.Hits, Misses: f.Misses}
+	return CacheStats{
+		Size:      len(f.cache),
+		Hits:      f.Hits,
+		Misses:    f.Misses,
+		CSEMerged: f.optStats.CSEMerged.Load(),
+		Commuted:  f.optStats.Commuted.Load(),
+	}
 }

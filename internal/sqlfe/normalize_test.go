@@ -1,0 +1,164 @@
+package sqlfe
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/opt"
+)
+
+func normCat() *catalog.Catalog {
+	cat := catalog.New()
+	tb := cat.CreateTable("sys", "t", []catalog.ColDef{
+		{Name: "a", Kind: bat.KInt},
+		{Name: "b", Kind: bat.KInt},
+		{Name: "f", Kind: bat.KFloat},
+		{Name: "d", Kind: bat.KDate},
+	})
+	rows := make([]catalog.Row, 20)
+	for i := range rows {
+		rows[i] = catalog.Row{
+			"a": int64(i), "b": int64(19 - i), "f": float64(i) / 2,
+			"d": bat.Date(10957 + i), // 2000-01-01 + i days
+		}
+	}
+	tb.Append(rows)
+	return cat
+}
+
+func mustCompile(t *testing.T, fe *Frontend, src string) (*mal.Template, []mal.Value) {
+	t.Helper()
+	tmpl, params, err := fe.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return tmpl, params
+}
+
+func mustCount(t *testing.T, cat *catalog.Catalog, tmpl *mal.Template, params []mal.Value) int64 {
+	t.Helper()
+	ctx := &mal.Ctx{Cat: cat}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		t.Fatal(err)
+	}
+	return ctx.Results[0].Val.I
+}
+
+// TestNormalizeSharesShuffledConjuncts is the tentpole's front-end
+// half: the same conjunction in any order is ONE template, and the
+// parameter vectors line up with the normalized parameter slots.
+func TestNormalizeSharesShuffledConjuncts(t *testing.T) {
+	cat := normCat()
+	fe := NewFrontend(cat)
+	t1, p1 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a > 3 AND b < 12")
+	t2, p2 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE b < 12 AND a > 3")
+	if t1 != t2 {
+		t.Fatal("shuffled conjuncts must share one template")
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("param arity differs: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if !p1[i].EqualConst(p2[i]) {
+			t.Fatalf("param %d differs: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+	n1 := mustCount(t, cat, t1, p1)
+	n2 := mustCount(t, cat, t2, p2)
+	if n1 != n2 {
+		t.Fatalf("counts differ: %d vs %d", n1, n2)
+	}
+	if st := fe.CacheStats(); st.Size != 1 || st.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want one shape with one hit", st)
+	}
+}
+
+// Permutations of same-column same-operator conjuncts also
+// canonicalise: the literal is the sort tie-break, and parameter
+// extraction follows the sorted order.
+func TestNormalizeSortsEqualOpsByLiteral(t *testing.T) {
+	cat := normCat()
+	fe := NewFrontend(cat)
+	t1, p1 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a > 7 AND a > 2")
+	t2, p2 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a > 2 AND a > 7")
+	if t1 != t2 {
+		t.Fatal("literal permutation must share one template")
+	}
+	for i := range p1 {
+		if !p1[i].EqualConst(p2[i]) {
+			t.Fatalf("param %d differs: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestNormalizeMergesRangePairs: >=/<= pairs are the BETWEEN they
+// spell.
+func TestNormalizeMergesRangePairs(t *testing.T) {
+	cat := normCat()
+	fe := NewFrontend(cat)
+	t1, p1 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a >= 3 AND a <= 12")
+	t2, p2 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a BETWEEN 3 AND 12")
+	if t1 != t2 {
+		t.Fatal(">=/<= pair must normalize to the BETWEEN template")
+	}
+	if n := mustCount(t, cat, t1, p1); n != mustCount(t, cat, t2, p2) || n != 10 {
+		t.Fatalf("count = %d, want 10", n)
+	}
+	// Strict bounds must NOT merge (BETWEEN is inclusive-inclusive).
+	t3, _ := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a > 3 AND a <= 12")
+	if t3 == t1 {
+		t.Fatal("strict lower bound must not merge into BETWEEN")
+	}
+}
+
+// TestNormalizeLiteralForms: numeric width and date padding variants
+// produce one template and equal parameter values.
+func TestNormalizeLiteralForms(t *testing.T) {
+	cat := normCat()
+	fe := NewFrontend(cat)
+	t1, p1 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE f > 3")
+	t2, p2 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE f > 3.0")
+	if t1 != t2 {
+		t.Fatal("int and float spellings on a float column must share one template")
+	}
+	if !p1[0].EqualConst(p2[0]) {
+		t.Fatalf("normalized literals differ: %v vs %v", p1[0], p2[0])
+	}
+	d1, q1 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE d >= DATE '2000-01-05'")
+	d2, q2 := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE d >= DATE '2000-1-5'")
+	if d1 != d2 {
+		t.Fatal("date padding variants must share one template")
+	}
+	if !q1[0].EqualConst(q2[0]) {
+		t.Fatalf("date values differ: %v vs %v", q1[0], q2[0])
+	}
+}
+
+// TestSkipNormalizeSQLRestoresSeedBehaviour: with the pass disabled,
+// shuffled spellings are distinct shapes again (the experiment
+// baseline the equivalence workload measures against).
+func TestSkipNormalizeSQLRestoresSeedBehaviour(t *testing.T) {
+	cat := normCat()
+	fe := NewFrontendOpt(cat, opt.Options{SkipNormalizeSQL: true})
+	t1, _ := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE a > 3 AND b < 12")
+	t2, _ := mustCompile(t, fe, "SELECT COUNT(*) FROM sys.t WHERE b < 12 AND a > 3")
+	if t1 == t2 {
+		t.Fatal("SkipNormalizeSQL must keep spellings distinct")
+	}
+}
+
+// TestNormalizeIdempotent: normalizing a normalized query is a no-op
+// (the shape is a fixed point, so cache keys are stable).
+func TestNormalizeIdempotent(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM sys.t WHERE b < 12 AND a >= 1 AND a <= 9 AND f > 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := Normalize(q).Shape()
+	s2 := Normalize(q).Shape()
+	if s1 != s2 {
+		t.Fatalf("shape not a fixed point: %q vs %q", s1, s2)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/catalog"
 	"repro/internal/mal"
+	"repro/internal/opt"
 	"repro/internal/recycler"
 )
 
@@ -145,6 +146,219 @@ func TestRandomQueriesMatchReference(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawCompile compiles src with EVERY optimizer pass disabled and no
+// query normalization — the plan exactly as the compiler emits it.
+func rawCompile(cat *catalog.Catalog, src string) (*mal.Template, []mal.Value, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return CompileOpt(cat, q, opt.Options{
+		SkipConstFold: true, SkipDeadCode: true, SkipCommute: true,
+		SkipCSE: true, SkipNormalizeSQL: true,
+	})
+}
+
+// execResults runs a template and returns its exported results.
+func execResults(cat *catalog.Catalog, hook mal.RecyclerHook, qid uint64, tmpl *mal.Template, params []mal.Value) ([]mal.Result, error) {
+	ctx := &mal.Ctx{Cat: cat, Hook: hook, QueryID: qid}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		return nil, err
+	}
+	return ctx.Results, nil
+}
+
+// resultsBitIdentical compares two result sets exactly: same columns,
+// same scalar bits, same BAT contents in the same order.
+func resultsBitIdentical(a, b []mal.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+		va, vb := a[i].Val, b[i].Val
+		if va.Kind != vb.Kind {
+			return false
+		}
+		if va.Kind != mal.VBat {
+			if !va.EqualConst(vb) {
+				return false
+			}
+			continue
+		}
+		if va.Bat.Len() != vb.Bat.Len() {
+			return false
+		}
+		for j := 0; j < va.Bat.Len(); j++ {
+			if va.Bat.Tail.Get(j) != vb.Bat.Tail.Get(j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// genRichQuery samples a query exercising more of the surface than the
+// COUNT(*) harness: plain projections (with ORDER BY/LIMIT),
+// aggregates, or GROUP BY — always over a random conjunction, so the
+// normalization passes (conjunct sort, range merge) and CSE (repeated
+// binds/projections) all fire.
+func genRichQuery(rng *rand.Rand) string {
+	var sel, tail string
+	switch rng.Intn(4) {
+	case 0:
+		sel = "COUNT(*)"
+	case 1:
+		sel = "a, b"
+		if rng.Intn(2) == 0 {
+			tail = " ORDER BY a"
+			if rng.Intn(2) == 0 {
+				tail += " DESC"
+			}
+		}
+		if rng.Intn(2) == 0 {
+			tail += fmt.Sprintf(" LIMIT %d", rng.Intn(20)+1)
+		}
+	case 2:
+		sel = "SUM(a), MIN(b), COUNT(*)"
+	default:
+		sel = "a, COUNT(*)"
+		tail = " GROUP BY a"
+	}
+	nPreds := rng.Intn(3) + 1
+	where := ""
+	for i := 0; i < nPreds; i++ {
+		if i > 0 {
+			where += " AND "
+		}
+		where += genPred(rng).sql()
+	}
+	return fmt.Sprintf("SELECT %s FROM sys.t WHERE %s%s", sel, where, tail)
+}
+
+// TestOptimizePreservesResults is the optimizer's master property (the
+// tentpole's safety net): for random queries, the fully-optimized,
+// normalized template produces BIT-IDENTICAL results to the raw
+// unoptimized plan — naive, and again with the recycler (and therefore
+// CSE-shrunk plans feeding the pool) enabled.
+func TestOptimizePreservesResults(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := genPropTable(rng)
+		fe := NewFrontend(pt.cat)
+		rec := recycler.New(pt.cat, recycler.Config{
+			Admission: recycler.KeepAll, Subsumption: true, CombinedSubsumption: true,
+		})
+		defer rec.Close()
+		for q := 0; q < 6; q++ {
+			sql := genRichQuery(rng)
+			rawT, rawP, err := rawCompile(pt.cat, sql)
+			if err != nil {
+				t.Logf("seed %d: raw compile %q: %v", seed, sql, err)
+				return false
+			}
+			optT, optP, err := fe.Compile(sql)
+			if err != nil {
+				t.Logf("seed %d: opt compile %q: %v", seed, sql, err)
+				return false
+			}
+			want, err := execResults(pt.cat, nil, 0, rawT, rawP)
+			if err != nil {
+				t.Logf("seed %d: raw run %q: %v", seed, sql, err)
+				return false
+			}
+			got, err := execResults(pt.cat, nil, 0, optT, optP)
+			if err != nil {
+				t.Logf("seed %d: opt run %q: %v", seed, sql, err)
+				return false
+			}
+			if !resultsBitIdentical(want, got) {
+				t.Logf("seed %d: optimized results differ for %q", seed, sql)
+				return false
+			}
+			qid := uint64(q + 1)
+			rec.BeginQuery(qid, optT.ID)
+			rgot, err := execResults(pt.cat, rec, qid, optT, optP)
+			rec.EndQuery(qid)
+			if err != nil {
+				t.Logf("seed %d: recycled run %q: %v", seed, sql, err)
+				return false
+			}
+			if !resultsBitIdentical(want, rgot) {
+				t.Logf("seed %d: recycled results differ for %q", seed, sql)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShuffledConjunctsProduceIdenticalResults: every permutation of a
+// random conjunction compiles (via normalization) to the SAME template
+// and bit-identical results.
+func TestShuffledConjunctsProduceIdenticalResults(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := genPropTable(rng)
+		fe := NewFrontend(pt.cat)
+		nPreds := rng.Intn(2) + 2
+		preds := make([]propPred, nPreds)
+		for i := range preds {
+			preds[i] = genPred(rng)
+		}
+		mk := func(order []int) string {
+			sql := "SELECT COUNT(*) FROM sys.t WHERE "
+			for i, j := range order {
+				if i > 0 {
+					sql += " AND "
+				}
+				sql += preds[j].sql()
+			}
+			return sql
+		}
+		base := make([]int, nPreds)
+		for i := range base {
+			base[i] = i
+		}
+		t0, p0, err := fe.Compile(mk(base))
+		if err != nil {
+			return false
+		}
+		want, err := execResults(pt.cat, nil, 0, t0, p0)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 3; trial++ {
+			order := rng.Perm(nPreds)
+			tv, pv, err := fe.Compile(mk(order))
+			if err != nil {
+				return false
+			}
+			if tv != t0 {
+				t.Logf("seed %d: permutation %v compiled a second template", seed, order)
+				return false
+			}
+			got, err := execResults(pt.cat, nil, 0, tv, pv)
+			if err != nil {
+				return false
+			}
+			if !resultsBitIdentical(want, got) {
+				t.Logf("seed %d: permutation %v changed results", seed, order)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

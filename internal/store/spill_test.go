@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/bat"
@@ -379,9 +380,20 @@ func TestConcurrentSpillReload(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := eng.Recycler().Snapshot()
-	if st.Spilled == 0 {
-		t.Errorf("bounded pool never demoted: %+v", st)
+	// Demotions are written by the asynchronous spiller goroutine;
+	// on a single-core host the workload can finish before it drains
+	// the queue, so poll instead of snapshotting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := eng.Recycler().Snapshot()
+		if st.Spilled > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("bounded pool never demoted: %+v", st)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,77 @@
+package tpch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mal"
+	"repro/internal/opt"
+)
+
+// TestOptimizePreservesAllQueries: for every TPC-H template, the fully
+// optimized plan (const-fold + commute + CSE + dead code) produces
+// BIT-IDENTICAL results to the raw unoptimized plan, across random
+// parameter instances. This is the optimizer property test at
+// whole-plan scale — the templates carry joins, grouping, duplicate
+// sub-plans (Q11) and scalar date arithmetic, so every pass fires
+// somewhere in the suite.
+func TestOptimizePreservesAllQueries(t *testing.T) {
+	raw := QueriesOpt(opt.Options{
+		SkipConstFold: true, SkipDeadCode: true, SkipCommute: true, SkipCSE: true,
+	})
+	full := Queries()
+	rng := rand.New(rand.NewSource(31))
+	for i, d := range full {
+		r := raw[i]
+		if r.Num != d.Num {
+			t.Fatalf("query order mismatch: %d vs %d", r.Num, d.Num)
+		}
+		for inst := 0; inst < 2; inst++ {
+			// One parameter draw feeds both plans.
+			params := d.Params(rng)
+			want := runTempl(t, r.Name+"(raw)", r.Templ, params)
+			got := runTempl(t, d.Name+"(opt)", d.Templ, params)
+			assertBitIdentical(t, d.Name, want, got)
+		}
+	}
+}
+
+func runTempl(t *testing.T, name string, tmpl *mal.Template, params []mal.Value) []mal.Result {
+	t.Helper()
+	ctx := &mal.Ctx{Cat: testDB.Cat}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return ctx.Results
+}
+
+func assertBitIdentical(t *testing.T, name string, a, b []mal.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: result count %d != %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("%s: column %d name %q != %q", name, i, a[i].Name, b[i].Name)
+		}
+		va, vb := a[i].Val, b[i].Val
+		if va.Kind != vb.Kind {
+			t.Fatalf("%s %s: kind %v != %v", name, a[i].Name, va.Kind, vb.Kind)
+		}
+		if va.Kind != mal.VBat {
+			if !va.EqualConst(vb) {
+				t.Fatalf("%s %s: %v != %v", name, a[i].Name, va, vb)
+			}
+			continue
+		}
+		if va.Bat.Len() != vb.Bat.Len() {
+			t.Fatalf("%s %s: len %d != %d", name, a[i].Name, va.Bat.Len(), vb.Bat.Len())
+		}
+		for j := 0; j < va.Bat.Len(); j++ {
+			if va.Bat.Tail.Get(j) != vb.Bat.Tail.Get(j) {
+				t.Fatalf("%s %s row %d: %v != %v", name, a[i].Name, j,
+					va.Bat.Tail.Get(j), vb.Bat.Tail.Get(j))
+			}
+		}
+	}
+}

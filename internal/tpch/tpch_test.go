@@ -7,6 +7,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/bat"
 	"repro/internal/mal"
+	"repro/internal/opt"
 	"repro/internal/recycler"
 )
 
@@ -258,9 +259,12 @@ func TestQ18InterQueryReuse(t *testing.T) {
 }
 
 func TestQ11IntraQueryReuse(t *testing.T) {
+	// The paper's plans carry Q11's sub-query chain twice; run-time
+	// intra-query recycling dedups it (Table II's 33.3%). Compile with
+	// CSE off to get the paper's plan shape.
 	db := Generate(0.002, 12)
 	rec := recycler.New(db.Cat, recycler.Config{Admission: recycler.KeepAll})
-	d := QueryMap()[11]
+	d := QueryMapOpt(opt.Options{SkipCSE: true})[11]
 	rec.BeginQuery(1, d.Templ.ID)
 	ctx := &mal.Ctx{Cat: db.Cat, Hook: rec, QueryID: 1}
 	if err := mal.Run(ctx, d.Templ, mal.StrV("GERMANY")); err != nil {
@@ -269,6 +273,41 @@ func TestQ11IntraQueryReuse(t *testing.T) {
 	rec.EndQuery(1)
 	if ctx.Stats.LocalHits == 0 {
 		t.Fatal("Q11 sub-query chain not reused locally")
+	}
+}
+
+// TestQ11CSEMergesSubQueryChain is the compile-time counterpart: under
+// the default pipeline the duplicate chain never reaches the recycler,
+// and the answer is unchanged.
+func TestQ11CSEMergesSubQueryChain(t *testing.T) {
+	db := Generate(0.002, 12)
+	paper := QueryMapOpt(opt.Options{SkipCSE: true})[11]
+	merged := QueryMap()[11]
+	if len(merged.Templ.Instrs) >= len(paper.Templ.Instrs) {
+		t.Fatalf("CSE did not shrink Q11: %d vs %d instructions",
+			len(merged.Templ.Instrs), len(paper.Templ.Instrs))
+	}
+	run := func(tmpl *mal.Template) *mal.Ctx {
+		ctx := &mal.Ctx{Cat: db.Cat}
+		if err := mal.Run(ctx, tmpl, mal.StrV("GERMANY")); err != nil {
+			t.Fatal(err)
+		}
+		return ctx
+	}
+	a, b := run(paper.Templ), run(merged.Templ)
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result arity differs: %d vs %d", len(a.Results), len(b.Results))
+	}
+	rec := recycler.New(db.Cat, recycler.Config{Admission: recycler.KeepAll})
+	defer rec.Close()
+	ctx := &mal.Ctx{Cat: db.Cat, Hook: rec, QueryID: 1}
+	rec.BeginQuery(1, merged.Templ.ID)
+	if err := mal.Run(ctx, merged.Templ, mal.StrV("GERMANY")); err != nil {
+		t.Fatal(err)
+	}
+	rec.EndQuery(1)
+	if ctx.Stats.LocalHits != 0 {
+		t.Fatalf("local hits = %d, want 0 after CSE", ctx.Stats.LocalHits)
 	}
 }
 
