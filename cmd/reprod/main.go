@@ -76,7 +76,7 @@ func run() int {
 	maxEntries := flag.Int("maxentries", 0, "recycle pool entry limit (0 = unlimited)")
 	subsume := flag.Bool("subsume", true, "enable singleton subsumption")
 	combined := flag.Bool("combined", false, "enable combined subsumption (Algorithm 2)")
-	syncMode := flag.String("sync", "invalidate", "update synchronisation: invalidate or propagate")
+	syncMode := flag.String("sync", "invalidate", "update synchronisation: invalidate, propagate or maintain")
 
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	ckptInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence (0 = only at shutdown)")
@@ -294,8 +294,10 @@ func recyclerConfig(admission string, credits int, eviction string, maxBytes int
 		cfg.Sync = recycler.SyncInvalidate
 	case "propagate":
 		cfg.Sync = recycler.SyncPropagate
+	case "maintain":
+		cfg.Sync = recycler.SyncMaintain
 	default:
-		return cfg, fmt.Errorf("unknown sync mode %q (want invalidate or propagate)", syncMode)
+		return cfg, fmt.Errorf("unknown sync mode %q (want invalidate, propagate or maintain)", syncMode)
 	}
 	return cfg, nil
 }

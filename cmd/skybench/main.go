@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	skybench [flags] <experiment>
+//	skybench [flags] <experiment> [<experiment> ...]
 //
 // Experiments:
 //
@@ -24,7 +24,16 @@
 //	         splits), exact-hit rate with the normalization pipeline
 //	         off vs on; exits non-zero if the normalized rate is below
 //	         -min-hit-rate (the CI gate)
-//	all      everything above except serve (serve needs wall-clock time)
+//	rw       mixed read/write workload at -write-frac DML, run under
+//	         invalidate vs propagate vs maintain; exits non-zero if
+//	         maintain's exact-hit rate is below -min-maintain-ratio
+//	         times invalidate's (the CI gate)
+//	all      everything above except serve and restart (those need
+//	         wall-clock time and a durable store of their own)
+//
+// Several experiments may be named in one invocation; they share one
+// generated catalog and accumulate into one -json report, and the
+// exit code aggregates every gate that ran.
 //
 // All workload generators take -seed (and the catalog generator
 // -dbseed), so mt/serve/restart runs are reproducible across hosts.
@@ -65,11 +74,13 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable per-mode results to FILE (e.g. BENCH_recycle.json)")
 	variants := flag.Int("variants", 3, "equivalent spellings per query (equiv experiment)")
 	minHitRate := flag.Float64("min-hit-rate", 0.95, "fail the equiv experiment when the normalized exact-hit rate is below this")
+	writeFrac := flag.Float64("write-frac", 0.10, "fraction of DML operations in the rw experiment")
+	minMaintainRatio := flag.Float64("min-maintain-ratio", 2.0, "fail the rw experiment when maintain's exact-hit rate is below this multiple of invalidate's")
 	flag.Parse()
 
-	exp := flag.Arg(0)
-	if exp == "" {
-		exp = "all"
+	exps := flag.Args()
+	if len(exps) == 0 {
+		exps = []string{"all"}
 	}
 	report := bench.NewReport()
 	writeReport := func() {
@@ -83,48 +94,56 @@ func main() {
 		fmt.Printf("wrote %d mode rows to %s\n", len(report.Modes), *jsonPath)
 	}
 
-	if exp == "restart" {
-		// The restart experiment generates its own catalog (it must
-		// live inside the durable store's lifecycle).
-		runRestart(*objects, *n, *first, *seed, *dbseed)
-		return
+	// The catalog is generated once and shared by the experiments of
+	// one invocation (restart builds its own inside the durable store's
+	// lifecycle, so it never forces generation here).
+	var db *sky.DB
+	getDB := func() *sky.DB {
+		if db == nil {
+			fmt.Printf("# SkyServer experiments, %d objects\n\n", *objects)
+			db = sky.Generate(*objects, *dbseed)
+		}
+		return db
 	}
 
-	fmt.Printf("# SkyServer experiments, %d objects\n\n", *objects)
-	db := sky.Generate(*objects, *dbseed)
-
-	switch exp {
-	case "batch":
-		runBatch(db, *n, *seed, report)
-	case "table3":
-		runTable3(db, *n, *seed)
-	case "subsume":
-		runSubsume(db, *seeds, *sel, *seed)
-	case "mt":
-		runMT(db, *n, *clients, *workers, *seed, report)
-	case "serve":
-		runServe(db, *n, *clients, *duration, *seed, report)
-	case "equiv":
-		ok := runEquiv(db, *n, *variants, *seed, *minHitRate, report)
-		writeReport()
-		if !ok {
-			os.Exit(1)
+	// Gated experiments keep running after a failure so one invocation
+	// reports every gate; the exit code aggregates them.
+	ok := true
+	for _, exp := range exps {
+		switch exp {
+		case "restart":
+			runRestart(*objects, *n, *first, *seed, *dbseed)
+		case "batch":
+			runBatch(getDB(), *n, *seed, report)
+		case "table3":
+			runTable3(getDB(), *n, *seed)
+		case "subsume":
+			runSubsume(getDB(), *seeds, *sel, *seed)
+		case "mt":
+			runMT(getDB(), *n, *clients, *workers, *seed, report)
+		case "serve":
+			runServe(getDB(), *n, *clients, *duration, *seed, report)
+		case "equiv":
+			ok = runEquiv(getDB(), *n, *variants, *seed, *minHitRate, report) && ok
+		case "rw":
+			ok = runRW(getDB(), *n, *writeFrac, *seed, *minMaintainRatio, report) && ok
+		case "all":
+			d := getDB()
+			runBatch(d, *n, *seed, report)
+			runTable3(d, *n, *seed)
+			runSubsume(d, *seeds, *sel, *seed)
+			runMT(d, *n, *clients, *workers, *seed, report)
+			ok = runEquiv(d, *n, *variants, *seed, *minHitRate, report) && ok
+			ok = runRW(d, *n, *writeFrac, *seed, *minMaintainRatio, report) && ok
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+			os.Exit(2)
 		}
-		return
-	case "all":
-		runBatch(db, *n, *seed, report)
-		runTable3(db, *n, *seed)
-		runSubsume(db, *seeds, *sel, *seed)
-		runMT(db, *n, *clients, *workers, *seed, report)
-		if !runEquiv(db, *n, *variants, *seed, *minHitRate, report) {
-			writeReport()
-			os.Exit(1)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
-		os.Exit(2)
 	}
 	writeReport()
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 // runEquiv measures the normalization pipeline's effect on the
@@ -151,6 +170,42 @@ func runEquiv(db *sky.DB, n, variants int, seed int64, minRate float64, report *
 	}
 	fmt.Printf("normalized exact-hit rate %.1f%% (gate %.1f%%), baseline %.1f%%\n\n",
 		100*norm.ExactHitRate(), 100*minRate, 100*rows[0].ExactHitRate())
+	return true
+}
+
+// runRW measures update synchronisation under churn: the same mixed
+// read/write workload (bounding-box COUNTs over sky.photoobj with DML
+// interleaved at writeFrac) run under invalidate, propagate and
+// maintain. With repeating reads, what survives each commit is exactly
+// what each mode's rules keep alive, so the exact-hit rate separates
+// them. Returns false when maintain's rate misses the gate relative to
+// invalidate's.
+func runRW(db *sky.DB, n int, writeFrac float64, seed int64, minRatio float64, report *bench.Report) bool {
+	fmt.Printf("== Mixed read/write workload: %d ops, %.0f%% writes, per sync mode ==\n", n, 100*writeFrac)
+	stmts := bench.RWStatements(12, seed)
+	rows := []bench.RWResult{
+		bench.RunRW(db, stmts, n, writeFrac, seed, "invalidate", recycler.SyncInvalidate),
+		bench.RunRW(db, stmts, n, writeFrac, seed, "propagate", recycler.SyncPropagate),
+		bench.RunRW(db, stmts, n, writeFrac, seed, "maintain", recycler.SyncMaintain),
+	}
+	bench.PrintRW(os.Stdout, rows)
+	for _, r := range rows {
+		report.AddRW(r)
+	}
+	inval, maint := rows[0], rows[2]
+	ratio := 0.0
+	if inval.ExactHitRate() > 0 {
+		ratio = maint.ExactHitRate() / inval.ExactHitRate()
+	} else if maint.ExactHitRate() > 0 {
+		ratio = minRatio // invalidate kept nothing; any maintained hits clear the gate
+	}
+	if ratio < minRatio {
+		fmt.Fprintf(os.Stderr, "FAIL: maintain exact-hit rate %.1f%% is %.2fx invalidate's %.1f%% (gate %.1fx)\n",
+			100*maint.ExactHitRate(), ratio, 100*inval.ExactHitRate(), minRatio)
+		return false
+	}
+	fmt.Printf("maintain exact-hit rate %.1f%% = %.2fx invalidate's %.1f%% (gate %.1fx); %d entries maintained, %d fell back\n\n",
+		100*maint.ExactHitRate(), ratio, 100*inval.ExactHitRate(), minRatio, maint.Maintained, maint.Fallback)
 	return true
 }
 

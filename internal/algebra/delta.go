@@ -1,0 +1,78 @@
+package algebra
+
+import (
+	"repro/internal/bat"
+)
+
+// Delta-apply kernels for incremental pool maintenance (IVM over
+// recycled intermediates). The recycler's maintain mode treats a pool
+// entry as a materialized view and applies a commit's INSERT/DELETE
+// delta through the entry's lineage instead of invalidating it; these
+// kernels are the O(|delta|) primitives that path composes.
+//
+// The correctness argument all of them lean on: maintained rowsets
+// stay in ascending head-oid order. Deletions remove rows preserving
+// order; insertions append rows with fresh oids larger than every
+// existing oid. A maintained rowset is therefore the same sequence a
+// from-scratch recompute would produce — the bit-identity the
+// differential tests assert.
+
+// SplitHeads partitions b's rows by head membership in dead: kept
+// holds the survivors (exactly DeleteHeads(b, dead)), removed the
+// rows whose head is in dead. Aggregate maintenance needs the removed
+// rows' VALUES — the catalog only reports deleted oids, but the
+// pre-update pooled result still carries the tombstoned rows, so the
+// split recovers them without touching base storage. Both outputs
+// preserve b's row order.
+func SplitHeads(b *bat.BAT, dead map[bat.Oid]struct{}) (kept, removed *bat.BAT) {
+	if len(dead) == 0 {
+		return b, nil
+	}
+	n := b.Len()
+	keep := make([]int, 0, n)
+	var drop []int
+	for i := 0; i < n; i++ {
+		if _, ok := dead[bat.OidAt(b.Head, i)]; ok {
+			drop = append(drop, i)
+		} else {
+			keep = append(keep, i)
+		}
+	}
+	if len(drop) == 0 {
+		return b, nil
+	}
+	kept = bat.Gather(b, keep)
+	kept.HeadSorted = b.HeadSorted
+	removed = bat.Gather(b, drop)
+	removed.HeadSorted = b.HeadSorted
+	return kept, removed
+}
+
+// DeltaCount maintains a scalar aggr.count: old plus the inserted
+// rows minus the deleted ones.
+func DeltaCount(old int64, added, removed *bat.BAT) int64 {
+	if added != nil {
+		old += int64(added.Len())
+	}
+	if removed != nil {
+		old -= int64(removed.Len())
+	}
+	return old
+}
+
+// DeltaSumInt maintains a scalar aggr.sumInt: integer addition is
+// associative and commutative, so adding the inserted rows' sum and
+// subtracting the removed rows' is exact. Nil deltas contribute
+// nothing. (Float sums are NOT maintained this way: floating-point
+// addition is non-associative, so the maintain path recomputes
+// SumFloat over the maintained parent rowset instead — same values in
+// the same order as a full recompute, hence bit-identical.)
+func DeltaSumInt(old int64, added, removed *bat.BAT) int64 {
+	if added != nil && added.Len() > 0 {
+		old += SumInt(added)
+	}
+	if removed != nil && removed.Len() > 0 {
+		old -= SumInt(removed)
+	}
+	return old
+}

@@ -1,0 +1,77 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+)
+
+func deadSet(oids ...bat.Oid) map[bat.Oid]struct{} {
+	m := make(map[bat.Oid]struct{}, len(oids))
+	for _, o := range oids {
+		m[o] = struct{}{}
+	}
+	return m
+}
+
+func TestSplitHeads(t *testing.T) {
+	b := bat.New(bat.NewOids([]bat.Oid{0, 2, 5, 7}), bat.NewInts([]int64{10, 20, 30, 40}))
+
+	kept, removed := SplitHeads(b, deadSet(2, 7))
+	if kept.Len() != 2 || removed.Len() != 2 {
+		t.Fatalf("split sizes: kept=%d removed=%d", kept.Len(), removed.Len())
+	}
+	if bat.OidAt(kept.Head, 0) != 0 || bat.OidAt(kept.Head, 1) != 5 {
+		t.Fatalf("kept heads wrong: %v %v", kept.Head.Get(0), kept.Head.Get(1))
+	}
+	if removed.Tail.Get(0) != int64(20) || removed.Tail.Get(1) != int64(40) {
+		t.Fatalf("removed tails wrong: %v %v", removed.Tail.Get(0), removed.Tail.Get(1))
+	}
+
+	// Empty delta: the input comes back untouched, no removed rows.
+	kept, removed = SplitHeads(b, nil)
+	if kept != b || removed != nil {
+		t.Fatal("empty dead set must return the input unchanged")
+	}
+	// Dead oids absent from b: same.
+	kept, removed = SplitHeads(b, deadSet(99))
+	if kept != b || removed != nil {
+		t.Fatal("irrelevant dead set must return the input unchanged")
+	}
+
+	// All rows deleted.
+	kept, removed = SplitHeads(b, deadSet(0, 2, 5, 7))
+	if kept.Len() != 0 || removed.Len() != 4 {
+		t.Fatalf("all-deleted split: kept=%d removed=%d", kept.Len(), removed.Len())
+	}
+}
+
+func TestDeltaCount(t *testing.T) {
+	add := bat.New(bat.NewDense(10, 3), bat.NewInts([]int64{1, 2, 3}))
+	rem := bat.New(bat.NewOids([]bat.Oid{1}), bat.NewInts([]int64{5}))
+	if got := DeltaCount(7, add, rem); got != 9 {
+		t.Fatalf("DeltaCount = %d, want 9", got)
+	}
+	if got := DeltaCount(7, nil, nil); got != 7 {
+		t.Fatalf("DeltaCount with nil deltas = %d, want 7", got)
+	}
+}
+
+func TestDeltaSumInt(t *testing.T) {
+	add := bat.New(bat.NewDense(10, 3), bat.NewInts([]int64{1, 2, bat.NilInt}))
+	rem := bat.New(bat.NewOids([]bat.Oid{1, 4}), bat.NewInts([]int64{5, bat.NilInt}))
+	// 100 + (1+2) - 5; nils ignored, matching SumInt semantics.
+	if got := DeltaSumInt(100, add, rem); got != 98 {
+		t.Fatalf("DeltaSumInt = %d, want 98", got)
+	}
+	if got := DeltaSumInt(100, nil, nil); got != 100 {
+		t.Fatalf("DeltaSumInt with nil deltas = %d, want 100", got)
+	}
+	// Delta application must agree with recomputation over the merged rows.
+	base := bat.New(bat.NewDense(0, 4), bat.NewInts([]int64{5, 7, 11, 13}))
+	kept, removed := SplitHeads(base, deadSet(1))
+	merged := bat.Append(kept, add)
+	if got, want := DeltaSumInt(SumInt(base), add, removed), SumInt(merged); got != want {
+		t.Fatalf("delta sum %d != recomputed sum %d", got, want)
+	}
+}

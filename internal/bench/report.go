@@ -69,6 +69,21 @@ func (r *Report) AddEquiv(e EquivResult) {
 	})
 }
 
+// AddRW records a mixed read/write workload result.
+func (r *Report) AddRW(w RWResult) {
+	r.Add(ModeStat{
+		Experiment:   "rw",
+		Mode:         w.Mode,
+		Queries:      w.Reads + w.Writes,
+		QPS:          w.QPS,
+		Hits:         w.Hits,
+		Misses:       w.Marked - w.Hits,
+		ExactHitRate: w.ExactHitRate(),
+		LockWaits:    w.LockWaits,
+		LockWaitNS:   w.LockWait.Nanoseconds(),
+	})
+}
+
 // AddMT records a multi-client throughput row.
 func (r *Report) AddMT(m MTRow) {
 	mode := m.Exec + "/naive"

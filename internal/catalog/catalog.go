@@ -58,6 +58,12 @@ const (
 	CommitUpdate
 	// CommitDrop records a DropTable.
 	CommitDrop
+	// CommitInvalidate marks an UpdateEvent whose mutation panicked
+	// partway: columns may be partially applied, so listeners must
+	// invalidate everything depending on the table. It is an event
+	// kind only — never written to the durability hook (keeping WAL
+	// record numbering unchanged).
+	CommitInvalidate
 )
 
 // CommitRecord describes one committed statement for the durability
@@ -157,13 +163,23 @@ type UpdateListener interface {
 // UpdateEvent describes one committed DML statement.
 type UpdateEvent struct {
 	Table *Table
+	// Kind classifies the statement: CommitInsert (Append),
+	// CommitDelete (Delete), CommitUpdate (UpdateInPlace) or
+	// CommitInvalidate (a mutation that panicked partway; listeners
+	// must treat every dependent intermediate as unknown). Listeners
+	// that propagate deltas key on it: an in-place update reports the
+	// overwritten oids in Deleted, but the rows are NOT tombstoned —
+	// treating it as a row deletion silently corrupts cached results.
+	Kind CommitKind
 	// Cols lists the affected column names.
 	Cols []string
 	// Inserts maps column name to the insert delta BAT (head: fresh
 	// oids, tail: appended values). Nil when the statement only
 	// deleted rows.
 	Inserts map[string]*bat.BAT
-	// Deleted holds the oids removed by the statement.
+	// Deleted holds the oids removed by the statement
+	// (CommitDelete), or the oids whose values were overwritten
+	// (CommitUpdate).
 	Deleted []bat.Oid
 }
 
@@ -462,7 +478,7 @@ func (t *Table) Append(rows []Row) bat.Oid {
 		}
 		t.nrows += len(rows)
 		t.maintainIndexesOnAppend(first, rows)
-		ev = UpdateEvent{Table: t, Cols: cols, Inserts: inserts}
+		ev = UpdateEvent{Table: t, Kind: CommitInsert, Cols: cols, Inserts: inserts}
 		t.commitLocked()
 		t.hookLocked(CommitRecord{Kind: CommitInsert, Inserts: deltas, FirstOid: first, NumRows: len(rows)})
 		return first
@@ -622,7 +638,7 @@ func (t *Table) Delete(oids []bat.Oid) {
 		for i, c := range t.Cols {
 			cols[i] = c.Name
 		}
-		ev = UpdateEvent{Table: t, Cols: cols, Deleted: really}
+		ev = UpdateEvent{Table: t, Kind: CommitDelete, Cols: cols, Deleted: really}
 		t.commitLocked()
 		t.hookLocked(CommitRecord{Kind: CommitDelete, Deleted: really})
 		committed = true
@@ -651,7 +667,7 @@ func (t *Table) UpdateInPlace(col string, oids []bat.Oid, vals []any) {
 		return
 	}
 	ls := t.preNotify()
-	ev := UpdateEvent{Table: t, Cols: []string{col}, Deleted: oids}
+	ev := UpdateEvent{Table: t, Kind: CommitUpdate, Cols: []string{col}, Deleted: oids}
 	committed := false
 	defer t.completeNotify(ls, &committed, &ev)
 	func() {
@@ -732,7 +748,7 @@ func (t *Table) completeNotify(ls []UpdateListener, committed *bool, ev *UpdateE
 	for i, c := range t.Cols {
 		cols[i] = c.Name
 	}
-	notify(ls, UpdateEvent{Table: t, Cols: cols})
+	notify(ls, UpdateEvent{Table: t, Kind: CommitInvalidate, Cols: cols})
 }
 
 // DefineKeyIndex builds a unique key index on an int column, mapping

@@ -1,0 +1,76 @@
+package plan
+
+// DeltaClass classifies an operation for the recycler's incremental
+// maintenance mode: which delta-propagation rule (if any) keeps a
+// pooled result of the operation consistent under an INSERT/DELETE
+// commit to a base table. The classification is static — purely a
+// property of the operation name — and deliberately conservative:
+// anything not provably maintainable in O(|delta|) with bit-identical
+// results classifies DeltaNone and falls back to invalidation.
+type DeltaClass int
+
+// Delta classes.
+const (
+	// DeltaNone: no sound O(delta) rule — invalidate on update.
+	DeltaNone DeltaClass = iota
+	// DeltaBase: a catalog bind; refreshes directly from storage and
+	// seeds the propagation with the commit's own insert delta.
+	DeltaBase
+	// DeltaFilter: a row filter (select/uselect/likeselect/
+	// notlikeselect/selectNotNil) over one rowset parent; maintained
+	// as DeleteHeads(old) ∪ P(parent delta).
+	DeltaFilter
+	// DeltaProject: a projection (semijoin of a bind against a rowset)
+	// over two parents of the same base table; maintained as
+	// DeleteHeads(old) ∪ Semijoin(δL, δR) — old rows cannot match
+	// fresh-oid delta rows and vice versa, so the cross terms vanish.
+	DeltaProject
+	// DeltaAgg: a flat additive aggregate (count / int sum / float
+	// sum) over one rowset parent; count and int sums apply the delta
+	// arithmetically, float sums recompute over the maintained parent
+	// (floating-point addition is non-associative, and recomputing in
+	// parent order is what keeps the result bit-identical).
+	DeltaAgg
+)
+
+// String names the class for diagnostics.
+func (c DeltaClass) String() string {
+	switch c {
+	case DeltaBase:
+		return "base"
+	case DeltaFilter:
+		return "filter"
+	case DeltaProject:
+		return "project"
+	case DeltaAgg:
+		return "agg"
+	}
+	return "none"
+}
+
+// ClassifyOp returns the delta class of an operation name.
+//
+// Deliberately excluded (they classify DeltaNone):
+//
+//	sql.bindIdxbat        delta depends on two tables' alignment
+//	algebra.join          sound insert-only differential exists (the
+//	                      propagate mode uses it) but not with deletes
+//	algebra.markT         deletes punch holes in the dense tail
+//	bat.reverse/mirror    value-headed views; head tombstoning unsound
+//	group.* / aggr.sum    grouped aggregates need per-group state
+//	aggr.min/max/avg...   MIN/MAX not maintainable under deletes
+//	algebra.sort/topn     order statistics, recompute
+func ClassifyOp(op string) DeltaClass {
+	switch op {
+	case "sql.bind":
+		return DeltaBase
+	case "algebra.select", "algebra.uselect", "algebra.likeselect",
+		"algebra.notlikeselect", "algebra.selectNotNil":
+		return DeltaFilter
+	case "algebra.semijoin":
+		return DeltaProject
+	case "aggr.count", "aggr.sumInt", "aggr.sumFlt":
+		return DeltaAgg
+	}
+	return DeltaNone
+}

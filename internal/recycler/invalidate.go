@@ -62,9 +62,12 @@ func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
 
 	// Fix the pool up first (under the writer lock, with pending still
 	// > 0 shielding the hit path), then publish the commit epoch.
-	if r.cfg.Sync == SyncPropagate {
+	switch r.cfg.Sync {
+	case SyncMaintain:
+		r.maintain(ev, refs)
+	case SyncPropagate:
 		r.propagate(ev, refs)
-	} else {
+	default:
 		// Immediate column-wise invalidation.
 		for _, ref := range refs {
 			for _, e := range r.pool.EntriesByColumn(ref) {

@@ -1,0 +1,317 @@
+package recycler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/sqlfe"
+)
+
+// Differential harness for incremental maintenance: random SQL
+// statements warm a maintain-mode pool, then randomized update batches
+// (appends, deletions, in-place updates, duplicates, empty deltas)
+// commit against the catalog, and after every batch each statement is
+// executed twice — once against the maintained pool and once as a
+// from-scratch recompute with no recycler attached. The two result
+// sets must be bit-identical: same columns, same scalar bits, same BAT
+// contents in the same order. Any unsound delta rule, any entry left
+// holding pre-commit data, any float summed in a different order shows
+// up as a diff.
+
+type diffHarness struct {
+	cat *catalog.Catalog
+	tb  *catalog.Table
+	fe  *sqlfe.Frontend
+	rec *Recycler
+	qid uint64
+}
+
+func newDiffHarness(rng *rand.Rand, rows int) *diffHarness {
+	cat := catalog.New()
+	tb := cat.CreateTable("sys", "t", []catalog.ColDef{
+		{Name: "a", Kind: bat.KInt},
+		{Name: "b", Kind: bat.KInt},
+		{Name: "f", Kind: bat.KFloat},
+	})
+	batch := make([]catalog.Row, rows)
+	for i := range batch {
+		batch[i] = diffRow(rng)
+	}
+	tb.Append(batch)
+	return &diffHarness{
+		cat: cat,
+		tb:  tb,
+		fe:  sqlfe.NewFrontend(cat),
+		rec: New(cat, Config{Admission: KeepAll, Sync: SyncMaintain}),
+	}
+}
+
+// diffRow samples one row; a and b land in the predicate value space
+// [0,50) so random statements select non-trivial subsets.
+func diffRow(rng *rand.Rand) catalog.Row {
+	return catalog.Row{
+		"a": int64(rng.Intn(50)),
+		"b": int64(rng.Intn(50)),
+		"f": float64(rng.Intn(1000)) / 8,
+	}
+}
+
+// maintained executes sql against the recycled stack (pool hits serve
+// maintained entries).
+func (h *diffHarness) maintained(t *testing.T, sql string) []mal.Result {
+	t.Helper()
+	tmpl, params, err := h.fe.Compile(sql)
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	h.qid++
+	ctx := &mal.Ctx{Cat: h.cat, Hook: h.rec, QueryID: h.qid}
+	h.rec.BeginQuery(h.qid, tmpl.ID)
+	defer h.rec.EndQuery(h.qid)
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		t.Fatalf("maintained run %q: %v", sql, err)
+	}
+	return ctx.Results
+}
+
+// recompute executes sql from scratch: same template, no recycler.
+func (h *diffHarness) recompute(t *testing.T, sql string) []mal.Result {
+	t.Helper()
+	tmpl, params, err := h.fe.Compile(sql)
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	ctx := &mal.Ctx{Cat: h.cat}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		t.Fatalf("recompute %q: %v", sql, err)
+	}
+	return ctx.Results
+}
+
+func (h *diffHarness) check(t *testing.T, seed int64, batch int, stmts []string) {
+	t.Helper()
+	for _, sql := range stmts {
+		want := h.recompute(t, sql)
+		got := h.maintained(t, sql)
+		if !diffResultsBitIdentical(want, got) {
+			t.Fatalf("seed %d batch %d: maintained result differs from recompute for %q\nwant %v\ngot  %v",
+				seed, batch, sql, want, got)
+		}
+	}
+}
+
+// diffResultsBitIdentical compares two result sets exactly: same
+// columns, same scalar bits, same BAT contents in the same order (the
+// PR 5 equivalence-workload comparator, applied across commits).
+func diffResultsBitIdentical(a, b []mal.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+		va, vb := a[i].Val, b[i].Val
+		if va.Kind != vb.Kind {
+			return false
+		}
+		if va.Kind != mal.VBat {
+			if !va.EqualConst(vb) {
+				return false
+			}
+			continue
+		}
+		if va.Bat.Len() != vb.Bat.Len() {
+			return false
+		}
+		for j := 0; j < va.Bat.Len(); j++ {
+			if va.Bat.Tail.Get(j) != vb.Bat.Tail.Get(j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// diffPred renders one random conjunct over a or b.
+func diffPred(rng *rand.Rand) string {
+	col := []string{"a", "b"}[rng.Intn(2)]
+	switch rng.Intn(3) {
+	case 0:
+		lo := rng.Intn(40)
+		return fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+rng.Intn(15)+1)
+	case 1:
+		return fmt.Sprintf("%s >= %d", col, rng.Intn(40))
+	default:
+		return fmt.Sprintf("%s <= %d", col, rng.Intn(50))
+	}
+}
+
+// diffStatements samples the statement set: counts, additive integer
+// and float aggregates, and plain projections — every maintainable
+// shape (bind → selects → semijoins → aggregate) the eligibility
+// rules cover.
+func diffStatements(rng *rand.Rand) []string {
+	where := func() string {
+		s := diffPred(rng)
+		if rng.Intn(2) == 1 {
+			s += " AND " + diffPred(rng)
+		}
+		return s
+	}
+	return []string{
+		"SELECT COUNT(*) FROM sys.t WHERE " + where(),
+		"SELECT SUM(a) FROM sys.t WHERE " + where(),
+		"SELECT SUM(f) FROM sys.t WHERE " + where(),
+		"SELECT a, f FROM sys.t WHERE " + where(),
+		"SELECT COUNT(*) FROM sys.t WHERE " + where(),
+	}
+}
+
+// TestMaintainDifferential is the PR's backbone: 1000 randomized
+// update batches across 8 seeds, every maintained statement
+// bit-identical to a from-scratch recompute after every batch.
+func TestMaintainDifferential(t *testing.T) {
+	const seeds = 8
+	const batchesPerSeed = 125 // 8 x 125 = 1000 batches
+	for s := 0; s < seeds; s++ {
+		seed := int64(9000 + s)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runMaintainDifferential(t, seed, batchesPerSeed)
+		})
+	}
+}
+
+func runMaintainDifferential(t *testing.T, seed int64, batches int) {
+	t.Logf("differential seed %d (%d batches)", seed, batches)
+	rng := rand.New(rand.NewSource(seed))
+	h := newDiffHarness(rng, rng.Intn(150)+50)
+	defer h.rec.Close()
+	stmts := diffStatements(rng)
+
+	// Warm the pool (and verify the first pass already matches).
+	h.check(t, seed, -1, stmts)
+
+	// Live-row bookkeeping so deletions target real oids.
+	live := make([]bat.Oid, h.tb.NumRows())
+	for i := range live {
+		live[i] = bat.Oid(i)
+	}
+	next := bat.Oid(len(live))
+
+	for i := 0; i < batches; i++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // append
+			k := rng.Intn(5) + 1
+			rows := make([]catalog.Row, k)
+			for j := range rows {
+				rows[j] = diffRow(rng)
+			}
+			if k > 1 && rng.Intn(4) == 0 {
+				// Duplicate rows: the same values repeated within one
+				// batch must flow through every delta once each.
+				for j := 1; j < k; j++ {
+					rows[j] = rows[0]
+				}
+			}
+			if rng.Intn(8) == 0 {
+				// Empty-delta batch: values outside every predicate's
+				// range, so filter deltas select nothing and aggregates
+				// move by the unfiltered rows only.
+				for j := range rows {
+					rows[j]["a"] = int64(1000)
+					rows[j]["b"] = int64(1000)
+				}
+			}
+			h.tb.Append(rows)
+			for j := 0; j < k; j++ {
+				live = append(live, next)
+				next++
+			}
+		case op < 8: // delete
+			if len(live) == 0 {
+				continue
+			}
+			k := rng.Intn(4) + 1
+			if rng.Intn(20) == 0 {
+				k = len(live) // all-deleted: the table empties entirely
+			}
+			if k > len(live) {
+				k = len(live)
+			}
+			rng.Shuffle(len(live), func(x, y int) { live[x], live[y] = live[y], live[x] })
+			h.tb.Delete(append([]bat.Oid(nil), live[:k]...))
+			live = live[k:]
+		default: // in-place update: the non-delta fallback path
+			if len(live) == 0 {
+				continue
+			}
+			o := live[rng.Intn(len(live))]
+			h.tb.UpdateInPlace("a", []bat.Oid{o}, []any{int64(rng.Intn(50))})
+		}
+		h.check(t, seed, i, stmts)
+	}
+
+	st := h.rec.Snapshot()
+	if st.Maintained == 0 {
+		t.Fatalf("seed %d: no entries were maintained — the differential ran vacuously (stats %+v)", seed, st)
+	}
+	t.Logf("seed %d: maintained %d, fallback %d, delta rows %d, invalidated %d",
+		seed, st.Maintained, st.MaintainFallback, st.DeltaRows, st.Invalidated)
+}
+
+// TestMaintainEdgeCases pins the three directed corners of the delta
+// rules on a fixed catalog: an empty delta (no selected rows), a batch
+// deleting everything a cached select matched, and duplicate inserted
+// rows.
+func TestMaintainEdgeCases(t *testing.T) {
+	const seed = 4242
+	stmts := []string{
+		"SELECT COUNT(*) FROM sys.t WHERE a BETWEEN 10 AND 20",
+		"SELECT SUM(a) FROM sys.t WHERE b <= 25",
+		"SELECT SUM(f) FROM sys.t WHERE a >= 5 AND b BETWEEN 0 AND 40",
+		"SELECT a, f FROM sys.t WHERE a BETWEEN 0 AND 49",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := newDiffHarness(rng, 80)
+	defer h.rec.Close()
+	h.check(t, seed, -1, stmts)
+
+	// Empty delta: values outside every predicate — entries must stay
+	// maintained (not fall back) and results must not move for the
+	// filtered statements.
+	before := h.rec.Snapshot().Maintained
+	h.tb.Append([]catalog.Row{{"a": int64(1000), "b": int64(1000), "f": 3.25}})
+	h.check(t, seed, 0, stmts)
+	if after := h.rec.Snapshot().Maintained; after <= before {
+		t.Fatalf("empty-delta commit maintained nothing (%d -> %d)", before, after)
+	}
+
+	// Duplicate rows: one batch of four identical rows, then the same
+	// values again in a second batch.
+	dup := catalog.Row{"a": int64(15), "b": int64(15), "f": 7.5}
+	h.tb.Append([]catalog.Row{dup, dup, dup, dup})
+	h.check(t, seed, 1, stmts)
+	h.tb.Append([]catalog.Row{dup})
+	h.check(t, seed, 2, stmts)
+
+	// All-deleted: remove every live row; counts drop to zero, sums
+	// empty out, projections return no rows — identically on both
+	// paths.
+	n := h.tb.NumRows()
+	all := make([]bat.Oid, 0, n)
+	for i := 0; i < n; i++ {
+		all = append(all, bat.Oid(i))
+	}
+	h.tb.Delete(all)
+	h.check(t, seed, 3, stmts)
+
+	st := h.rec.Snapshot()
+	if st.Maintained == 0 {
+		t.Fatalf("edge cases maintained nothing: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mal"
+	"repro/internal/plan"
 )
 
 // ColumnRef names a persistent column an intermediate depends on.
@@ -117,6 +118,14 @@ type Entry struct {
 	// Args snapshots the argument values of the captured instruction;
 	// delta propagation re-executes against them.
 	Args []mal.Value
+
+	// deltaClass/deltaOneTable cache the static maintenance
+	// eligibility check (SyncMaintain): the operation's delta class
+	// and whether every column dependency names one base table. Both
+	// are computed once at admission — entries rehydrated from the
+	// disk tier keep the zero value (DeltaNone) and always fall back.
+	deltaClass    plan.DeltaClass
+	deltaOneTable bool
 
 	valid       atomic.Bool
 	pinnedQuery atomic.Uint64 // query currently protecting the entry

@@ -40,6 +40,26 @@ func (r *Recycler) propagate(ev catalog.UpdateEvent, refs []ColumnRef) {
 	}
 	sortUint64(ids) // admission order = topological order
 
+	if ev.Kind == catalog.CommitUpdate || ev.Kind == catalog.CommitInvalidate {
+		// The delta rules below are unsound for these events: an
+		// in-place update reports the overwritten oids in ev.Deleted
+		// but tombstones nothing (treating them as row deletions would
+		// silently corrupt cached selects), and a panic-path event may
+		// have applied its columns partially. Binds refresh from the
+		// catalog on an in-place update; everything else invalidates.
+		for _, id := range ids {
+			e := affected[id]
+			if !e.valid.Load() {
+				continue
+			}
+			if ev.Kind == catalog.CommitUpdate && e.OpName == "sql.bind" && len(e.Args) > 0 && r.refreshBindFromCatalog(e) {
+				continue
+			}
+			r.invalidate(e)
+		}
+		return
+	}
+
 	hasDeletes := len(ev.Deleted) > 0
 	deadHeads := make(map[bat.Oid]struct{}, len(ev.Deleted))
 	for _, o := range ev.Deleted {

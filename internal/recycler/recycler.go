@@ -24,6 +24,12 @@ const (
 	// operator classes (bind, select, reverse, mirror, markT) and
 	// invalidates the rest (§6.3, Fig. 3).
 	SyncPropagate
+	// SyncMaintain treats eligible pool entries as materialized views
+	// and applies the commit's INSERT/DELETE delta through their
+	// lineage (select chains, projections and flat additive aggregates
+	// over a single base table; see maintain.go), falling back to
+	// invalidation per entry where no sound O(delta) rule exists.
+	SyncMaintain
 )
 
 // Config parametrises a Recycler.
@@ -138,6 +144,15 @@ type Recycler struct {
 	staleDropped atomic.Int64
 	prewarmed    atomic.Int64
 
+	// Incremental-maintenance counters (SyncMaintain): entries whose
+	// results were delta-maintained across commits, entries that fell
+	// back to invalidation, total time spent in maintenance passes and
+	// total delta rows physically applied.
+	maintained       atomic.Int64
+	maintainFallback atomic.Int64
+	maintainNs       atomic.Int64
+	deltaRows        atomic.Int64
+
 	// testBeforeRevalidate, when set by tests, runs between combined
 	// subsumption's unlocked piecewise execution and its re-validation
 	// under the writer lock — the window a concurrent invalidation
@@ -235,6 +250,17 @@ type Stats struct {
 	Reloaded     int64
 	Prewarmed    int64
 	StaleDropped int64
+
+	// Incremental-maintenance counters (zero outside SyncMaintain):
+	// Maintained counts entries delta-maintained across commits,
+	// MaintainFallback counts affected entries that invalidated
+	// instead (no sound delta rule, or a parent fell back),
+	// MaintainTime is the total time spent in maintenance passes, and
+	// DeltaRows counts the delta rows physically applied.
+	Maintained       int64
+	MaintainFallback int64
+	MaintainTime     time.Duration
+	DeltaRows        int64
 }
 
 // Snapshot captures the current statistics. It takes the writer lock
@@ -246,22 +272,26 @@ func (r *Recycler) Snapshot() Stats {
 	re, rb := r.pool.ReusedStats()
 	sw, swd := r.pool.ShardLockWait()
 	return Stats{
-		Entries:         r.pool.Len(),
-		Bytes:           r.pool.Bytes(),
-		ReusedEntries:   re,
-		ReusedBytes:     rb,
-		Admitted:        r.pool.Admitted,
-		Evicted:         r.pool.Evicted,
-		Invalidated:     r.pool.Invalidated,
-		Reuses:          r.pool.Reuses(),
-		WriterLockWaits: r.writerWaits.Load(),
-		WriterLockWait:  time.Duration(r.writerWaitNs.Load()),
-		ShardLockWaits:  sw,
-		ShardLockWait:   swd,
-		Spilled:         r.spilled.Load(),
-		Reloaded:        r.reloaded.Load(),
-		Prewarmed:       r.prewarmed.Load(),
-		StaleDropped:    r.staleDropped.Load(),
+		Entries:          r.pool.Len(),
+		Bytes:            r.pool.Bytes(),
+		ReusedEntries:    re,
+		ReusedBytes:      rb,
+		Admitted:         r.pool.Admitted,
+		Evicted:          r.pool.Evicted,
+		Invalidated:      r.pool.Invalidated,
+		Reuses:           r.pool.Reuses(),
+		WriterLockWaits:  r.writerWaits.Load(),
+		WriterLockWait:   time.Duration(r.writerWaitNs.Load()),
+		ShardLockWaits:   sw,
+		ShardLockWait:    swd,
+		Spilled:          r.spilled.Load(),
+		Reloaded:         r.reloaded.Load(),
+		Prewarmed:        r.prewarmed.Load(),
+		StaleDropped:     r.staleDropped.Load(),
+		Maintained:       r.maintained.Load(),
+		MaintainFallback: r.maintainFallback.Load(),
+		MaintainTime:     time.Duration(r.maintainNs.Load()),
+		DeltaRows:        r.deltaRows.Load(),
 	}
 }
 
@@ -573,6 +603,8 @@ func (r *Recycler) buildEntry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		Args:      append([]mal.Value(nil), args...),
 	}
 	e.LastUseTick.Store(now)
+	e.deltaClass = plan.ClassifyOp(e.OpName)
+	e.deltaOneTable = depsOneTable(deps)
 	seen := map[uint64]bool{}
 	for _, a := range args {
 		if a.IsBat() && a.Prov != 0 && !seen[a.Prov] {

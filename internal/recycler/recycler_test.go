@@ -446,6 +446,38 @@ func TestCombinedSubsumptionRejectsGaps(t *testing.T) {
 	}
 }
 
+// selectCountFlagsTemplate is selectCountTemplate with the
+// inclusiveness flags baked in as constants (params stay the bounds).
+func selectCountFlagsTemplate(incLo, incHi bool) *mal.Template {
+	b := mal.NewBuilder("selcountflags")
+	a0 := b.Param("A0", mal.VInt)
+	a1 := b.Param("A1", mal.VInt)
+	x1 := b.Op1("sql", "bind", mal.C(mal.StrV("sys")), mal.C(mal.StrV("t")), mal.C(mal.StrV("v")), mal.C(mal.IntV(0)))
+	x2 := b.Op1("algebra", "select", x1, a0, a1, mal.C(mal.BoolV(incLo)), mal.C(mal.BoolV(incHi)))
+	x3 := b.Op1("aggr", "count", x2)
+	b.Do("sql", "exportValue", mal.C(mal.StrV("n")), x3)
+	return opt.Optimize(b.Freeze(), opt.Options{})
+}
+
+// TestCombinedSubsumptionExclusiveBoundaryHole: two cached selects
+// that both EXCLUDE a shared boundary point — v in [0,44) and v in
+// (44,99] — do not union into a solid interval: v=44 is a hole. A
+// combined cover built from them would silently drop the boundary
+// rows, so the target [39,44] must be answered correctly (regular
+// execution or a sound cover), never from the holed union.
+func TestCombinedSubsumptionExclusiveBoundaryHole(t *testing.T) {
+	f := newFixture(t, Config{Admission: KeepAll, Subsumption: true, CombinedSubsumption: true})
+	exc := selectCountFlagsTemplate(true, false) // [lo, hi)
+	f.run(t, exc, mal.IntV(0), mal.IntV(44))
+	excLo := selectCountFlagsTemplate(false, true) // (lo, hi]
+	f.run(t, excLo, mal.IntV(44), mal.IntV(99))
+
+	ctx := f.run(t, selectCountTemplate(), mal.IntV(39), mal.IntV(44))
+	if got := resultInt(t, ctx, 0); got != 6 {
+		t.Fatalf("count over exclusive-boundary pieces = %d, want 6 (v=44 dropped through the hole)", got)
+	}
+}
+
 func TestCombinedPrefersCheaperThanBase(t *testing.T) {
 	// When the covering pieces together are larger than the base
 	// column, regular execution must win.

@@ -76,12 +76,15 @@ func rangesOverlap(aLo, aHi, bLo, bHi any) bool {
 // pieceSnap is a consistent copy of one combined-subsumption candidate
 // taken under the writer lock: the entry pointer for re-validation
 // plus the matching metadata and result the unlocked search and
-// execution phases work from.
+// execution phases work from. The inclusiveness flags travel with the
+// bounds: a union of ranges that EXCLUDE a shared boundary point has a
+// hole there, and treating it as a solid interval serves wrong covers.
 type pieceSnap struct {
-	e      *Entry
-	lo, hi any
-	tuples int
-	result mal.Value
+	e            *Entry
+	lo, hi       any
+	incLo, incHi bool
+	tuples       int
+	result       mal.Value
 }
 
 // subsumeSelect implements select subsumption: first the singleton
@@ -136,7 +139,11 @@ func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal
 			continue
 		}
 		if rangesOverlap(e.SelLo, e.SelHi, lo, hi) {
-			R = append(R, pieceSnap{e: e, lo: e.SelLo, hi: e.SelHi, tuples: e.Tuples, result: e.Result})
+			R = append(R, pieceSnap{
+				e: e, lo: e.SelLo, hi: e.SelHi,
+				incLo: e.SelIncLo, incHi: e.SelIncHi,
+				tuples: e.Tuples, result: e.Result,
+			})
 			if len(R) >= r.cfg.MaxCombined {
 				break
 			}
@@ -166,22 +173,50 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 
 	baseCost := args[0].Tuples() // C(A): size of the regular operand
 	type partial struct {
-		mask   uint32
-		lo, hi any // union interval (single interval by construction)
-		cost   int
+		mask         uint32
+		lo, hi       any // union interval (single interval by construction)
+		incLo, incHi bool
+		cost         int
 	}
-	ext := func(a, b any, min bool) any {
-		if a == nil || b == nil {
-			return nil
+	// ext extends one endpoint of the union. On a tie the union keeps
+	// the point if EITHER range does (inclusive wins).
+	ext := func(a any, aInc bool, b any, bInc bool, min bool) (any, bool) {
+		if a == nil {
+			return nil, false
 		}
-		if (algebra.Cmp(a, b) < 0) == min {
-			return a
+		if b == nil {
+			return nil, false
 		}
-		return b
+		switch c := algebra.Cmp(a, b); {
+		case c == 0:
+			return a, aInc || bInc
+		case (c < 0) == min:
+			return a, aInc
+		default:
+			return b, bInc
+		}
+	}
+	// solidUnion reports whether two ranges union into one solid
+	// interval: they intersect, or they touch at a boundary point that
+	// at least one of them includes. Two ranges both EXCLUDING the
+	// shared point (e.g. a < 44 and a > 44) leave a hole at it and must
+	// not merge — a cover built over the hole silently drops the rows
+	// equal to the boundary.
+	solidUnion := func(aLo any, aIncLo bool, aHi any, aIncHi bool, bLo any, bIncLo bool, bHi any, bIncHi bool) bool {
+		if aLo != nil && bHi != nil {
+			if c := algebra.Cmp(aLo, bHi); c > 0 || (c == 0 && !aIncLo && !bIncHi) {
+				return false
+			}
+		}
+		if bLo != nil && aHi != nil {
+			if c := algebra.Cmp(bLo, aHi); c > 0 || (c == 0 && !bIncLo && !aIncHi) {
+				return false
+			}
+		}
+		return true
 	}
 	covers := func(p partial) bool {
-		return rangeContains(p.lo, true, p.hi, true, lo, incLo, hi, incHi) ||
-			rangeContains(p.lo, incLo, p.hi, incHi, lo, incLo, hi, incHi)
+		return rangeContains(p.lo, p.incLo, p.hi, p.incHi, lo, incLo, hi, incHi)
 	}
 
 	var sol *partial
@@ -197,7 +232,7 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	budget := 4096
 	p1 := make([]partial, 0, len(R))
 	for i, s := range R {
-		p := partial{mask: 1 << uint(i), lo: s.lo, hi: s.hi, cost: s.tuples}
+		p := partial{mask: 1 << uint(i), lo: s.lo, hi: s.hi, incLo: s.incLo, incHi: s.incHi, cost: s.tuples}
 		seen[p.mask] = true
 		if p.cost < solCost && covers(p) {
 			// Degenerate: a single candidate covers (would have been
@@ -217,7 +252,7 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 				if s.mask&bit != 0 || seen[s.mask|bit] {
 					continue
 				}
-				if !rangesOverlap(s.lo, s.hi, c.lo, c.hi) {
+				if !solidUnion(s.lo, s.incLo, s.hi, s.incHi, c.lo, c.incLo, c.hi, c.incHi) {
 					continue
 				}
 				seen[s.mask|bit] = true
@@ -226,10 +261,10 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 				}
 				u := partial{
 					mask: s.mask | bit,
-					lo:   ext(s.lo, c.lo, true),
-					hi:   ext(s.hi, c.hi, false),
 					cost: s.cost + c.tuples,
 				}
+				u.lo, u.incLo = ext(s.lo, s.incLo, c.lo, c.incLo, true)
+				u.hi, u.incHi = ext(s.hi, s.incHi, c.hi, c.incHi, false)
 				if u.cost >= solCost {
 					continue // cut unpromising partial solutions
 				}

@@ -453,3 +453,136 @@ func TestRestartWarmPool(t *testing.T) {
 		t.Fatalf("no reuses before any recomputation: %+v", st)
 	}
 }
+
+// boxRow builds one complete photoobj row landing inside boxQuery's
+// bounding box.
+func boxRow(t *testing.T, tbl *catalog.Table, objid int64) catalog.Row {
+	t.Helper()
+	row := catalog.Row{"objid": objid, "ra": 200.0, "dec": 10.0, "mode": int64(1)}
+	for _, c := range tbl.Cols {
+		if _, ok := row[c.Name]; !ok {
+			switch c.KindOf {
+			case bat.KInt:
+				row[c.Name] = int64(0)
+			case bat.KFloat:
+				row[c.Name] = 0.0
+			case bat.KStr:
+				row[c.Name] = ""
+			default:
+				t.Fatalf("unexpected column kind %v", c.KindOf)
+			}
+		}
+	}
+	return row
+}
+
+func newMaintainSpillEngine(t *testing.T, cat *catalog.Catalog, tier *Spill) *repro.Engine {
+	t.Helper()
+	eng := repro.NewEngine(cat, repro.WithRecycler(recycler.Config{
+		Admission: recycler.KeepAll,
+		Spill:     tier,
+		Sync:      recycler.SyncMaintain,
+	}))
+	t.Cleanup(eng.Recycler().Close)
+	return eng
+}
+
+// TestMaintainSpillRestart is the maintain mode crash-consistency
+// contract: commit → maintain → SpillAll → restart → Prewarm must
+// rehydrate the MAINTAINED content — the post-commit values, stamped
+// at the post-commit table version — and serve it to the first query
+// without recomputation.
+func TestMaintainSpillRestart(t *testing.T) {
+	db := sky.Generate(2000, 17)
+	tier, err := openSpill(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA := newMaintainSpillEngine(t, db.Cat, tier)
+	res1, err := engA.ExecSQL(boxQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countOf(t, res1)
+
+	// Commit one row inside the box: maintain mode delta-patches the
+	// pooled chain in place instead of invalidating it.
+	tbl := db.Cat.MustTable("sky", "photoobj")
+	tbl.Append([]catalog.Row{boxRow(t, tbl, int64(1<<60))})
+	res2, err := engA.ExecSQL(boxQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countOf(t, res2); got != before+1 {
+		t.Fatalf("maintained result %d, want %d", got, before+1)
+	}
+	if res2.Stats.Hits == 0 {
+		t.Fatal("post-commit query recomputed instead of hitting the maintained pool")
+	}
+	stA := engA.Recycler().Snapshot()
+	if stA.Maintained == 0 {
+		t.Fatalf("commit maintained nothing: %+v", stA)
+	}
+
+	// Demote the maintained pool and restart.
+	if engA.Recycler().SpillAll() == 0 {
+		t.Fatal("SpillAll wrote nothing")
+	}
+	engB := newMaintainSpillEngine(t, db.Cat, tier)
+	if n := engB.Recycler().Prewarm(); n == 0 {
+		t.Fatal("prewarm admitted nothing after the maintained spill")
+	}
+	res3, err := engB.ExecSQL(boxQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countOf(t, res3); got != before+1 {
+		t.Fatalf("post-restart result %d, want maintained %d", got, before+1)
+	}
+	if res3.Stats.Hits == 0 {
+		t.Fatal("first post-restart query reported no pool hits")
+	}
+}
+
+// TestMaintainStaleSpillDropped: records demoted BEFORE a commit hold
+// pre-maintenance content; maintenance patches only the in-memory
+// pool, so those records must drop lazily at the next prewarm rather
+// than resurrect pre-commit data.
+func TestMaintainStaleSpillDropped(t *testing.T) {
+	db := sky.Generate(2000, 17)
+	tier, err := openSpill(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA := newMaintainSpillEngine(t, db.Cat, tier)
+	res1, err := engA.ExecSQL(boxQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countOf(t, res1)
+	if engA.Recycler().SpillAll() == 0 {
+		t.Fatal("SpillAll wrote nothing")
+	}
+	engA.Recycler().Close()
+
+	// The commit happens after the spill (and after the recycler is
+	// gone — a crash between demotion and restart): the tier's records
+	// are now one version behind.
+	tbl := db.Cat.MustTable("sky", "photoobj")
+	tbl.Append([]catalog.Row{boxRow(t, tbl, int64(1<<60))})
+
+	engB := newMaintainSpillEngine(t, db.Cat, tier)
+	if n := engB.Recycler().Prewarm(); n != 0 {
+		t.Fatalf("prewarm admitted %d pre-maintenance records", n)
+	}
+	if st := engB.Recycler().Snapshot(); st.StaleDropped == 0 {
+		t.Fatalf("stale pre-maintenance records not dropped: %+v", st)
+	}
+	res2, err := engB.ExecSQL(boxQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countOf(t, res2); got != before+1 {
+		t.Fatalf("post-restart result %d, want recomputed %d", got, before+1)
+	}
+}
