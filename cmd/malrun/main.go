@@ -101,7 +101,7 @@ func main() {
 	}
 	if rec != nil && *dumpPool {
 		fmt.Println()
-		fmt.Print(rec.Pool().Dump())
+		fmt.Print(rec.DumpPool())
 	}
 }
 

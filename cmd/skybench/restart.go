@@ -100,8 +100,8 @@ func runRestartExperiment(w io.Writer, cfg restartConfig) ([2]restartPhase, erro
 			return out, fmt.Errorf("warmup query: %w", err)
 		}
 	}
-	poolEntries := eng.Recycler().Pool().Len()
-	poolKB := eng.Recycler().Pool().Bytes() / 1024
+	poolEntries := eng.Recycler().PoolLen()
+	poolKB := eng.Recycler().PoolBytes() / 1024
 	spilled := eng.Recycler().SpillAll()
 	if err := st.Checkpoint(); err != nil {
 		return out, err

@@ -72,7 +72,7 @@ func main() {
 			return
 		case line == `\pool`:
 			if rec != nil {
-				fmt.Print(rec.Pool().Dump())
+				fmt.Print(rec.DumpPool())
 			} else {
 				fmt.Println("recycler disabled")
 			}
@@ -126,7 +126,7 @@ func runSQL(fe *sqlfe.Frontend, cat *catalog.Catalog, rec *recycler.Recycler, qi
 		fmt.Printf("-- %v, hits %d/%d, subsumed %d, pool %d entries / %d KB\n",
 			elapsed.Round(time.Microsecond),
 			ctx.Stats.HitsNonBind, ctx.Stats.MarkedNonBind, ctx.Stats.Subsumed,
-			rec.Pool().Len(), rec.Pool().Bytes()/1024)
+			rec.PoolLen(), rec.PoolBytes()/1024)
 	} else {
 		fmt.Printf("-- %v\n", elapsed.Round(time.Microsecond))
 	}

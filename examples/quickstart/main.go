@@ -71,5 +71,5 @@ func main() {
 	run(20, 40)
 
 	fmt.Println("\nrecycle pool content:")
-	fmt.Print(eng.Recycler().Pool().Dump())
+	fmt.Print(eng.Recycler().DumpPool())
 }

@@ -55,5 +55,5 @@ func main() {
 		100*float64(hits)/float64(pot))
 
 	fmt.Println("recycle pool breakdown by instruction type (cf. Table III):")
-	bench.PrintTable3(os.Stdout, rec.Rec.Pool().TypeBreakdown())
+	bench.PrintTable3(os.Stdout, rec.Rec.PoolTypeBreakdown())
 }

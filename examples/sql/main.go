@@ -67,5 +67,5 @@ func main() {
 
 	fmt.Printf("\nquery cache: %d templates for %d queries (%d cache hits)\n",
 		fe.CacheSize(), len(queries), fe.Hits)
-	fmt.Printf("recycle pool: %d entries, %d KB\n", rec.Pool().Len(), rec.Pool().Bytes()/1024)
+	fmt.Printf("recycle pool: %d entries, %d KB\n", rec.PoolLen(), rec.PoolBytes()/1024)
 }

@@ -60,7 +60,7 @@ func demo(mode recycler.SyncMode, label string) {
 		fmt.Printf("%-28s total=%10.1f hits=%d/%d pool=%d entries\n",
 			note, res.Results[0].Val.F,
 			res.Stats.HitsNonBind, res.Stats.MarkedNonBind,
-			eng.Recycler().Pool().Len())
+			eng.Recycler().PoolLen())
 	}
 
 	exec("cold run:")

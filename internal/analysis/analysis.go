@@ -1,0 +1,178 @@
+// Package analysis is a small, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface that reprolint's
+// analyzers are written against. The build environment has no module
+// proxy, so instead of vendoring x/tools the suite runs on the
+// standard library alone: packages are parsed with go/parser,
+// typechecked with go/types, and dependencies are imported from the
+// gc export data that `go list -export` materialises in the build
+// cache (see load.go).
+//
+// The shape mirrors x/tools deliberately — Analyzer{Name, Doc, Run},
+// Pass with Fset/Files/Pkg/Info and Reportf — so the analyzers would
+// port to the real framework mechanically if the dependency ever
+// becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier: it appears in diagnostics and
+	// is the token //lint:allow directives name to suppress it.
+	Name string
+	// Doc is a one-paragraph description shown by `reprolint -help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// PackageInfo is one source-loaded package: syntax plus type
+// information. All packages in a run share a single FileSet so
+// positions compare across packages.
+type PackageInfo struct {
+	// Path is the import path the package was loaded under. Fixture
+	// packages in analyzer tests are loaded under the *real* import
+	// path they imitate (e.g. "repro/internal/recycler") so invariant
+	// tables keyed on real paths apply to them unchanged.
+	Path  string
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// Pass carries one analyzer's view of one package plus the whole-run
+// universe for cross-package rules (lockorder's interprocedural
+// summaries, atomicfield's accessed-atomically-anywhere scan).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Target is the package under analysis.
+	Target *PackageInfo
+	// Universe is every source-loaded package in the run, including
+	// Target. Cross-package facts (function summaries, atomic-access
+	// sites) are computed over it; diagnostics are only reported
+	// against Target.
+	Universe []*PackageInfo
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package and returns all findings.
+func Run(fset *token.FileSet, pkgs []*PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: fset, Target: pkg, Universe: pkgs}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	return out, nil
+}
+
+// FuncKey renders a *types.Func as the stable string key the
+// invariant tables use: "pkg/path.Name" for package functions,
+// "pkg/path.(*Recv).Name" / "pkg/path.(Recv).Name" for methods.
+// Interface methods key on the interface type name, so a call through
+// recycler.SpillTier yields "repro/internal/recycler.(SpillTier).Spill".
+func FuncKey(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		if f.Pkg() == nil {
+			return f.Name() // universe builtins
+		}
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+		ptr = "*"
+	}
+	name := "?"
+	switch t := recv.(type) {
+	case *types.Named:
+		name = t.Obj().Name()
+	case *types.Interface:
+		// Unnamed interface receiver; fall back to the method name only.
+		name = "interface"
+	}
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path() + "."
+	}
+	return pkg + "(" + ptr + name + ")." + f.Name()
+}
+
+// FieldKey renders a struct field as "pkg/path.Type.Field".
+func FieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
+}
+
+// ResolveField maps a selection to its field key, or "" if the
+// selector is not a field of a named struct.
+func ResolveField(sel *types.Selection) string {
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return ""
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	recv := sel.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return FieldKey(named.Obj().Pkg().Path(), named.Obj().Name(), v.Name())
+}
+
+// Callee resolves the *types.Func a call expression invokes, through
+// method values and interface methods alike. Returns nil for calls of
+// function-typed variables, conversions and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.Fn().
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

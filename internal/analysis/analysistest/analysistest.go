@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard
+// library only.
+//
+// Fixture packages live under testdata/ (invisible to the go tool)
+// and are typechecked under the *real* import paths they imitate —
+// a fixture directory loaded as "repro/internal/recycler" exercises
+// invariant tables keyed on real paths without touching real code.
+// Multi-package fixtures list dependencies first; later fixtures
+// resolve imports against earlier ones, then against stdlib export
+// data.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Pkg names one fixture: Dir is relative to testdata/, Path is the
+// import path to load it under.
+type Pkg struct {
+	Dir  string
+	Path string
+}
+
+// Run loads the fixtures in order, applies the analyzer to every
+// package, and matches diagnostics against // want comments in all
+// fixture files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...Pkg) {
+	t.Helper()
+	exports, err := analysis.StdlibExports("std")
+	if err != nil {
+		t.Fatalf("listing stdlib export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	stdlib := analysis.ExportImporter(fset, exports)
+	var pkgs []*analysis.PackageInfo
+	for _, fx := range fixtures {
+		info, err := analysis.CheckFixture(fset, pkgs, stdlib, fx.Path, filepath.Join(testdata, fx.Dir))
+		if err != nil {
+			t.Fatalf("loading fixture %s as %s: %v", fx.Dir, fx.Path, err)
+		}
+		pkgs = append(pkgs, info)
+	}
+	diags, err := analysis.Run(fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, pkgs, diags)
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+func checkWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.PackageInfo, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						pat := strings.ReplaceAll(m[1], `\"`, `"`)
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", pat, err)
+						}
+						pos := fset.Position(c.Pos())
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}

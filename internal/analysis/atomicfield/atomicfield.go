@@ -1,0 +1,263 @@
+// Package atomicfield enforces the repo's atomic-access discipline:
+//
+//   - every field declared in analysis.AtomicFields must actually be
+//     a typed sync/atomic value (a refactor turning one back into a
+//     plain int64 compiles fine and races silently);
+//   - a field accessed through sync/atomic free functions anywhere
+//     (atomic.AddInt64(&x.f, ...)) must be accessed that way
+//     everywhere — a plain read or write of the same field elsewhere
+//     is a data race that -race only catches if the schedule
+//     cooperates;
+//   - structs containing typed atomic fields must not be copied by
+//     value (assignment, dereference-copy, range), which would fork
+//     the counter;
+//   - fields declared mutex-guarded (analysis.MutexGuardedFields)
+//     must not be touched with sync/atomic at all: mixing the two
+//     disciplines orders nothing for the mutex-side readers.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Whole-program pre-pass: which fields are accessed through
+	// sync/atomic free functions anywhere in the universe?
+	freeAtomic := map[string]bool{}
+	for _, pkg := range pass.Universe {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if f := atomicFreeFunc(pkg.Info, call); f != "" && len(call.Args) > 0 {
+					if key := addrOfField(pkg.Info, call.Args[0]); key != "" {
+						freeAtomic[key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	checkDeclaredTypes(pass)
+
+	info := pass.Target.Info
+	for _, file := range pass.Target.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if f := atomicFreeFunc(info, n); f != "" && len(n.Args) > 0 {
+					if key := addrOfField(info, n.Args[0]); key != "" {
+						if lock, guarded := analysis.MutexGuardedFields[key]; guarded {
+							pass.Reportf(n.Pos(),
+								"%s on %s mixes disciplines: the field is guarded by the %s, not by atomics",
+								f, shortField(key), lock)
+						}
+					}
+					// Skip the argument subtree: &x.f inside an atomic call
+					// is the sanctioned access.
+					for _, a := range n.Args[1:] {
+						checkPlainUses(pass, a, freeAtomic)
+					}
+					return false
+				}
+			case *ast.SelectorExpr:
+				reportPlainUse(pass, n, freeAtomic)
+				return true
+			case *ast.AssignStmt:
+				checkValueCopy(pass, n)
+				return true
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, n)
+				return true
+			case *ast.UnaryExpr, *ast.StarExpr:
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeclaredTypes verifies every declared atomic field in the
+// target package still carries a sync/atomic type.
+func checkDeclaredTypes(pass *analysis.Pass) {
+	for _, file := range pass.Target.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					key := analysis.FieldKey(pass.Target.Path, ts.Name.Name, name.Name)
+					if !analysis.AtomicFields[key] {
+						continue
+					}
+					if tv, ok := pass.Target.Info.Types[f.Type]; !ok || !isAtomicType(tv.Type) {
+						pass.Reportf(name.Pos(),
+							"%s is declared atomic in internal/analysis/invariants.go but has non-atomic type %s",
+							shortField(key), pass.Target.Info.Types[f.Type].Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkPlainUses reports plain selector uses of free-atomic fields in
+// the given subtree.
+func checkPlainUses(pass *analysis.Pass, e ast.Expr, freeAtomic map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			reportPlainUse(pass, sel, freeAtomic)
+		}
+		return true
+	})
+}
+
+func reportPlainUse(pass *analysis.Pass, sel *ast.SelectorExpr, freeAtomic map[string]bool) {
+	key := analysis.ResolveField(pass.Target.Info.Selections[sel])
+	if key == "" || !freeAtomic[key] {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"plain access to %s, which is accessed with sync/atomic elsewhere; every access must go through sync/atomic",
+		shortField(key))
+}
+
+// checkValueCopy flags `x := *e` / `x = v` where the copied value's
+// type contains typed atomic fields.
+func checkValueCopy(pass *analysis.Pass, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		rhs = ast.Unparen(rhs)
+		var copied ast.Expr
+		switch r := rhs.(type) {
+		case *ast.StarExpr:
+			copied = r // dereference copies the pointee
+		case *ast.Ident, *ast.SelectorExpr:
+			copied = r
+		default:
+			continue
+		}
+		tv, ok := pass.Target.Info.Types[copied]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if name := atomicFieldIn(tv.Type); name != "" {
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			pass.Reportf(rhs.Pos(),
+				"copies a %s by value; it contains atomic field %s, and a copy forks the counter",
+				tv.Type, name)
+		}
+	}
+}
+
+func checkRangeCopy(pass *analysis.Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	// The value variable is usually a fresh definition (`for _, v :=`),
+	// recorded in Defs; an assigned existing variable lands in Uses.
+	var t types.Type
+	if id, ok := rs.Value.(*ast.Ident); ok {
+		if obj := pass.Target.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		} else if obj := pass.Target.Info.Uses[id]; obj != nil {
+			t = obj.Type()
+		}
+	} else if tv, ok := pass.Target.Info.Types[rs.Value]; ok {
+		t = tv.Type
+	}
+	if t == nil {
+		return
+	}
+	if name := atomicFieldIn(t); name != "" {
+		pass.Reportf(rs.Value.Pos(),
+			"range copies %s values; the element contains atomic field %s — range over indexes or pointers instead",
+			t, name)
+	}
+}
+
+// atomicFreeFunc returns the name of the sync/atomic free function a
+// call invokes ("" if none).
+func atomicFreeFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return "" // typed-atomic method (a.Load()), not a free function
+	}
+	return "atomic." + f.Name()
+}
+
+// addrOfField maps `&x.f` to f's field key.
+func addrOfField(info *types.Info, arg ast.Expr) string {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return ""
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return analysis.ResolveField(info.Selections[sel])
+}
+
+// isAtomicType reports whether t is a sync/atomic value type.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// atomic.Pointer[T] instantiations are *types.Named too; other
+		// shapes (aliases) resolve through Underlying.
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicFieldIn returns the name of a typed-atomic field of t's
+// struct type ("" if none).
+func atomicFieldIn(t types.Type) string {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isAtomicType(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+func shortField(key string) string {
+	return strings.TrimPrefix(key, "repro/internal/")
+}

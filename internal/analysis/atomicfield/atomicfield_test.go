@@ -1,0 +1,29 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfield"
+)
+
+// TestDiscipline covers the free-function everywhere rule plus value
+// and range copies of structs holding typed atomics.
+func TestDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		analysistest.Pkg{Dir: "mixed", Path: "repro/internal/fixture"})
+}
+
+// TestDeclaredTypes covers the invariant-table check: a declared
+// atomic field demoted to a plain integer is flagged.
+func TestDeclaredTypes(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		analysistest.Pkg{Dir: "recycler", Path: "repro/internal/recycler"})
+}
+
+// TestMutexGuarded covers the mixed-discipline rule on fields the
+// tables declare mutex-guarded.
+func TestMutexGuarded(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		analysistest.Pkg{Dir: "catalog", Path: "repro/internal/catalog"})
+}

@@ -1,0 +1,29 @@
+// Fixture package for atomicfield, typechecked as
+// "repro/internal/catalog": mutex-guarded fields must not be touched
+// with sync/atomic at all.
+package catalog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Catalog mirrors the real commitSeq discipline: guarded by mu.
+type Catalog struct {
+	mu        sync.RWMutex
+	commitSeq uint64
+}
+
+// badBump uses an atomic op on the mutex-guarded counter.
+func (c *Catalog) badBump() {
+	atomic.AddUint64(&c.commitSeq, 1) // want "atomic.AddUint64 on catalog.Catalog.commitSeq mixes disciplines: the field is guarded by the catalog.Catalog.mu"
+}
+
+// plainBump is the correct discipline in real code — but once any
+// atomic access exists (badBump above), every plain access is flagged
+// too: that is the point of the check.
+func (c *Catalog) plainBump() {
+	c.mu.Lock()
+	c.commitSeq++ // want "plain access to catalog.Catalog.commitSeq, which is accessed with sync/atomic elsewhere"
+	c.mu.Unlock()
+}

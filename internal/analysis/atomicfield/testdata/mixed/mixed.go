@@ -1,0 +1,65 @@
+// Fixture package for atomicfield, typechecked as
+// "repro/internal/fixture": free-function discipline, value copies,
+// and range copies.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	total int64
+}
+
+// inc establishes that counter.n is a sync/atomic field.
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// badRead reads the same field without atomics.
+func (c *counter) badRead() int64 {
+	return c.n // want "plain access to fixture.counter.n, which is accessed with sync/atomic elsewhere"
+}
+
+// goodRead goes through sync/atomic.
+func (c *counter) goodRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// plainTotal is fine: total is never touched with atomics.
+func (c *counter) plainTotal() int64 {
+	return c.total
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// badCopy dereference-copies a struct holding a typed atomic.
+func badCopy(g *gauge) int64 {
+	tmp := *g // want "copies a repro/internal/fixture.gauge by value; it contains atomic field v"
+	return tmp.v.Load()
+}
+
+// badRange copies gauge values per iteration.
+func badRange(gs []gauge) int64 {
+	var t int64
+	for _, g := range gs { // want "range copies repro/internal/fixture.gauge values"
+		t += g.v.Load()
+	}
+	return t
+}
+
+// goodRange iterates by index.
+func goodRange(gs []gauge) int64 {
+	var t int64
+	for i := range gs {
+		t += gs[i].v.Load()
+	}
+	return t
+}
+
+// goodPointer copies only the pointer.
+func goodPointer(g *gauge) *gauge {
+	p := g
+	return p
+}

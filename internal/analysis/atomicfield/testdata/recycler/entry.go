@@ -1,0 +1,26 @@
+// Fixture package for atomicfield, typechecked as
+// "repro/internal/recycler": the declared-type check over the
+// invariant table's atomic field list.
+package recycler
+
+import "sync/atomic"
+
+// Entry declares LastUseTick as a plain int64 — the refactor hazard
+// the declared-type check exists to catch.
+type Entry struct {
+	Sig         string
+	SavedTotal  atomic.Uint64
+	LastUseTick int64 // want "recycler.Entry.LastUseTick is declared atomic in internal/analysis/invariants.go but has non-atomic type int64"
+	ReuseCount  atomic.Uint64
+}
+
+// touchEntry copies an Entry by value; Entry holds typed atomics.
+func touchEntry(e *Entry) string {
+	snapshot := *e // want "copies a repro/internal/recycler.Entry by value; it contains atomic field SavedTotal"
+	return snapshot.Sig
+}
+
+// goodTick goes through the typed atomic.
+func goodTick(e *Entry) uint64 {
+	return e.ReuseCount.Load()
+}

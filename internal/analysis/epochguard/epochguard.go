@@ -1,0 +1,239 @@
+// Package epochguard checks the PR 1 race class: recycler code that
+// reads pool-entry content (hit lookups, subsumption candidate scans)
+// must consult the per-table update-epoch guard before serving or
+// accounting the entry, and every pool admission outside a
+// writer-context function must re-validate dependency freshness
+// first. Without the guard, a query that straddles a commit can be
+// served an intermediate from the wrong side of it — the
+// commit-vs-invalidation race the epoch guard exists to close.
+//
+// The pass is a per-function, source-order taint analysis over the
+// declared accessor set (analysis.EpochSources): values obtained from
+// a source are "unconsulted" until passed to a sanitizer
+// (analysis.EpochSanitizers — usable, staleForQuery, depsFresh);
+// reaching a sink (noteReuse, a Hit:true result built from the entry)
+// unconsulted is the finding. (*Pool).Add has its own rule: a
+// sanitizer call must precede it in the same function.
+package epochguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the epochguard entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochguard",
+	Doc:  "pool-entry reads must consult the update-epoch guard before reuse or admission",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Target.Path != "repro/internal/recycler" {
+		return nil
+	}
+	for _, file := range pass.Target.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type state struct {
+	pass *analysis.Pass
+	// unconsulted holds variables carrying entry content read from a
+	// pool accessor and not yet passed to a guard predicate.
+	unconsulted map[types.Object]bool
+	// sanitized notes that some guard predicate ran in this function
+	// before the statement being examined (the (*Pool).Add rule).
+	sanitized bool
+	writerCtx bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	obj, _ := pass.Target.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	key := analysis.FuncKey(obj)
+	if analysis.EpochSanitizers[key] {
+		return // the guard's own implementation
+	}
+	st := &state{
+		pass:        pass,
+		unconsulted: map[types.Object]bool{},
+		writerCtx:   analysis.WriterContextFuncs[key],
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.visitAssign(n)
+		case *ast.RangeStmt:
+			st.visitRange(n)
+		case *ast.CallExpr:
+			st.visitCall(n)
+		case *ast.ReturnStmt:
+			st.visitReturn(n)
+		}
+		return true
+	})
+}
+
+// visitAssign taints LHS variables assigned from a source call (or
+// from another tainted value's element).
+func (st *state) visitAssign(as *ast.AssignStmt) {
+	info := st.pass.Target.Info
+	fromSource := false
+	for _, rhs := range as.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if callee := analysis.Callee(info, call); callee != nil {
+				if analysis.EpochSources[analysis.FuncKey(callee)] {
+					fromSource = true
+				}
+			}
+		}
+	}
+	if !fromSource {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				st.taint(obj)
+			} else if obj := info.Uses[id]; obj != nil {
+				st.taint(obj)
+			}
+		}
+	}
+}
+
+// taint marks a variable unconsulted, unless it is boolean/ok-shaped
+// (the `ok` of LookupHit carries no entry content).
+func (st *state) taint(obj types.Object) {
+	if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsBoolean != 0 {
+		return
+	}
+	st.unconsulted[obj] = true
+}
+
+// visitRange taints the value variable of a range over a tainted
+// candidate slice.
+func (st *state) visitRange(rs *ast.RangeStmt) {
+	info := st.pass.Target.Info
+	tainted := false
+	switch x := ast.Unparen(rs.X).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil && st.unconsulted[obj] {
+			tainted = true
+		}
+	case *ast.CallExpr:
+		if callee := analysis.Callee(info, x); callee != nil {
+			if analysis.EpochSources[analysis.FuncKey(callee)] {
+				tainted = true
+			}
+		}
+	}
+	if !tainted || rs.Value == nil {
+		return
+	}
+	if id, ok := rs.Value.(*ast.Ident); ok && id.Name != "_" {
+		if obj := info.Defs[id]; obj != nil {
+			st.taint(obj)
+		}
+	}
+}
+
+// visitCall handles sanitizers (cleanse their arguments), sinks
+// (report unconsulted arguments) and the (*Pool).Add precedence rule.
+func (st *state) visitCall(call *ast.CallExpr) {
+	info := st.pass.Target.Info
+	callee := analysis.Callee(info, call)
+	if callee == nil {
+		return
+	}
+	key := analysis.FuncKey(callee)
+
+	if analysis.EpochSanitizers[key] {
+		st.sanitized = true
+		for _, a := range call.Args {
+			if obj := identObj(info, a); obj != nil {
+				delete(st.unconsulted, obj)
+			}
+		}
+		return
+	}
+
+	if analysis.EpochSinks[key] {
+		for _, a := range call.Args {
+			if obj := identObj(info, a); obj != nil && st.unconsulted[obj] {
+				st.pass.Reportf(a.Pos(),
+					"%s serves pool entry %q without consulting the update-epoch guard (usable/staleForQuery); this is the commit-vs-invalidation race",
+					shortKey(key), obj.Name())
+				delete(st.unconsulted, obj) // one report per variable
+			}
+		}
+		return
+	}
+
+	if key == analysis.EpochAddSink && !st.writerCtx && !st.sanitized {
+		st.pass.Reportf(call.Pos(),
+			"(*Pool).Add without a preceding freshness check (staleForQuery/depsFresh/usable) in this function; the admitted entry may straddle a commit")
+	}
+}
+
+// visitReturn flags returning entry content from an unconsulted
+// variable (the served-hit shape: mal.EntryResult{Hit: true, Val:
+// e.Result} or a bare e.Result).
+func (st *state) visitReturn(ret *ast.ReturnStmt) {
+	info := st.pass.Target.Info
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Result" {
+				return true
+			}
+			if obj := identObj(info, sel.X); obj != nil && st.unconsulted[obj] {
+				st.pass.Reportf(sel.Pos(),
+					"returns %s.Result without consulting the update-epoch guard (usable/staleForQuery)",
+					obj.Name())
+				delete(st.unconsulted, obj)
+			}
+			return true
+		})
+	}
+}
+
+// identObj resolves an expression to the object of its root
+// identifier (e, &e, e.Result → e).
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func shortKey(key string) string {
+	const p = "repro/internal/recycler."
+	if len(key) > len(p) && key[:len(p)] == p {
+		return key[len(p):]
+	}
+	return key
+}

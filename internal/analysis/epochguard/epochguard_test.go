@@ -1,0 +1,16 @@
+package epochguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochguard"
+)
+
+// TestEpochGuard covers the PR 1 race class: hit serving, candidate
+// subsumption and pool admission with and without consulting the
+// update-epoch guard predicates.
+func TestEpochGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", epochguard.Analyzer,
+		analysistest.Pkg{Dir: "recycler", Path: "repro/internal/recycler"})
+}

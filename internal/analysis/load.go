@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// Load lists the given package patterns from dir, parses and
+// typechecks every matched (non-dependency) package from source, and
+// resolves imports from the gc export data `go list -export` leaves
+// in the build cache. This gives full type information for the target
+// packages without golang.org/x/tools.
+//
+// Only GoFiles are analyzed (no _test.go variants): reprolint checks
+// the invariants of shipped code; fixture coverage for the analyzers
+// themselves lives in testdata packages.
+func Load(dir string, patterns ...string) (*token.FileSet, []*PackageInfo, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*PackageInfo
+	for _, t := range targets {
+		info, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, info)
+	}
+	return fset, pkgs, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the package
+// stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that reads gc export data
+// files from the given path→file map (as produced by
+// `go list -export`).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// StdlibExports lists export-data files for the given stdlib package
+// patterns (plus their dependencies). Analyzer tests use it so
+// fixture packages can import sync, os, fmt, ... without touching the
+// network.
+func StdlibExports(patterns ...string) (map[string]string, error) {
+	listed, err := goList(".", patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFiles typechecks the given Go files (absolute or cwd-relative
+// paths) as one package. The vet-cfg driver mode uses it: go vet
+// hands the tool an explicit file list rather than a directory.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []string) (*PackageInfo, error) {
+	return checkPackage(fset, imp, path, "", files)
+}
+
+// checkPackage parses files and typechecks them as package path.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*PackageInfo, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	return &PackageInfo{Path: path, Pkg: pkg, Files: syntax, Info: info}, nil
+}
+
+// multiImporter resolves imports from already-typechecked source
+// packages first, then falls back to export data. The analyzer test
+// harness uses it so a fixture "store" package can import a fixture
+// "catalog" package by its real import path.
+type multiImporter struct {
+	source   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *multiImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.source[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// CheckFixture typechecks one fixture directory as the given import
+// path, resolving imports from prior fixtures before stdlib export
+// data. Used by the analysistest harness.
+func CheckFixture(fset *token.FileSet, prior []*PackageInfo, stdlib types.Importer, path, dir string) (*PackageInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	src := make(map[string]*types.Package, len(prior))
+	for _, p := range prior {
+		src[p.Path] = p.Pkg
+	}
+	return checkPackage(fset, &multiImporter{source: src, fallback: stdlib}, path, dir, files)
+}

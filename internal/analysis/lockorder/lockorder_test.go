@@ -1,0 +1,26 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+// TestRecycler covers the four-level recycler hierarchy: ordering,
+// re-entry, I/O and blocking sends under the writer lock, and the
+// Pool writer-lock call contract.
+func TestRecycler(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		analysistest.Pkg{Dir: "recycler", Path: "repro/internal/recycler"})
+}
+
+// TestCatalogHooks covers the PR 4 shape: commit hooks that call back
+// into the catalog or do I/O under the catalog write lock, listeners
+// that mutate the catalog from the commit window, and notification
+// with the catalog mutex held.
+func TestCatalogHooks(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		analysistest.Pkg{Dir: "catalog", Path: "repro/internal/catalog"},
+		analysistest.Pkg{Dir: "store", Path: "repro/internal/store"})
+}

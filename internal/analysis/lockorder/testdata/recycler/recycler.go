@@ -1,0 +1,173 @@
+// Fixture package for lockorder, typechecked as
+// "repro/internal/recycler" so the invariant tables apply. It mirrors
+// the real recycler's lock fields and exercises both flagged and
+// allowed patterns.
+package recycler
+
+import (
+	"os"
+	"sync"
+)
+
+// SpillRecord mirrors the real spill record shape.
+type SpillRecord struct{ Sig string }
+
+// SpillTier mirrors the real disk-tier interface: all methods may
+// perform I/O.
+type SpillTier interface {
+	Spill(rec *SpillRecord)
+	Lookup(canon string) (*SpillRecord, bool)
+	Drop(canon string)
+	Metas() []*SpillRecord
+	Empty() bool
+}
+
+type sigShard struct {
+	mu    sync.RWMutex
+	bySig map[string]*Entry
+}
+
+type admission struct {
+	mu      sync.Mutex
+	granted int64
+}
+
+// Entry mirrors a pool entry.
+type Entry struct {
+	ID     uint64
+	Sig    string
+	Result int
+}
+
+// Pool mirrors the real pool: entries guarded by the owning
+// Recycler's writer lock, the signature index by shard locks.
+type Pool struct {
+	shards  [4]sigShard
+	entries map[uint64]*Entry
+}
+
+// Add mirrors the real contract: caller holds the writer lock.
+func (p *Pool) Add(e *Entry) {
+	p.entries[e.ID] = e
+	sh := &p.shards[0]
+	sh.mu.Lock()
+	sh.bySig[e.Sig] = e
+	sh.mu.Unlock()
+}
+
+// Len mirrors the real contract: caller holds the writer lock.
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Recycler mirrors the real lock fields.
+type Recycler struct {
+	mu      sync.Mutex
+	stateMu sync.RWMutex
+	pool    *Pool
+	adm     *admission
+	tier    SpillTier
+	spillQ  chan *SpillRecord
+	epoch   uint64
+}
+
+// lockWriter mirrors the real helper: acquires mu and returns with it
+// held (the TryLock fast path must not be flagged as a re-acquire).
+func (r *Recycler) lockWriter() {
+	if r.mu.TryLock() {
+		return
+	}
+	r.mu.Lock()
+}
+
+// goodOrder acquires in increasing rank: mu then stateMu.
+func (r *Recycler) goodOrder() {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	r.stateMu.Lock()
+	r.epoch++
+	r.stateMu.Unlock()
+	r.pool.Add(&Entry{ID: 1})
+}
+
+// badOrder acquires mu while holding stateMu: rank 10 under rank 20.
+func (r *Recycler) badOrder() {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	r.mu.Lock() // want "acquires recycler.Recycler.mu \(rank 10\) while holding recycler.Recycler.stateMu \(rank 20\)"
+	r.mu.Unlock()
+}
+
+// badReentry re-acquires the already-held writer lock.
+func (r *Recycler) badReentry() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want "re-acquires recycler.Recycler.mu, already held"
+}
+
+// badTransitive calls a helper that acquires stateMu while a
+// same-or-higher shard lock is held.
+func (r *Recycler) badTransitive() {
+	sh := &r.pool.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r.bumpEpoch() // want "calls recycler.\(\*Recycler\).bumpEpoch, which acquires recycler.Recycler.stateMu \(rank 20\), while holding recycler.sigShard.mu \(rank 30\)"
+}
+
+func (r *Recycler) bumpEpoch() {
+	r.stateMu.Lock()
+	r.epoch++
+	r.stateMu.Unlock()
+}
+
+// badIOUnderWriter performs file I/O under the writer lock.
+func (r *Recycler) badIOUnderWriter() {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	os.Create("/tmp/spill") // want "performs I/O while recycler.Recycler.mu is held"
+}
+
+// badTierUnderWriter consults the disk tier under the writer lock
+// (the Prewarm shape, which real code suppresses with a reason).
+func (r *Recycler) badTierUnderWriter() {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	r.tier.Drop("sig") // want "performs I/O while recycler.Recycler.mu is held"
+}
+
+// goodTierOutsideLock consults the tier before locking.
+func (r *Recycler) goodTierOutsideLock() {
+	rec, ok := r.tier.Lookup("sig")
+	if !ok {
+		return
+	}
+	r.lockWriter()
+	defer r.mu.Unlock()
+	r.pool.Add(&Entry{Sig: rec.Sig})
+}
+
+// badBlockingSend sends to the spiller queue with no default case.
+func (r *Recycler) badBlockingSend(rec *SpillRecord) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	r.spillQ <- rec // want "blocking send to recycler.Recycler.spillQ while recycler.Recycler.mu is held"
+}
+
+// goodSelectSend is the sanctioned demoteLocked idiom.
+func (r *Recycler) goodSelectSend(rec *SpillRecord) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	select {
+	case r.spillQ <- rec:
+	default:
+	}
+}
+
+// badUnlockedPoolCall calls a writer-lock pool method with no lock.
+func (r *Recycler) badUnlockedPoolCall() int {
+	return r.pool.Len() // want "call to recycler.\(\*Pool\).Len requires the recycler writer lock"
+}
+
+// exitLocked is declared writer-context in the invariant tables, so
+// its unlocked pool calls are fine.
+func (r *Recycler) exitLocked(e *Entry) {
+	r.pool.Add(e)
+}

@@ -1,0 +1,19 @@
+package singlesig_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/singlesig"
+)
+
+// TestIdentityKeys loads the mal and plan fixtures (no findings
+// expected in either: mal's spellings are sanctioned, plan is the
+// identity implementation) plus a consumer exercising flagged and
+// allowed key shapes.
+func TestIdentityKeys(t *testing.T) {
+	analysistest.Run(t, "testdata", singlesig.Analyzer,
+		analysistest.Pkg{Dir: "mal", Path: "repro/internal/mal"},
+		analysistest.Pkg{Dir: "plan", Path: "repro/internal/plan"},
+		analysistest.Pkg{Dir: "consumer", Path: "repro/internal/fixture"})
+}

@@ -1,0 +1,23 @@
+// Fixture package for singlesig, typechecked as
+// "repro/internal/mal": the instruction type and its two sanctioned
+// identity spellings.
+package mal
+
+import "fmt"
+
+// Instr mirrors the real MAL instruction identity fields.
+type Instr struct {
+	Module string
+	Op     string
+	Args   []string
+}
+
+// Name is a sanctioned identity spelling (SinglesigAllowedFuncs).
+func (in *Instr) Name() string {
+	return in.Module + "." + in.Op
+}
+
+// StaticSig is the other sanctioned spelling.
+func (in *Instr) StaticSig() string {
+	return fmt.Sprintf("%s.%s:%d", in.Module, in.Op, len(in.Args))
+}

@@ -1,0 +1,26 @@
+// Fixture package for singlesig, typechecked as
+// "repro/internal/plan": the canonical identity implementation, which
+// the analyzer exempts wholesale.
+package plan
+
+// Signature mirrors the canonical signature.
+type Signature struct {
+	key   string
+	canon string
+}
+
+// Key is canonical identity.
+func (s Signature) Key() string { return s.key }
+
+// Canonical is canonical identity.
+func (s Signature) Canonical() string { return s.canon }
+
+// RenderInstr produces display text; internal/plan may build it from
+// parts, and nothing outside may key on it.
+func RenderInstr(module, op string, args []string) string {
+	out := module + "." + op
+	for _, a := range args {
+		out += " " + a
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression is one //lint:allow directive.
+//
+// Syntax:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// placed on the flagged line or the line immediately above it. The
+// reason is mandatory — an allow without a stated reason is itself a
+// finding. The driver counts suppressions per analyzer and prints the
+// totals so growth of the allow set is visible in CI logs.
+type Suppression struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	Used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// CollectSuppressions scans the packages' comments for //lint:allow
+// directives. Malformed directives (missing analyzer or reason) are
+// returned as diagnostics attributed to the pseudo-analyzer "lint".
+func CollectSuppressions(fset *token.FileSet, pkgs []*PackageInfo) ([]*Suppression, []Diagnostic) {
+	var sups []*Suppression
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					pos := fset.Position(c.Pos())
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+						})
+						continue
+					}
+					sups = append(sups, &Suppression{
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						Pos:      pos,
+					})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// ApplySuppressions splits findings into kept (unsuppressed) and
+// suppressed. A suppression matches a diagnostic from its analyzer in
+// the same file on the same line or the line directly below the
+// directive.
+func ApplySuppressions(diags []Diagnostic, sups []*Suppression) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		matched := false
+		for _, s := range sups {
+			if s.Analyzer != d.Analyzer || s.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if s.Pos.Line == d.Pos.Line || s.Pos.Line == d.Pos.Line-1 {
+				s.Used = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}
+
+// SuppressionSummary renders per-analyzer counts of used directives,
+// plus a note per directive that suppressed nothing in this run.
+func SuppressionSummary(sups []*Suppression) string {
+	counts := map[string]int{}
+	var unused []*Suppression
+	for _, s := range sups {
+		if s.Used {
+			counts[s.Analyzer]++
+		} else {
+			unused = append(unused, s)
+		}
+	}
+	var b strings.Builder
+	if len(counts) > 0 {
+		names := make([]string, 0, len(counts))
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", n, counts[n]))
+		}
+		fmt.Fprintf(&b, "suppressions in effect: %s\n", strings.Join(parts, " "))
+	}
+	for _, s := range unused {
+		fmt.Fprintf(&b, "note: unused //lint:allow %s at %s\n", s.Analyzer, s.Pos)
+	}
+	return b.String()
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// NodeLine is a convenience for fixture tests.
+func NodeLine(fset *token.FileSet, n ast.Node) int { return fset.Position(n.Pos()).Line }

@@ -66,7 +66,7 @@ func (r *Runner) PoolBytes() int64 {
 	if r.Rec == nil {
 		return 0
 	}
-	return r.Rec.Pool().Bytes()
+	return r.Rec.PoolBytes()
 }
 
 // PoolEntries returns the number of cache lines, 0 for naive runners.
@@ -74,7 +74,7 @@ func (r *Runner) PoolEntries() int {
 	if r.Rec == nil {
 		return 0
 	}
-	return r.Rec.Pool().Len()
+	return r.Rec.PoolLen()
 }
 
 // Warmup executes the given (template, params) pairs once to touch all

@@ -115,7 +115,7 @@ func Table3(db *sky.DB, batch *sky.Workload) []recycler.TypeRow {
 	for _, q := range batch.Batch {
 		r.MustRun(batch.Template(q.Kind), q.Params...)
 	}
-	rows := r.Rec.Pool().TypeBreakdown()
+	rows := r.Rec.PoolTypeBreakdown()
 	r.Rec.Close()
 	return rows
 }

@@ -130,16 +130,16 @@ func MicroProfile(db *tpch.DB, qnum, instances int, seed int64) []ProfilePoint {
 	for i := 0; i < instances; i++ {
 		nctx := naive.MustRun(d.Templ, params[i]...)
 		rctx := rec.MustRun(d.Templ, params[i]...)
-		reusedEntries, reusedBytes := rec.Rec.Pool().ReusedStats()
+		reusedEntries, reusedBytes := rec.Rec.PoolReusedStats()
 		_ = reusedEntries
 		out = append(out, ProfilePoint{
 			Instance:   i + 1,
 			HitRatio:   rctx.Stats.HitRatio(),
 			Naive:      nctx.Stats.Elapsed,
 			Recycled:   rctx.Stats.Elapsed,
-			TotalMem:   rec.Rec.Pool().Bytes(),
+			TotalMem:   rec.Rec.PoolBytes(),
 			ReusedMem:  reusedBytes,
-			PoolLines:  rec.Rec.Pool().Len(),
+			PoolLines:  rec.Rec.PoolLen(),
 			LocalHits:  rctx.Stats.LocalHits,
 			GlobalHits: rctx.Stats.GlobalHits,
 		})
@@ -279,7 +279,7 @@ func RunBatch(r *Runner, items []WorkItem) *BatchResult {
 	res.TotalMem = r.PoolBytes()
 	res.Entries = r.PoolEntries()
 	if r.Rec != nil {
-		res.ReusedEntries, res.ReusedMem = r.Rec.Pool().ReusedStats()
+		res.ReusedEntries, res.ReusedMem = r.Rec.PoolReusedStats()
 	}
 	return res
 }

@@ -263,3 +263,60 @@ func TestExitDuplicateSignatureRefreshesPin(t *testing.T) {
 		t.Fatal("existing entry's recency not refreshed on duplicate admission")
 	}
 }
+
+// TestConcurrentPoolObservers is the regression test for the class of
+// violation reprolint's lockorder analyzer found across bench,
+// examples and cmds: Pool accessors (Len, Bytes, Dump, TypeBreakdown,
+// ReusedStats) called without the writer lock while queries mutate
+// the pool. Observers now go through the locked Recycler wrappers;
+// under -race this test fails if any wrapper loses its lock.
+func TestConcurrentPoolObservers(t *testing.T) {
+	f := newFixtureQuiet(Config{Admission: KeepAll, Eviction: EvictLRU, MaxEntries: 8})
+	tmpl := selectCountTemplate()
+	var queryID atomic.Uint64
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				lo := int64((w*11 + i*5) % 90)
+				qid := queryID.Add(1)
+				f.rec.BeginQuery(qid, tmpl.ID)
+				ctx := &mal.Ctx{Cat: f.cat, Hook: f.rec, QueryID: qid}
+				if err := mal.Run(ctx, tmpl, mal.IntV(lo), mal.IntV(lo+4)); err != nil {
+					panic(err)
+				}
+				f.rec.EndQuery(qid)
+			}
+		}(w)
+	}
+
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if f.rec.PoolLen() < 0 || f.rec.PoolBytes() < 0 {
+				panic("negative pool size")
+			}
+			entries, bytes := f.rec.PoolReusedStats()
+			if entries < 0 || bytes < 0 {
+				panic("negative reuse stats")
+			}
+			_ = f.rec.PoolTypeBreakdown()
+			_ = f.rec.DumpPool()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+}

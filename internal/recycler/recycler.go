@@ -211,7 +211,50 @@ func (r *Recycler) Close() {
 }
 
 // Pool exposes the recycle pool for inspection and experiments.
+// Most Pool methods require the writer lock; observers outside the
+// recycler should use the locked wrappers below (PoolLen, PoolBytes,
+// PoolReusedStats, PoolTypeBreakdown, DumpPool) or Snapshot.
 func (r *Recycler) Pool() *Pool { return r.pool }
+
+// PoolLen returns the number of pool entries. Like Snapshot, it takes
+// the writer lock without the contention instrumentation: observers
+// must not inflate the telemetry they read.
+func (r *Recycler) PoolLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pool.Len()
+}
+
+// PoolBytes returns the pool's resident payload bytes under the
+// writer lock.
+func (r *Recycler) PoolBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pool.Bytes()
+}
+
+// PoolReusedStats returns the reused-entry count and bytes under the
+// writer lock.
+func (r *Recycler) PoolReusedStats() (entries int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pool.ReusedStats()
+}
+
+// PoolTypeBreakdown returns the per-instruction-type pool breakdown
+// under the writer lock.
+func (r *Recycler) PoolTypeBreakdown() []TypeRow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pool.TypeBreakdown()
+}
+
+// DumpPool renders the pool content under the writer lock.
+func (r *Recycler) DumpPool() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pool.Dump()
+}
 
 // Config returns the active configuration.
 func (r *Recycler) Config() Config { return r.cfg }

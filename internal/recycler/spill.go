@@ -462,6 +462,7 @@ func (r *Recycler) Prewarm() int {
 				continue
 			}
 			if !r.depsFresh(meta.Deps) {
+				//lint:allow lockorder Prewarm runs once at startup before any query traffic; dropping stale records under the writer lock keeps admission atomic
 				tier.Drop(meta.CanonSig)
 				r.staleDropped.Add(1)
 				progress = true
@@ -486,6 +487,7 @@ func (r *Recycler) Prewarm() int {
 				progress = true
 				continue
 			}
+			//lint:allow lockorder Prewarm runs once at startup before any query traffic; loading under the writer lock keeps admission atomic
 			rec, ok := tier.Lookup(meta.CanonSig)
 			if !ok {
 				progress = true

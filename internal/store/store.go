@@ -167,6 +167,7 @@ func (s *Store) attach(cat *catalog.Catalog) error {
 		// Runs under the catalog write lock: append order = commit
 		// order. The append lands in the page cache; the batched
 		// syncer makes it durable within SyncEvery.
+		//lint:allow lockorder WAL append order must equal commit order, which only the catalog write lock provides; the hot path is a page-cache write
 		if err := s.wal.append(encodeCommit(rec)); err != nil {
 			s.walErr.CompareAndSwap(nil, &err)
 		}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repo lint gate. CI's lint job runs exactly this script; run it
+# locally before pushing. Required checks: gofmt, go vet, reprolint
+# (the invariant analyzers — see docs/LINTING.md). Optional tools
+# (staticcheck, errcheck, shellcheck) run when installed.
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+echo "== gofmt =="
+unformatted="$(gofmt -l . | grep -v '/testdata/' || true)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:"
+  echo "$unformatted"
+  exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== reprolint (concurrency + identity invariants) =="
+go build -o bin/reprolint ./cmd/reprolint
+./bin/reprolint ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck (advisory) =="
+  staticcheck ./... || true
+fi
+
+if command -v errcheck >/dev/null 2>&1; then
+  echo "== errcheck (advisory) =="
+  errcheck -exclude .errcheck-exclude ./... || true
+fi
+
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck =="
+  shellcheck scripts/*.sh
+fi
+
+echo "lint: OK"
