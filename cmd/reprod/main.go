@@ -12,10 +12,13 @@
 // Endpoints:
 //
 //	POST /query   {"sql": "SELECT ..."}  -> rows + per-query recycler stats
+//	              (?trace=1 adds the per-instruction trace as JSON)
 //	POST /exec    {"sql": "INSERT ..."}  -> rows affected (INSERT/DELETE subset)
 //	GET  /stats   engine + server counters as JSON
-//	GET  /metrics Prometheus text format
+//	GET  /metrics Prometheus text format (counters + stage histograms)
 //	GET  /healthz liveness probe
+//	GET  /debug/queries  recent-query ring + slow-query log + event ring
+//	GET  /debug/pprof/   standard net/http/pprof profiles
 //
 // With -data-dir set the server is durable: committed DML is WAL-
 // logged (fsync-batched), checkpoints fold the log into a columnar
@@ -52,6 +55,7 @@ import (
 	"repro/internal/sky"
 	"repro/internal/store"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 )
 
 func main() { os.Exit(run()) }
@@ -78,18 +82,38 @@ func run() int {
 	combined := flag.Bool("combined", false, "enable combined subsumption (Algorithm 2)")
 	syncMode := flag.String("sync", "invalidate", "update synchronisation: invalidate, propagate or maintain")
 
+	slowQueryMS := flag.Int("slow-query-ms", 500, "slow-query log threshold in milliseconds (0 = slow log off)")
+	traceRing := flag.Int("trace-ring", 64, "recent-query/slow/event ring sizes for /debug/queries")
+	noTrace := flag.Bool("notrace", false, "disable the tracer (no per-query traces, histograms stay zero)")
+
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	ckptInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence (0 = only at shutdown)")
 	spillBudget := flag.Int64("spill-budget", 0, "disk tier byte cap for demoted pool entries (0 = unlimited)")
 	walSync := flag.Duration("wal-sync", 2*time.Millisecond, "WAL fsync batching window (0 = fsync every commit)")
 	flag.Parse()
 
+	var tr *trace.Tracer
+	if !*noTrace {
+		tr = trace.New(trace.Config{
+			SlowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
+			RingSize:  *traceRing,
+		})
+	}
+
 	// --- storage: recover a durable catalog or generate a fresh one ---
 	var st *store.Store
 	var cat *catalog.Catalog
 	if *dataDir != "" {
+		storeOpts := store.Options{SyncEvery: *walSync, SpillBudget: *spillBudget}
+		if tr != nil {
+			// The fsync callback can run inside the catalog's commit hook,
+			// so it only feeds the wait-free histogram — never the tracer's
+			// event ring.
+			m := tr.Metrics()
+			storeOpts.OnFsync = func(records int, d time.Duration) { m.WALFsync.Observe(d) }
+		}
 		var err error
-		st, err = store.Open(*dataDir, store.Options{SyncEvery: *walSync, SpillBudget: *spillBudget})
+		st, err = store.Open(*dataDir, storeOpts)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -126,6 +150,11 @@ func run() int {
 	}
 
 	opts := []repro.Option{repro.WithWorkers(*workers)}
+	if tr != nil {
+		opts = append(opts, repro.WithTracer(tr))
+		fmt.Printf("trace: ring=%d slow-query=%dms (/debug/queries, ?trace=1, pprof on /debug/pprof/)\n",
+			*traceRing, *slowQueryMS)
+	}
 	if !*noRecycle {
 		cfg, err := recyclerConfig(*admission, *credits, *eviction, *maxBytes, *maxEntries, *subsume, *combined, *syncMode)
 		if err != nil {

@@ -10,7 +10,9 @@
 //	sqlshell -db sky -objects 50000
 //
 // Shell commands: \pool dumps the recycle pool, \reset empties it,
-// \q quits. Everything else is parsed as SQL.
+// \q quits. EXPLAIN ANALYZE <sql> executes the query and renders the
+// per-instruction trace (timings, rows, recycler decision reasons)
+// instead of the result rows. Everything else is parsed as SQL.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/sky"
 	"repro/internal/sqlfe"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -91,9 +94,55 @@ func main() {
 			}
 		default:
 			qid++
-			runSQL(fe, cat, rec, qid, line)
+			if rest, ok := stripExplainAnalyze(line); ok {
+				explainAnalyze(fe, cat, rec, qid, rest)
+			} else {
+				runSQL(fe, cat, rec, qid, line)
+			}
 		}
 		fmt.Print("sql> ")
+	}
+}
+
+// stripExplainAnalyze detects a leading "EXPLAIN ANALYZE" (any case)
+// and returns the statement after it.
+func stripExplainAnalyze(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 ||
+		!strings.EqualFold(fields[0], "explain") || !strings.EqualFold(fields[1], "analyze") {
+		return line, false
+	}
+	return strings.Join(fields[2:], " "), true
+}
+
+// explainAnalyze executes the statement with a trace recorder attached
+// and renders the span table instead of the result rows.
+func explainAnalyze(fe *sqlfe.Frontend, cat *catalog.Catalog, rec *recycler.Recycler, qid uint64, src string) {
+	tmpl, params, tm, err := fe.CompileTimed(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	trec := trace.NewRecorder(qid, src, len(tmpl.Instrs))
+	trec.SetStages(tm.Parse, tm.Optimize)
+	ctx := &mal.Ctx{Cat: cat, QueryID: qid, Trace: trec}
+	if rec != nil {
+		ctx.Hook = rec
+		rec.BeginQuery(qid, tmpl.ID)
+		defer rec.EndQuery(qid)
+	}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	qt := trec.Finish(tmpl.Name, ctx.Stats.Elapsed)
+	qt.Format(os.Stdout)
+	for _, r := range ctx.Results {
+		if r.Val.Kind == mal.VBat {
+			fmt.Printf("-- result %s: %d tuples\n", r.Name, r.Val.Bat.Len())
+		} else {
+			fmt.Printf("-- result %s = %s\n", r.Name, r.Val.String())
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/recycler"
 	"repro/internal/sqlfe"
+	"repro/internal/trace"
 )
 
 // NewCatalog creates an empty catalog. See the catalog package for
@@ -50,6 +51,7 @@ type Engine struct {
 	cat     *catalog.Catalog
 	rec     *recycler.Recycler
 	fe      *sqlfe.Frontend
+	tracer  *trace.Tracer
 	queryID atomic.Uint64
 	errors  atomic.Uint64
 	measure bool
@@ -117,14 +119,30 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
+// WithTracer attaches the observability layer (internal/trace): every
+// query is recorded into the tracer's recent ring (and slow-query log
+// past its threshold), per-stage latencies feed its histograms, and
+// the recycler reports lock waits, spill I/O and commit-maintenance
+// summaries to it. Without a tracer the engine takes the nil-recorder
+// fast path — no clock reads beyond the pre-existing ones.
+func WithTracer(t *trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
 // NewEngine creates an engine over the catalog.
 func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
 	e := &Engine{cat: cat, fe: sqlfe.NewFrontend(cat)}
 	for _, o := range opts {
 		o(e)
 	}
+	if e.tracer != nil && e.rec != nil {
+		e.rec.SetTracer(e.tracer)
+	}
 	return e
 }
+
+// Tracer returns the engine's tracer, or nil when tracing is off.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Recycler returns the engine's recycler, or nil when disabled.
 func (e *Engine) Recycler() *recycler.Recycler { return e.rec }
@@ -149,11 +167,24 @@ type ExecResult struct {
 // template parameters, so repeated shapes share one template and the
 // recycler can match across instances (paper §2.2).
 func (e *Engine) ExecSQL(src string) (*ExecResult, error) {
-	tmpl, params, err := e.CompileSQL(src)
+	tmpl, params, tm, err := e.CompileSQLTimed(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(tmpl, params...)
+	res, _, err := e.exec(tmpl, params, src, false, tm.Parse, tm.Optimize)
+	return res, err
+}
+
+// ExecSQLTraced is ExecSQL returning the per-instruction query trace
+// as well. The trace is non-nil only when a tracer is attached
+// (WithTracer); EXPLAIN ANALYZE and the server's ?trace=1 path build
+// on it.
+func (e *Engine) ExecSQLTraced(src string) (*ExecResult, *trace.QueryTrace, error) {
+	tmpl, params, tm, err := e.CompileSQLTimed(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.exec(tmpl, params, src, true, tm.Parse, tm.Optimize)
 }
 
 // CompileSQL parses the SQL text and returns the cached template plus
@@ -162,18 +193,56 @@ func (e *Engine) ExecSQL(src string) (*ExecResult, error) {
 // Failed compiles count toward EngineStats.Errors, like failed
 // executions.
 func (e *Engine) CompileSQL(src string) (*mal.Template, []mal.Value, error) {
-	tmpl, params, err := e.fe.Compile(src)
+	tmpl, params, _, err := e.CompileSQLTimed(src)
+	return tmpl, params, err
+}
+
+// CompileSQLTimed is CompileSQL plus front-end stage timing; when a
+// tracer is attached the parse/optimize histograms are fed here.
+func (e *Engine) CompileSQLTimed(src string) (*mal.Template, []mal.Value, sqlfe.CompileTiming, error) {
+	tmpl, params, tm, err := e.fe.CompileTimed(src)
 	if err != nil {
 		e.errors.Add(1)
-		return nil, nil, err
+		return nil, nil, tm, err
 	}
-	return tmpl, params, nil
+	if e.tracer != nil {
+		m := e.tracer.Metrics()
+		m.Parse.Observe(tm.Parse)
+		if !tm.CacheHit {
+			m.Optimize.Observe(tm.Optimize)
+		}
+	}
+	return tmpl, params, tm, nil
 }
 
 // Exec runs a compiled template with the given parameters.
 func (e *Engine) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error) {
+	res, _, err := e.exec(t, params, "", false, 0, 0)
+	return res, err
+}
+
+// ExecTraced is Exec returning the per-instruction query trace as
+// well. sql labels the trace; parse/optimize, when known (a compile
+// the caller timed itself, e.g. through a prepared-statement cache),
+// seed the trace's front-end stages.
+func (e *Engine) ExecTraced(sql string, parse, optimize time.Duration, t *mal.Template, params ...mal.Value) (*ExecResult, *trace.QueryTrace, error) {
+	return e.exec(t, params, sql, true, parse, optimize)
+}
+
+// exec is the shared execution body. When a tracer is attached every
+// query gets a recorder — the recent ring and slow-query log see all
+// traffic, not just explicitly traced calls — and wantTrace merely
+// controls whether the finished trace is returned to the caller.
+func (e *Engine) exec(t *mal.Template, params []mal.Value, sql string, wantTrace bool, parse, optimize time.Duration) (*ExecResult, *trace.QueryTrace, error) {
 	qid := e.queryID.Add(1)
 	ctx := &mal.Ctx{Cat: e.cat, QueryID: qid, Measure: e.measure, Workers: e.workers}
+	var rec *trace.Recorder
+	if e.tracer != nil {
+		rec = trace.NewRecorder(qid, sql, len(t.Instrs))
+		rec.SetStages(parse, optimize)
+		ctx.Trace = rec
+		ctx.Metrics = e.tracer.Metrics()
+	}
 	if e.rec != nil {
 		ctx.Hook = e.rec
 		e.rec.BeginQuery(qid, t.ID)
@@ -181,9 +250,17 @@ func (e *Engine) Exec(t *mal.Template, params ...mal.Value) (*ExecResult, error)
 	}
 	if err := mal.Run(ctx, t, params...); err != nil {
 		e.errors.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
-	return &ExecResult{Results: ctx.Results, Stats: ctx.Stats}, nil
+	var qt *trace.QueryTrace
+	if rec != nil {
+		qt = rec.Finish(t.Name, ctx.Stats.Elapsed)
+		e.tracer.FinishQuery(qt)
+		if !wantTrace {
+			qt = nil
+		}
+	}
+	return &ExecResult{Results: ctx.Results, Stats: ctx.Stats}, qt, nil
 }
 
 // EngineStats is a point-in-time snapshot of everything an operator

@@ -72,6 +72,35 @@ var IOFuncs = map[string]bool{
 	"repro/internal/recycler.(SpillTier).Empty":  true,
 }
 
+// NoTraceWhileHeld lists the locks under which trace-recorder calls
+// are forbidden (PR 9): Recorder/Tracer methods allocate and take the
+// tracer's internal mutex, so a call under the recycler writer lock
+// or the catalog write lock would serialise the whole pool (or every
+// commit) behind the observability layer — and events emitted there
+// could deadlock against a concurrent FinishQuery. Histogram.Observe
+// is deliberately NOT listed in TraceRecorderFuncs: it is wait-free
+// atomics, the single sanctioned in-lock observation.
+var NoTraceWhileHeld = map[string]bool{ // lock key -> write side only
+	"repro/internal/recycler.Recycler.mu": false, // plain Mutex: any hold
+	"repro/internal/catalog.Catalog.mu":   true,  // RLock holders may trace
+}
+
+// TraceRecorderFuncs names the trace-recorder entry points the
+// NoTraceWhileHeld rule applies to. Transitive callers inherit the
+// property.
+var TraceRecorderFuncs = map[string]bool{
+	"repro/internal/trace.(*Recorder).EndSpan":      true,
+	"repro/internal/trace.(*Recorder).SetRecycle":   true,
+	"repro/internal/trace.(*Recorder).SetAdmission": true,
+	"repro/internal/trace.(*Recorder).SetParents":   true,
+	"repro/internal/trace.(*Recorder).SetStages":    true,
+	"repro/internal/trace.(*Recorder).SetSchedule":  true,
+	"repro/internal/trace.(*Recorder).AddEvent":     true,
+	"repro/internal/trace.(*Recorder).Finish":       true,
+	"repro/internal/trace.(*Tracer).Event":          true,
+	"repro/internal/trace.(*Tracer).FinishQuery":    true,
+}
+
 // BlockingSendFields lists channel fields a *blocking* send to is
 // treated as I/O (the spiller queue: demoteLocked's select-with-
 // default is the sanctioned idiom; a bare send under the writer lock

@@ -39,10 +39,11 @@ var Analyzer = &analysis.Analyzer{
 
 // summary is one function's interprocedural facts.
 type summary struct {
-	acquires map[string]bool // ranked locks acquired anywhere inside, transitively
-	ioRoot   string          // one representative I/O callee ("" = none)
-	mutates  string          // one representative catalog mutator callee ("" = none)
-	callees  map[string]bool
+	acquires  map[string]bool // ranked locks acquired anywhere inside, transitively
+	ioRoot    string          // one representative I/O callee ("" = none)
+	traceRoot string          // one representative trace-recorder callee ("" = none)
+	mutates   string          // one representative catalog mutator callee ("" = none)
+	callees   map[string]bool
 }
 
 type checker struct {
@@ -117,6 +118,10 @@ func (c *checker) buildSummaries() {
 					s.ioRoot = cs.ioRoot
 					changed = true
 				}
+				if s.traceRoot == "" && cs.traceRoot != "" {
+					s.traceRoot = cs.traceRoot
+					changed = true
+				}
 				if s.mutates == "" && cs.mutates != "" {
 					s.mutates = cs.mutates
 					changed = true
@@ -146,6 +151,10 @@ func (c *checker) collect(pkg *analysis.PackageInfo, body ast.Node, s *summary) 
 		case analysis.IOFuncs[key]:
 			if s.ioRoot == "" {
 				s.ioRoot = key
+			}
+		case analysis.TraceRecorderFuncs[key]:
+			if s.traceRoot == "" {
+				s.traceRoot = key
 			}
 		case analysis.CatalogMutators[key]:
 			if s.mutates == "" {
@@ -487,6 +496,11 @@ func (c *checker) simCall(ctx *simCtx, call *ast.CallExpr) {
 		c.checkIO(ctx, key, call.Pos())
 	}
 
+	// Direct trace-recorder calls.
+	if analysis.TraceRecorderFuncs[key] {
+		c.checkTrace(ctx, key, call.Pos())
+	}
+
 	// Transitive effects.
 	if s := c.summaries[key]; s != nil {
 		for lock := range s.acquires {
@@ -494,6 +508,9 @@ func (c *checker) simCall(ctx *simCtx, call *ast.CallExpr) {
 		}
 		if s.ioRoot != "" {
 			c.checkTransitiveIO(ctx, key, s.ioRoot, call.Pos())
+		}
+		if s.traceRoot != "" {
+			c.checkTransitiveTrace(ctx, key, s.traceRoot, call.Pos())
 		}
 	}
 }
@@ -562,6 +579,34 @@ func (c *checker) ioHeld(ctx *simCtx) (string, bool) {
 	return "", false
 }
 
+func (c *checker) checkTrace(ctx *simCtx, traceFunc string, pos token.Pos) {
+	if h, bad := c.traceHeld(ctx); bad {
+		c.pass.Reportf(pos,
+			"%s called while %s is held; trace-recorder calls must run after the lock is released (Histogram.Observe is the sanctioned in-lock observation)",
+			shortKey(traceFunc), shortLock(h))
+	}
+}
+
+func (c *checker) checkTransitiveTrace(ctx *simCtx, callee, traceRoot string, pos token.Pos) {
+	if h, bad := c.traceHeld(ctx); bad {
+		c.pass.Reportf(pos,
+			"calls %s, which reaches trace recorder %s, while %s is held",
+			shortKey(callee), shortKey(traceRoot), shortLock(h))
+	}
+}
+
+// traceHeld returns a held lock under which trace-recorder calls are
+// forbidden, if any.
+func (c *checker) traceHeld(ctx *simCtx) (string, bool) {
+	for _, h := range ctx.locks {
+		writeOnly, critical := analysis.NoTraceWhileHeld[h.key]
+		if critical && (!writeOnly || h.write) {
+			return h.key, true
+		}
+	}
+	return "", false
+}
+
 // checkSend flags a blocking send to a declared spill-queue channel
 // while an I/O-critical lock is held. (Sends inside a select with a
 // default clause never reach here.)
@@ -623,6 +668,11 @@ func (c *checker) checkHookArg(ctx *simCtx, arg ast.Expr) {
 		c.pass.Reportf(arg.Pos(),
 			"commit hook %s performs I/O (%s) under the catalog write lock",
 			shortKey(key), shortKey(s.ioRoot))
+	}
+	if s.traceRoot != "" {
+		c.pass.Reportf(arg.Pos(),
+			"commit hook %s calls trace recorder %s under the catalog write lock",
+			shortKey(key), shortKey(s.traceRoot))
 	}
 }
 

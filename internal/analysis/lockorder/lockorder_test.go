@@ -8,10 +8,12 @@ import (
 )
 
 // TestRecycler covers the four-level recycler hierarchy: ordering,
-// re-entry, I/O and blocking sends under the writer lock, and the
-// Pool writer-lock call contract.
+// re-entry, I/O, blocking sends and trace-recorder calls under the
+// writer lock, and the Pool writer-lock call contract. The trace
+// fixture is listed first so the recycler fixture can import it.
 func TestRecycler(t *testing.T) {
 	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		analysistest.Pkg{Dir: "trace", Path: "repro/internal/trace"},
 		analysistest.Pkg{Dir: "recycler", Path: "repro/internal/recycler"})
 }
 

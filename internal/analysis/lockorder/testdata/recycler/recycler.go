@@ -7,6 +7,9 @@ package recycler
 import (
 	"os"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // SpillRecord mirrors the real spill record shape.
@@ -170,4 +173,50 @@ func (r *Recycler) badUnlockedPoolCall() int {
 // its unlocked pool calls are fine.
 func (r *Recycler) exitLocked(e *Entry) {
 	r.pool.Add(e)
+}
+
+// badTraceUnderWriter records a recycler decision while the writer
+// lock is held: forbidden, the Recorder takes its own mutex for
+// events and must never nest inside rank-10.
+func (r *Recycler) badTraceUnderWriter(rec *trace.Recorder) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	rec.SetRecycle(0, "hit:exact") // want "trace.\(\*Recorder\).SetRecycle called while recycler.Recycler.mu is held"
+}
+
+// badTracerEventUnderWriter emits an engine-wide tracer event under
+// the writer lock.
+func (r *Recycler) badTracerEventUnderWriter(tr *trace.Tracer) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	tr.Event("commit.invalidate", "q1") // want "trace.\(\*Tracer\).Event called while recycler.Recycler.mu is held"
+}
+
+// goodTraceAfterUnlock is the sanctioned shape: capture under the
+// lock, record after releasing it.
+func (r *Recycler) goodTraceAfterUnlock(rec *trace.Recorder) {
+	r.lockWriter()
+	n := r.pool.Len()
+	r.mu.Unlock()
+	rec.SetAdmission(n, "admit:granted")
+}
+
+// goodHistogramUnderWriter observes a wait-free histogram under the
+// lock: Histogram.Observe is deliberately not in TraceRecorderFuncs.
+func (r *Recycler) goodHistogramUnderWriter(h *trace.Histogram, wait time.Duration) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	h.Observe(wait)
+}
+
+// badTransitiveTrace reaches a tracer through a helper while the
+// writer lock is held.
+func (r *Recycler) badTransitiveTrace(tr *trace.Tracer) {
+	r.lockWriter()
+	defer r.mu.Unlock()
+	r.emitCommitEvent(tr) // want "calls recycler.\(\*Recycler\).emitCommitEvent, which reaches trace recorder trace.\(\*Tracer\).Event, while recycler.Recycler.mu is held"
+}
+
+func (r *Recycler) emitCommitEvent(tr *trace.Tracer) {
+	tr.Event("commit.maintain", "q2")
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/recycler"
 	"repro/internal/sky"
 	"repro/internal/sqlfe"
+	"repro/internal/trace"
 )
 
 // This file implements the equivalent-query workload: semantically
@@ -139,6 +140,9 @@ type EquivResult struct {
 	QPS       float64
 	LockWaits int64
 	LockWait  time.Duration
+	// Per-statement latency percentiles over every executed statement
+	// (canonical + variants), from a bucketed trace.Histogram.
+	P50, P95, P99 time.Duration
 }
 
 // ExactHitRate returns variant pool hits over variant potential hits.
@@ -198,22 +202,28 @@ func RunEquiv(db *sky.DB, queries []EquivQuery, normalized bool) EquivResult {
 	defer r.rec.Close()
 
 	res := EquivResult{Mode: mode, Queries: len(queries)}
+	var lat trace.Histogram
 	start := time.Now()
 	for _, q := range queries {
+		q0 := time.Now()
 		if _, err := r.execSQL(q.Canonical); err != nil {
 			panic(fmt.Sprintf("equiv: canonical %q: %v", q.Canonical, err))
 		}
+		lat.Observe(time.Since(q0))
 		for _, v := range q.Variants {
+			q0 = time.Now()
 			ctx, err := r.execSQL(v)
 			if err != nil {
 				panic(fmt.Sprintf("equiv: variant %q: %v", v, err))
 			}
+			lat.Observe(time.Since(q0))
 			res.Variants++
 			res.Marked += ctx.Stats.MarkedNonBind
 			res.Hits += ctx.Stats.HitsNonBind
 		}
 	}
 	res.Wall = time.Since(start)
+	res.P50, res.P95, res.P99 = lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99)
 	if res.Wall > 0 {
 		res.QPS = float64(res.Queries+res.Variants) / res.Wall.Seconds()
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/recycler"
 	"repro/internal/sky"
+	"repro/internal/trace"
 )
 
 // This file implements the multi-client throughput harness: the
@@ -39,6 +40,10 @@ type MTRow struct {
 	// time clients spent waiting on them (zero for naive runners).
 	LockWaits int64
 	LockWait  time.Duration
+	// Per-query latency percentiles across all clients, from a shared
+	// trace.Histogram (wait-free, so the concurrent clients feed it
+	// without coordination).
+	P50, P95, P99 time.Duration
 }
 
 // HitRatio returns pool hits over potential hits for the whole batch.
@@ -67,6 +72,7 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 	if r.Rec != nil {
 		lockBase = r.Rec.Snapshot()
 	}
+	var lat trace.Histogram
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -76,7 +82,9 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 			t := &tallies[c]
 			for i := c; i < len(w.Batch); i += clients {
 				q := w.Batch[i]
+				q0 := time.Now()
 				ctx := r.MustRun(w.Template(q.Kind), q.Params...)
+				lat.Observe(time.Since(q0))
 				t.n++
 				t.hits += ctx.Stats.HitsNonBind
 				t.pot += ctx.Stats.MarkedNonBind
@@ -124,6 +132,7 @@ func SkyMultiClient(r *Runner, w *sky.Workload, clients int) MTRow {
 	if wall > 0 {
 		row.QPS = float64(row.Queries) / wall.Seconds()
 	}
+	row.P50, row.P95, row.P99 = lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99)
 	return row
 }
 

@@ -14,8 +14,9 @@ import (
 // without scraping the human tables.
 
 // ReportSchema versions the JSON layout; bump it when ModeStat fields
-// change meaning.
-const ReportSchema = 1
+// change meaning. Schema 2 added per-query latency percentiles
+// (p50_ns/p95_ns/p99_ns).
+const ReportSchema = 2
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -44,6 +45,14 @@ type ModeStat struct {
 	ExactHitRate float64 `json:"exact_hit_rate,omitempty"`
 	LockWaits    int64   `json:"lock_waits"`
 	LockWaitNS   int64   `json:"lock_wait_ns"`
+	// Per-query latency percentiles (nanoseconds). In-process
+	// experiments derive them from a trace.Histogram (bucketed, so
+	// approximate); the serve experiment keeps its exact sorted-sample
+	// percentiles. Zero for experiments without per-query latencies
+	// (batch).
+	P50NS int64 `json:"p50_ns,omitempty"`
+	P95NS int64 `json:"p95_ns,omitempty"`
+	P99NS int64 `json:"p99_ns,omitempty"`
 }
 
 // NewReport starts an empty report for this host.
@@ -66,6 +75,9 @@ func (r *Report) AddEquiv(e EquivResult) {
 		ExactHitRate: e.ExactHitRate(),
 		LockWaits:    e.LockWaits,
 		LockWaitNS:   e.LockWait.Nanoseconds(),
+		P50NS:        e.P50.Nanoseconds(),
+		P95NS:        e.P95.Nanoseconds(),
+		P99NS:        e.P99.Nanoseconds(),
 	})
 }
 
@@ -81,6 +93,9 @@ func (r *Report) AddRW(w RWResult) {
 		ExactHitRate: w.ExactHitRate(),
 		LockWaits:    w.LockWaits,
 		LockWaitNS:   w.LockWait.Nanoseconds(),
+		P50NS:        w.P50.Nanoseconds(),
+		P95NS:        w.P95.Nanoseconds(),
+		P99NS:        w.P99.Nanoseconds(),
 	})
 }
 
@@ -102,6 +117,9 @@ func (r *Report) AddMT(m MTRow) {
 		Combined:   m.Combined,
 		LockWaits:  m.LockWaits,
 		LockWaitNS: m.LockWait.Nanoseconds(),
+		P50NS:      m.P50.Nanoseconds(),
+		P95NS:      m.P95.Nanoseconds(),
+		P99NS:      m.P99.Nanoseconds(),
 	})
 }
 
@@ -117,6 +135,9 @@ func (r *Report) AddServe(l LoadResult) {
 		Misses:     l.Marked - l.Hits,
 		LockWaits:  l.LockWaits,
 		LockWaitNS: l.LockWait.Nanoseconds(),
+		P50NS:      l.P50.Nanoseconds(),
+		P95NS:      l.P95.Nanoseconds(),
+		P99NS:      l.P99.Nanoseconds(),
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/recycler"
 	"repro/internal/sky"
 	"repro/internal/sqlfe"
+	"repro/internal/trace"
 )
 
 // This file implements the mixed read/write workload: the SkyServer
@@ -45,6 +46,9 @@ type RWResult struct {
 	DeltaRows   int64
 	LockWaits   int64
 	LockWait    time.Duration
+	// Per-read-statement latency percentiles (writes excluded; the
+	// reads are what the sync modes differentiate).
+	P50, P95, P99 time.Duration
 }
 
 // ExactHitRate returns read pool hits over read potential hits.
@@ -145,6 +149,7 @@ func RunRW(db *sky.DB, stmts []string, n int, writeFrac float64, seed int64, mod
 	var appended []bat.Oid
 
 	res := RWResult{Mode: mode}
+	var lat trace.Histogram
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		if rng.Float64() < writeFrac {
@@ -168,11 +173,14 @@ func RunRW(db *sky.DB, stmts []string, n int, writeFrac float64, seed int64, mod
 			continue
 		}
 		res.Reads++
+		q0 := time.Now()
 		h, m := exec(stmts[res.Reads%len(stmts)])
+		lat.Observe(time.Since(q0))
 		res.Hits += h
 		res.Marked += m
 	}
 	res.Wall = time.Since(start)
+	res.P50, res.P95, res.P99 = lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99)
 	if res.Wall > 0 {
 		res.QPS = float64(res.Reads+res.Writes) / res.Wall.Seconds()
 	}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/recycler"
 )
 
 // This file implements the over-the-wire load harness: a closed-loop
@@ -62,6 +64,7 @@ type LoadResult struct {
 	QPS      float64
 	P50      time.Duration
 	P95      time.Duration
+	P99      time.Duration
 	Max      time.Duration
 	// Hits/Marked accumulate the per-query recycler stats reported in
 	// the responses (non-bind pool hits over monitored instructions).
@@ -94,36 +97,29 @@ type queryWireResponse struct {
 	Error string `json:"error"`
 }
 
-// statsWire mirrors the slice of GET /stats the harness consumes: the
-// recycler's lock-contention counters (durations travel as
-// nanoseconds).
-type statsWire struct {
-	Engine struct {
-		Recycler struct {
-			WriterLockWaits int64
-			WriterLockWait  int64
-			ShardLockWaits  int64
-			ShardLockWait   int64
-		}
-	} `json:"engine"`
-}
-
 // fetchLockWait reads the recycler lock-contention counters from the
-// server's /stats endpoint. ok=false reports a failed fetch so the
-// caller can skip the delta instead of reporting a bogus one.
+// server's /stats endpoint, decoding straight into recycler.Stats —
+// the same struct the server marshals — so the harness and the server
+// can never disagree on field names or units. ok=false reports a
+// failed fetch so the caller can skip the delta instead of reporting
+// a bogus one.
 func fetchLockWait(client *http.Client, baseURL string) (waits int64, wait time.Duration, ok bool) {
 	resp, err := client.Get(baseURL + "/stats")
 	if err != nil {
 		return 0, 0, false
 	}
 	defer resp.Body.Close()
-	var st statsWire
+	var st struct {
+		Engine struct {
+			Recycler recycler.Stats
+		} `json:"engine"`
+	}
 	if json.NewDecoder(resp.Body).Decode(&st) != nil {
 		return 0, 0, false
 	}
 	rec := st.Engine.Recycler
 	return rec.WriterLockWaits + rec.ShardLockWaits,
-		time.Duration(rec.WriterLockWait + rec.ShardLockWait), true
+		rec.WriterLockWait + rec.ShardLockWait, true
 }
 
 // HTTPLoad drives baseURL with clients concurrent closed-loop workers
@@ -198,7 +194,8 @@ func HTTPLoad(baseURL string, queries []string, clients int, duration time.Durat
 	if len(all) > 0 {
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		res.P50 = all[len(all)/2]
-		res.P95 = all[len(all)*95/100]
+		res.P95 = all[min(len(all)*95/100, len(all)-1)]
+		res.P99 = all[min(len(all)*99/100, len(all)-1)]
 		res.Max = all[len(all)-1]
 	}
 	return res
@@ -209,13 +206,13 @@ func HTTPLoad(baseURL string, queries []string, clients int, duration time.Durat
 // compare the over-the-wire speedup.
 func PrintLoad(w io.Writer, rows []LoadResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Config\tClients\tQueries\tErrors\tQPS\tp50\tp95\tmax\tHitRatio\tLockWait")
+	fmt.Fprintln(tw, "Config\tClients\tQueries\tErrors\tQPS\tp50\tp95\tp99\tmax\tHitRatio\tLockWait")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%.1f%%\t%v/%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\t%.1f%%\t%v/%d\n",
 			r.Label, r.Clients, r.Queries, r.Errors, r.QPS,
 			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
-			r.Max.Round(time.Microsecond), 100*r.HitRatio(),
-			r.LockWait.Round(time.Microsecond), r.LockWaits)
+			r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
+			100*r.HitRatio(), r.LockWait.Round(time.Microsecond), r.LockWaits)
 	}
 	tw.Flush()
 }

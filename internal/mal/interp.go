@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/trace"
 )
 
 // Rewrite describes a subsumption rewrite decided by the recycler at
@@ -30,6 +31,10 @@ type EntryResult struct {
 	// Rewrite, when non-nil on a miss, requests execution with
 	// substituted arguments (singleton subsumption).
 	Rewrite *Rewrite
+	// Reason explains the decision for tracing ("hit:exact",
+	// "rewrite:subsume-select", ...). Empty means unstated; the
+	// interpreter then records a plain "hit" or "miss".
+	Reason string
 }
 
 // RecyclerHook is the interface between the interpreter and the
@@ -114,6 +119,16 @@ type Ctx struct {
 	// GOMAXPROCS, 1 forces sequential execution, n > 1 runs at most n
 	// independent instructions concurrently.
 	Workers int
+
+	// Trace, when non-nil, records one span per executed instruction.
+	// Span slots are written lock-free: each pc runs exactly once on
+	// one worker goroutine and the dataflow completion channel orders
+	// those writes before Finish. Nil disables tracing at the cost of
+	// a pointer test per instruction.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives stage-latency observations
+	// (recycler lookup, schedule) into the process-wide histograms.
+	Metrics *trace.Metrics
 
 	QueryID  uint64
 	Template *Template
@@ -203,14 +218,30 @@ func RunSeq(ctx *Ctx, t *Template, params ...Value) error {
 	if err := ctx.begin(t, params); err != nil {
 		return err
 	}
+	if ctx.Trace != nil {
+		ctx.Trace.SetParents(dagParents(t))
+	}
 	start := time.Now()
 	for pc := range t.Instrs {
-		if err := step(ctx, pc, &t.Instrs[pc]); err != nil {
+		if err := step(ctx, pc, &t.Instrs[pc], 0); err != nil {
 			return wrapErr(t, pc, err)
 		}
 	}
 	ctx.Stats.Elapsed = time.Since(start)
 	return nil
+}
+
+// dagParents inverts the dependency DAG's successor lists into
+// per-instruction parent lists for the trace tree.
+func dagParents(t *Template) [][]int {
+	d := t.DAG()
+	parents := make([][]int, len(t.Instrs))
+	for pc, succs := range d.Succs {
+		for _, s := range succs {
+			parents[s] = append(parents[s], pc)
+		}
+	}
+	return parents
 }
 
 // runDataflow schedules the template's instructions over a worker
@@ -221,6 +252,13 @@ func RunSeq(ctx *Ctx, t *Template, params ...Value) error {
 // in flight and returns the error. Channel capacities equal the
 // instruction count, so neither side ever blocks on a full buffer.
 func runDataflow(ctx *Ctx, t *Template, workers int) error {
+	var schedStart time.Time
+	if ctx.Trace != nil || ctx.Metrics != nil {
+		schedStart = time.Now()
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.SetParents(dagParents(t))
+	}
 	d := t.DAG()
 	n := len(t.Instrs)
 	indeg := append([]int(nil), d.NDeps...)
@@ -233,17 +271,24 @@ func runDataflow(ctx *Ctx, t *Template, workers int) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for pc := range ready {
-				done <- completion{pc, step(ctx, pc, &t.Instrs[pc])}
+				done <- completion{pc, step(ctx, pc, &t.Instrs[pc], worker)}
 			}
-		}()
+		}(w)
 	}
 	issued := 0
 	for _, pc := range d.Roots {
 		ready <- pc
 		issued++
+	}
+	if !schedStart.IsZero() {
+		sd := time.Since(schedStart)
+		if ctx.Metrics != nil {
+			ctx.Metrics.Schedule.Observe(sd)
+		}
+		ctx.Trace.SetSchedule(sd)
 	}
 	var firstErr error
 	for completed := 0; completed < issued; completed++ {
@@ -269,7 +314,12 @@ func runDataflow(ctx *Ctx, t *Template, workers int) error {
 	return firstErr
 }
 
-func step(ctx *Ctx, pc int, in *Instr) error {
+func step(ctx *Ctx, pc int, in *Instr, worker int) error {
+	tr := ctx.Trace // nil when tracing is disabled: the only cost below is pointer tests
+	var spanStart time.Time
+	if tr != nil {
+		spanStart = time.Now()
+	}
 	args := make([]Value, len(in.Args))
 	for i, a := range in.Args {
 		if a.IsConst() {
@@ -291,10 +341,25 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 				s.MarkedNonBind++
 			}
 		})
+		var lookStart time.Time
+		if tr != nil || ctx.Metrics != nil {
+			lookStart = time.Now()
+		}
 		res := ctx.Hook.Entry(ctx, pc, in, args)
+		var lookup time.Duration
+		if !lookStart.IsZero() {
+			lookup = time.Since(lookStart)
+			if ctx.Metrics != nil {
+				ctx.Metrics.RecyclerLookup.Observe(lookup)
+			}
+		}
 		if res.Hit {
 			if in.Ret >= 0 {
 				ctx.Stack[in.Ret] = res.Val
+			}
+			if tr != nil {
+				tr.SetRecycle(pc, reasonOr(res.Reason, "hit"))
+				tr.EndSpan(pc, in.Name(), worker, spanStart, lookup, spanRows(args), res.Val.Tuples(), res.Val.Bytes())
 			}
 			return nil
 		}
@@ -313,6 +378,10 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 		ret.Prov = prov
 		if in.Ret >= 0 {
 			ctx.Stack[in.Ret] = ret
+		}
+		if tr != nil {
+			tr.SetRecycle(pc, reasonOr(res.Reason, "miss"))
+			tr.EndSpan(pc, in.Name(), worker, spanStart, lookup, spanRows(args), ret.Tuples(), ret.Bytes())
 		}
 		return nil
 	}
@@ -335,6 +404,9 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 		if in.Ret >= 0 {
 			ctx.Stack[in.Ret] = ret
 		}
+		if tr != nil {
+			tr.EndSpan(pc, in.Name(), worker, spanStart, 0, spanRows(args), ret.Tuples(), ret.Bytes())
+		}
 		return nil
 	}
 	ret, err := fn(ctx, in, args)
@@ -344,7 +416,28 @@ func step(ctx *Ctx, pc int, in *Instr) error {
 	if in.Ret >= 0 {
 		ctx.Stack[in.Ret] = ret
 	}
+	if tr != nil {
+		tr.EndSpan(pc, in.Name(), worker, spanStart, 0, spanRows(args), ret.Tuples(), ret.Bytes())
+	}
 	return nil
+}
+
+func reasonOr(r, def string) string {
+	if r == "" {
+		return def
+	}
+	return r
+}
+
+// spanRows sums the tuple counts of the column arguments.
+func spanRows(args []Value) int {
+	n := 0
+	for _, a := range args {
+		if a.IsBat() {
+			n += a.Tuples()
+		}
+	}
+	return n
 }
 
 // OpFunc implements one abstract-machine operation.

@@ -1,6 +1,11 @@
 package recycler
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
 	"repro/internal/catalog"
 	"repro/internal/mal"
 )
@@ -49,10 +54,18 @@ func (r *Recycler) OnAbortUpdate(t *catalog.Table) {
 	}
 }
 
-// OnUpdate implements catalog.UpdateListener.
+// OnUpdate implements catalog.UpdateListener. When a tracer is
+// attached, a commit summary event (mode, invalidated count, maintain
+// applied vs. fallback with causes) is emitted AFTER the writer lock
+// is released — trace calls under the writer lock are forbidden by
+// the lockorder analyzer.
 func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
+	tr := r.tracer.Load()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	r.lockWriter()
-	defer r.mu.Unlock()
 	qname := ev.Table.QName()
 	refs := make([]ColumnRef, 0, len(ev.Cols)+1)
 	for _, c := range ev.Cols {
@@ -62,10 +75,15 @@ func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
 
 	// Fix the pool up first (under the writer lock, with pending still
 	// > 0 shielding the hit path), then publish the commit epoch.
+	invalBefore := r.pool.Invalidated
+	var sum maintSummary
+	mode := "invalidate"
 	switch r.cfg.Sync {
 	case SyncMaintain:
-		r.maintain(ev, refs)
+		mode = "maintain"
+		sum = r.maintain(ev, refs)
 	case SyncPropagate:
+		mode = "propagate"
 		r.propagate(ev, refs)
 	default:
 		// Immediate column-wise invalidation.
@@ -75,17 +93,46 @@ func (r *Recycler) OnUpdate(ev catalog.UpdateEvent) {
 			}
 		}
 	}
+	invalidated := r.pool.Invalidated - invalBefore
 
 	r.publishCommit(qname)
+	r.mu.Unlock()
+	if tr != nil {
+		tr.Event("commit."+mode, time.Since(t0), commitDetail(qname, invalidated, sum))
+	}
+}
+
+// commitDetail renders a commit event's detail string, including the
+// maintain pass's fallback causes in deterministic order.
+func commitDetail(qname string, invalidated int64, sum maintSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table=%s invalidated=%d", qname, invalidated)
+	if sum.maintained > 0 || sum.fallback > 0 {
+		fmt.Fprintf(&b, " maintained=%d fallback=%d", sum.maintained, sum.fallback)
+		causes := make([]string, 0, len(sum.causes))
+		for c := range sum.causes {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			fmt.Fprintf(&b, " fallback.%s=%d", c, sum.causes[c])
+		}
+	}
+	return b.String()
 }
 
 // OnDrop implements catalog.UpdateListener: dropping a table
 // invalidates every dependent intermediate immediately, freeing
 // resources without waiting for eviction.
 func (r *Recycler) OnDrop(t *catalog.Table) {
+	tr := r.tracer.Load()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	r.lockWriter()
-	defer r.mu.Unlock()
 	qname := t.QName()
+	invalBefore := r.pool.Invalidated
 	for ref, m := range r.pool.byCol {
 		if ref.Table != qname {
 			continue
@@ -94,7 +141,12 @@ func (r *Recycler) OnDrop(t *catalog.Table) {
 			r.invalidate(e)
 		}
 	}
+	invalidated := r.pool.Invalidated - invalBefore
 	r.publishCommit(qname)
+	r.mu.Unlock()
+	if tr != nil {
+		tr.Event("commit.drop", time.Since(t0), fmt.Sprintf("table=%s invalidated=%d", qname, invalidated))
+	}
 }
 
 // publishCommit records a completed commit in the epoch guard: bump

@@ -52,11 +52,45 @@ import (
 // entry at a mixed epoch — pending > 0 shields every affected table
 // until all refreshes have landed.
 
+// maintSummary reports one maintenance pass's outcome for the trace
+// layer: how many entries were delta-maintained, how many fell back to
+// invalidation, and why (cause → count).
+type maintSummary struct {
+	maintained int
+	fallback   int
+	causes     map[string]int
+}
+
+func (s *maintSummary) fellBack(cause string) {
+	s.fallback++
+	if s.causes == nil {
+		s.causes = map[string]int{}
+	}
+	s.causes[cause]++
+}
+
+// fallbackCause classifies why an eligible-looking entry could not be
+// delta-maintained.
+func fallbackCause(e *Entry) string {
+	switch {
+	case len(e.Args) == 0:
+		return "no-arg-snapshot" // spill-reloaded/prewarmed entry
+	case !e.deltaOneTable:
+		return "multi-table-deps"
+	case e.deltaClass == plan.DeltaNone:
+		return "ineligible-op"
+	default:
+		return "rule-failed" // includes a parent's fallback poisoning the child
+	}
+}
+
 // maintain is invoked from OnUpdate when cfg.Sync == SyncMaintain.
-// Caller holds the writer lock.
-func (r *Recycler) maintain(ev catalog.UpdateEvent, refs []ColumnRef) {
+// Caller holds the writer lock. The returned summary feeds the commit
+// trace event (emitted by OnUpdate after the lock is released).
+func (r *Recycler) maintain(ev catalog.UpdateEvent, refs []ColumnRef) maintSummary {
 	start := time.Now()
 	defer func() { r.maintainNs.Add(time.Since(start).Nanoseconds()) }()
+	var sum maintSummary
 
 	affected := map[uint64]*Entry{}
 	for _, ref := range refs {
@@ -65,7 +99,7 @@ func (r *Recycler) maintain(ev catalog.UpdateEvent, refs []ColumnRef) {
 		}
 	}
 	if len(affected) == 0 {
-		return
+		return sum
 	}
 	ids := make([]uint64, 0, len(affected))
 	for id := range affected {
@@ -74,8 +108,8 @@ func (r *Recycler) maintain(ev catalog.UpdateEvent, refs []ColumnRef) {
 	sortUint64(ids) // admission order = topological order
 
 	if ev.Kind == catalog.CommitUpdate || ev.Kind == catalog.CommitInvalidate {
-		r.maintainNonDelta(ev, ids, affected)
-		return
+		r.maintainNonDelta(ev, ids, affected, &sum)
+		return sum
 	}
 
 	dead := make(map[bat.Oid]struct{}, len(ev.Deleted))
@@ -113,18 +147,25 @@ func (r *Recycler) maintain(ev catalog.UpdateEvent, refs []ColumnRef) {
 		if ok {
 			st.ok[e.ID] = true
 			r.maintained.Add(1)
+			sum.maintained++
 		} else {
 			r.maintainFallback.Add(1)
+			sum.fellBack(fallbackCause(e))
 			r.invalidate(e)
 		}
 	}
+	return sum
 }
 
 // maintainNonDelta handles the event kinds the delta rules are
 // unsound for: in-place updates (values changed, nothing tombstoned)
 // refresh binds from the catalog and invalidate the rest; panic-path
 // events invalidate everything affected.
-func (r *Recycler) maintainNonDelta(ev catalog.UpdateEvent, ids []uint64, affected map[uint64]*Entry) {
+func (r *Recycler) maintainNonDelta(ev catalog.UpdateEvent, ids []uint64, affected map[uint64]*Entry, sum *maintSummary) {
+	cause := "inplace-update"
+	if ev.Kind == catalog.CommitInvalidate {
+		cause = "panic-invalidate"
+	}
 	for _, id := range ids {
 		e := affected[id]
 		if !e.valid.Load() {
@@ -133,10 +174,12 @@ func (r *Recycler) maintainNonDelta(ev catalog.UpdateEvent, ids []uint64, affect
 		if ev.Kind == catalog.CommitUpdate && e.OpName == "sql.bind" && len(e.Args) > 0 {
 			if r.refreshBindFromCatalog(e) {
 				r.maintained.Add(1)
+				sum.maintained++
 				continue
 			}
 		}
 		r.maintainFallback.Add(1)
+		sum.fellBack(cause)
 		r.invalidate(e)
 	}
 }

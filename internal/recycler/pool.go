@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/mal"
 	"repro/internal/plan"
+	"repro/internal/trace"
 )
 
 // ColumnRef names a persistent column an intermediate depends on.
@@ -221,6 +222,11 @@ type Pool struct {
 	// hit path and the total time they spent blocked.
 	shardWaits  atomic.Int64
 	shardWaitNs atomic.Int64
+
+	// metrics, when set (via Recycler.SetTracer), receives the same
+	// shard-wait observations as a histogram. Atomic pointer: the
+	// tracer may attach while hit traffic is already running.
+	metrics atomic.Pointer[trace.Metrics]
 }
 
 // NewPool creates an empty pool.
@@ -305,8 +311,12 @@ func (p *Pool) LookupHit(sig string) (e *Entry, res mal.Value, ok bool) {
 	if !sh.mu.TryRLock() {
 		start := time.Now()
 		sh.mu.RLock()
-		p.shardWaitNs.Add(time.Since(start).Nanoseconds())
+		wait := time.Since(start)
+		p.shardWaitNs.Add(wait.Nanoseconds())
 		p.shardWaits.Add(1)
+		if m := p.metrics.Load(); m != nil {
+			m.ShardLockWait.Observe(wait)
+		}
 	}
 	e = sh.bySig[sig]
 	if e != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/mal"
 	"repro/internal/plan"
+	"repro/internal/trace"
 )
 
 // SyncMode selects how the pool reacts to updates of persistent data
@@ -153,6 +154,15 @@ type Recycler struct {
 	maintainNs       atomic.Int64
 	deltaRows        atomic.Int64
 
+	// Observability plumbing (PR 9). tracer receives commit-maintenance
+	// summary events (emitted after the writer lock is released —
+	// machine-checked); metrics mirrors tracer's histogram set for the
+	// wait-free lock-wait and spill-I/O observations. Both are atomic
+	// pointers because SetTracer may run after the spiller goroutine
+	// started; nil means tracing is off.
+	tracer  atomic.Pointer[trace.Tracer]
+	metrics atomic.Pointer[trace.Metrics]
+
 	// testBeforeRevalidate, when set by tests, runs between combined
 	// subsumption's unlocked piecewise execution and its re-validation
 	// under the writer lock — the window a concurrent invalidation
@@ -185,16 +195,35 @@ func New(cat *catalog.Catalog, cfg Config) *Recycler {
 	return r
 }
 
+// SetTracer attaches the observability layer: the recycler emits
+// commit summaries to it and observes writer/shard lock waits and
+// spill I/O into its histograms. Safe to call at any time (atomic
+// publication); engines wire it before serving traffic.
+func (r *Recycler) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	r.tracer.Store(t)
+	r.metrics.Store(t.Metrics())
+	r.pool.metrics.Store(t.Metrics())
+}
+
 // lockWriter acquires the writer lock, recording contention. The
 // TryLock fast path keeps the uncontended case free of clock reads.
+// The histogram observation is wait-free (the lint-sanctioned trace
+// operation under a held lock).
 func (r *Recycler) lockWriter() {
 	if r.mu.TryLock() {
 		return
 	}
 	start := time.Now()
 	r.mu.Lock()
-	r.writerWaitNs.Add(time.Since(start).Nanoseconds())
+	wait := time.Since(start)
+	r.writerWaitNs.Add(wait.Nanoseconds())
 	r.writerWaits.Add(1)
+	if m := r.metrics.Load(); m != nil {
+		m.WriterLockWait.Observe(wait)
+	}
 }
 
 // Close detaches the recycler from the catalog's listener list and
@@ -483,12 +512,12 @@ func (r *Recycler) Entry(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value) 
 					s.HitsNonBind++
 				}
 			})
-			return mal.EntryResult{Hit: true, Val: res}
+			return mal.EntryResult{Hit: true, Val: res, Reason: "hit:exact"}
 		}
 		// Second tier: an exact miss consults the disk-backed spill
 		// store before falling through to subsumption or recomputation.
 		if r.cfg.Spill != nil {
-			if res, ok := r.reloadFromSpill(ctx, in, args, sig, key); ok {
+			if res, ok := r.reloadFromSpill(ctx, pc, in, args, sig, key); ok {
 				return res
 			}
 		}
@@ -544,21 +573,28 @@ func (r *Recycler) noteReuse(ctx *mal.Ctx, in *mal.Instr, e *Entry) {
 }
 
 // Exit implements recycleExit (Algorithm 1, lines 18–23): admission of
-// the freshly computed intermediate, after making room if needed.
+// the freshly computed intermediate, after making room if needed. The
+// admission outcome is recorded on the query trace AFTER the writer
+// lock is released (lockorder's trace rule), on the same worker
+// goroutine that will complete the span.
 func (r *Recycler) Exit(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite) uint64 {
 	sig, key, matchable := signature(in, args)
 	if !matchable {
+		ctx.Trace.SetAdmission(pc, "skip:unmatchable")
 		return 0
 	}
 	r.lockWriter()
-	defer r.mu.Unlock()
-	return r.exitLocked(ctx, pc, in, args, ret, elapsed, rw, sig, key)
+	prov, reason := r.exitLocked(ctx, pc, in, args, ret, elapsed, rw, sig, key)
+	r.mu.Unlock()
+	ctx.Trace.SetAdmission(pc, reason)
+	return prov
 }
 
 // exitLocked is the admission body; the caller holds the writer lock.
 // Combined subsumption admits its computed result through this path
-// after its re-validation step.
-func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite, sig plan.Signature, sigKey string) uint64 {
+// after its re-validation step. The returned reason explains the
+// outcome for the query trace.
+func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, ret mal.Value, elapsed time.Duration, rw *mal.Rewrite, sig plan.Signature, sigKey string) (uint64, string) {
 	deps, ok := r.columnDeps(in, args)
 	if !ok {
 		// A BAT operand's pool entry disappeared while the query was
@@ -567,14 +603,14 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		// Admitting it would create an entry that no future
 		// invalidation pass can find — a stale result resurrected
 		// past the update that killed its lineage.
-		return 0
+		return 0, "deny:lineage-unknown"
 	}
 	if r.staleForQuery(ctx.QueryID, deps) {
 		// A table this intermediate depends on committed an update
 		// while the query was running: the operands may predate the
 		// update, and admitting them now would outlive the
 		// invalidation pass that already ran.
-		return 0
+		return 0, "deny:epoch-stale"
 	}
 	if existing := r.pool.Lookup(sigKey); existing != nil {
 		// Another query re-admitted the same signature concurrently.
@@ -583,28 +619,28 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 		// immediate eviction victim.
 		existing.LastUseTick.Store(r.pool.Tick())
 		existing.pinnedQuery.Store(ctx.QueryID)
-		return existing.ID
+		return existing.ID, "admit:dup-refreshed"
 	}
 	key := instrKey{templ: ctx.Template.ID, pc: pc}
 	if !r.adm.admit(key) {
-		return 0
+		return 0, "deny:admission-policy"
 	}
 	bytes := ret.Bytes()
 	if r.cfg.MaxBytes > 0 && bytes > r.cfg.MaxBytes {
 		r.adm.refund(key)
-		return 0
+		return 0, "deny:too-large:refunded"
 	}
 	protect := protectSet(args)
 	if r.cfg.MaxBytes > 0 && r.pool.Bytes()+bytes > r.cfg.MaxBytes {
 		if !r.cleanCache(r.pool.Bytes()+bytes-r.cfg.MaxBytes, 0, protect) {
 			r.adm.refund(key)
-			return 0
+			return 0, "deny:no-room:refunded"
 		}
 	}
 	if r.cfg.MaxEntries > 0 && r.pool.Len()+1 > r.cfg.MaxEntries {
 		if !r.cleanCache(0, r.pool.Len()+1-r.cfg.MaxEntries, protect) {
 			r.adm.refund(key)
-			return 0
+			return 0, "deny:no-room:refunded"
 		}
 	}
 	e := r.buildEntry(ctx, pc, in, args, ret, elapsed, sig, sigKey, deps)
@@ -613,7 +649,7 @@ func (r *Recycler) exitLocked(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Va
 	}
 	r.pool.Add(e)
 	e.pinnedQuery.Store(ctx.QueryID)
-	return e.ID
+	return e.ID, "admit:granted"
 }
 
 func protectSet(args []mal.Value) map[uint64]bool {

@@ -229,11 +229,20 @@ func (r *Recycler) demoteLocked(e *Entry) {
 	}
 }
 
-// spiller drains the demotion queue onto the disk tier.
+// spiller drains the demotion queue onto the disk tier, observing the
+// demote I/O latency when a tracer is attached.
 func (r *Recycler) spiller() {
 	defer close(r.spillDone)
 	for rec := range r.spillQ {
+		m := r.metrics.Load()
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		r.cfg.Spill.Spill(rec)
+		if m != nil {
+			m.SpillIO.Observe(time.Since(t0))
+		}
 		r.spilled.Add(1)
 	}
 }
@@ -315,7 +324,7 @@ func entryFromSpill(rec *SpillRecord, sig string, dependsOn []uint64, tick int64
 // run-time form (the same values the exact-match lookup just missed
 // on); the canonical lookup key is derived from sig, lock-free,
 // through the pool's canonByID mirror.
-func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, in *mal.Instr, args []mal.Value, sig plan.Signature, key string) (mal.EntryResult, bool) {
+func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal.Value, sig plan.Signature, key string) (mal.EntryResult, bool) {
 	tier := r.cfg.Spill
 	if tier == nil || tier.Empty() {
 		// Cheap gate: a cold tier must not add per-miss work.
@@ -325,7 +334,23 @@ func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 	if !ok {
 		return mal.EntryResult{}, false
 	}
+	// The tier lookup is disk I/O; time it before any lock is taken so
+	// the trace event and histogram observation are lock-free.
+	m := r.metrics.Load()
+	var t0 time.Time
+	if ctx.Trace != nil || m != nil {
+		t0 = time.Now()
+	}
 	rec, ok := tier.Lookup(canon)
+	if !t0.IsZero() {
+		d := time.Since(t0)
+		if m != nil {
+			m.SpillIO.Observe(d)
+		}
+		if ctx.Trace != nil {
+			ctx.Trace.AddEvent(pc, "spill.lookup", d, canon)
+		}
+	}
 	if !ok {
 		return mal.EntryResult{}, false
 	}
@@ -364,7 +389,7 @@ func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 				s.HitsNonBind++
 			}
 		})
-		return mal.EntryResult{Hit: true, Val: e.Result}, true
+		return mal.EntryResult{Hit: true, Val: e.Result, Reason: "hit:exact"}, true
 	}
 	// Make room within the configured bounds; reloads bypass the
 	// admission policy (the instruction earned its place when it was
@@ -410,7 +435,11 @@ func (r *Recycler) reloadFromSpill(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 			s.HitsNonBind++
 		}
 	})
-	return mal.EntryResult{Hit: true, Val: val}, true
+	reason := "hit:spill-reload"
+	if !admit {
+		reason = "hit:spill-disk-only"
+	}
+	return mal.EntryResult{Hit: true, Val: val, Reason: reason}, true
 }
 
 // lineageOf extracts the distinct pool-entry provenances of the BAT

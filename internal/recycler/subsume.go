@@ -122,7 +122,7 @@ func (r *Recycler) subsumeSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []mal
 		id := best.ID
 		r.mu.Unlock()
 		ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
-		return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}}
+		return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}, Reason: "rewrite:subsume-select"}
 	}
 
 	if !r.cfg.CombinedSubsumption || lo == nil || hi == nil {
@@ -336,9 +336,9 @@ func (r *Recycler) combinedSelect(ctx *mal.Ctx, pc int, in *mal.Instr, args []ma
 	// Admit the combined result under the original signature so later
 	// instances match exactly.
 	if sig, key, ok := signature(in, args); ok {
-		val.Prov = r.exitLocked(ctx, pc, in, args, val, elapsed, nil, sig, key)
+		val.Prov, _ = r.exitLocked(ctx, pc, in, args, val, elapsed, nil, sig, key)
 	}
-	return mal.EntryResult{Hit: true, Val: val}
+	return mal.EntryResult{Hit: true, Val: val, Reason: "hit:combined"}
 }
 
 // subsumeLike implements the LIKE special case of select subsumption:
@@ -375,7 +375,7 @@ func (r *Recycler) subsumeLike(ctx *mal.Ctx, in *mal.Instr, args []mal.Value) ma
 	id := best.ID
 	r.mu.Unlock()
 	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
-	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}}
+	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}, Reason: "rewrite:subsume-like"}
 }
 
 // literalRunContains reports whether lit occurs inside a single
@@ -424,7 +424,7 @@ func (r *Recycler) subsumeSemijoin(ctx *mal.Ctx, in *mal.Instr, args []mal.Value
 	id := best.ID
 	r.mu.Unlock()
 	ctx.UpdateStats(func(s *mal.QueryStats) { s.Subsumed++ })
-	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}}
+	return mal.EntryResult{Rewrite: &mal.Rewrite{Args: newArgs, SubsetOf: id}, Reason: "rewrite:subsume-semijoin"}
 }
 
 // isSubsetOf reports whether the result of entry a is a subset of the

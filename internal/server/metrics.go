@@ -115,4 +115,8 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		"Instructions promoted to unlimited credits (adapt).", st.Engine.Admission.Promoted)
 	metric("repro_admission_demoted_total", "counter",
 		"Instructions blocked from admission (adapt).", st.Engine.Admission.Demoted)
+
+	// Per-stage latency histograms (all zero when tracing is off; the
+	// families render regardless so dashboards never see them vanish).
+	s.metrics.WriteProm(w)
 }

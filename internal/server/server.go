@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/mal"
+	"repro/internal/trace"
 )
 
 // Config parametrises a Server.
@@ -59,6 +61,11 @@ type Server struct {
 
 	prepared *preparedCache
 
+	// metrics is the engine tracer's histogram registry, or a detached
+	// (never-fed) one when tracing is off so /metrics always exposes the
+	// full set of families.
+	metrics *trace.Metrics
+
 	queries  atomic.Uint64 // /query + TCP SELECTs accepted past the gate
 	execs    atomic.Uint64 // /exec statements accepted past the gate
 	errorsN  atomic.Uint64 // statements that returned an error
@@ -76,12 +83,17 @@ func New(eng *repro.Engine, cfg Config) *Server {
 	if cfg.MaxRows <= 0 {
 		cfg.MaxRows = 1000
 	}
+	metrics := eng.Tracer().Metrics()
+	if metrics == nil {
+		metrics = trace.NewMetrics()
+	}
 	return &Server{
 		eng:      eng,
 		cfg:      cfg,
 		gate:     make(chan struct{}, cfg.MaxConcurrency),
 		conns:    make(map[net.Conn]struct{}),
 		prepared: newPreparedCache(1024),
+		metrics:  metrics,
 	}
 }
 
@@ -136,6 +148,20 @@ func (s *Server) execSQL(src string) (*repro.ExecResult, error) {
 	return s.eng.Exec(tmpl, params...)
 }
 
+// execSQLTraced is execSQL returning the per-instruction trace as
+// well (nil when the engine has no tracer). Front-end timings are not
+// threaded through the prepared cache — a prepared hit skips the
+// front end entirely — so the trace's parse/optimize stages read zero
+// here; the stage histograms are still fed on cache misses inside
+// Engine.CompileSQL.
+func (s *Server) execSQLTraced(src string) (*repro.ExecResult, *trace.QueryTrace, error) {
+	tmpl, params, err := s.prepared.compile(s.eng, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.eng.ExecTraced(src, 0, 0, tmpl, params...)
+}
+
 // Shutdown gracefully stops the server: listeners close, new
 // statements are refused, in-flight statements run to completion
 // (each releasing its recycler pin through the engine's paired
@@ -179,8 +205,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- HTTP ---------------------------------------------------------------
 
-// Handler returns the HTTP API: POST /query, POST /exec, GET /stats,
-// GET /metrics, GET /healthz.
+// Handler returns the HTTP API: POST /query (?trace=1 returns the
+// per-instruction trace), POST /exec, GET /stats, GET /metrics,
+// GET /healthz, GET /debug/queries (recent + slow query traces) and
+// the standard net/http/pprof endpoints under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -191,7 +219,39 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// DebugQueriesResponse is the body of GET /debug/queries: the bounded
+// recent-query ring, the slow-query log and the tracer's commit/spill
+// event ring, most recent first.
+type DebugQueriesResponse struct {
+	// Tracing is false when the engine runs without a tracer; all the
+	// rings are empty then.
+	Tracing         bool                `json:"tracing"`
+	SlowThresholdMS int64               `json:"slow_threshold_ms"`
+	Queries         uint64              `json:"queries"`
+	Recent          []*trace.QueryTrace `json:"recent"`
+	Slow            []*trace.QueryTrace `json:"slow"`
+	Events          []trace.TracerEvent `json:"events"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	tr := s.eng.Tracer()
+	writeJSON(w, http.StatusOK, DebugQueriesResponse{
+		Tracing:         tr != nil,
+		SlowThresholdMS: tr.SlowThreshold().Milliseconds(),
+		Queries:         tr.Queries(),
+		Recent:          tr.Recent(),
+		Slow:            tr.Slow(),
+		Events:          tr.Events(),
+	})
 }
 
 // QueryRequest is the body of POST /query.
@@ -228,10 +288,13 @@ type QueryStatsJSON struct {
 	SavedUS     int64 `json:"saved_us"`
 }
 
-// QueryResponse is the body of a successful POST /query.
+// QueryResponse is the body of a successful POST /query. Trace is set
+// only when the request asked for ?trace=1 and the engine has a
+// tracer attached.
 type QueryResponse struct {
-	Results []ResultColumn `json:"results"`
-	Stats   QueryStatsJSON `json:"stats"`
+	Results []ResultColumn    `json:"results"`
+	Stats   QueryStatsJSON    `json:"stats"`
+	Trace   *trace.QueryTrace `json:"trace,omitempty"`
 }
 
 // ExecRequest is the body of POST /exec.
@@ -277,7 +340,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	s.queries.Add(1)
-	res, err := s.execSQL(req.SQL)
+	var res *repro.ExecResult
+	var qt *trace.QueryTrace
+	var err error
+	if r.URL.Query().Get("trace") == "1" {
+		res, qt, err = s.execSQLTraced(req.SQL)
+	} else {
+		res, err = s.execSQL(req.SQL)
+	}
 	if err != nil {
 		s.errorsN.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -290,6 +360,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Results: encodeResults(res.Results, maxRows),
 		Stats:   encodeStats(res.Stats),
+		Trace:   qt,
 	})
 }
 

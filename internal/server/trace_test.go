@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/recycler"
+	"repro/internal/sky"
+	"repro/internal/trace"
+)
+
+// newTracedServer is newTestServer with a tracer attached and a
+// threshold that classifies every query as slow, so the slow log is
+// exercised without sleeping.
+func newTracedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	db := sky.Generate(2000, 17)
+	eng := repro.NewEngine(db.Cat,
+		repro.WithRecycler(recycler.Config{Admission: recycler.KeepAll, Subsumption: true}),
+		repro.WithTracer(trace.New(trace.Config{SlowQuery: time.Nanosecond, RingSize: 8})),
+	)
+	s := New(eng, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		eng.Recycler().Close()
+	})
+	return s, ts
+}
+
+func postQueryTraced(t *testing.T, url, sql string) *QueryResponse {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query?trace=1: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query?trace=1: status %d", resp.StatusCode)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /query response: %v", err)
+	}
+	return &out
+}
+
+// TestQueryTraceParam is the tentpole's HTTP acceptance: ?trace=1
+// returns the per-instruction trace alongside the rows, every
+// monitored instruction carries a recycler decision reason, and a
+// repeated query shows hits.
+func TestQueryTraceParam(t *testing.T) {
+	_, ts := newTracedServer(t, Config{MaxConcurrency: 4})
+	const sql = "SELECT COUNT(*) FROM sky.photoobj WHERE ra BETWEEN 195.0 AND 197.5 AND dec BETWEEN 2.0 AND 3.0 AND mode = 1"
+
+	first := postQueryTraced(t, ts.URL, sql)
+	if first.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	if len(first.Trace.Spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	if first.Trace.SQL != sql {
+		t.Errorf("trace sql = %q, want the submitted text", first.Trace.SQL)
+	}
+	monitored := 0
+	for _, sp := range first.Trace.Spans {
+		if sp.Op == "" {
+			continue
+		}
+		if sp.Recycle != "" {
+			monitored++
+		}
+	}
+	if monitored == 0 {
+		t.Error("no span carries a recycler decision reason")
+	}
+
+	second := postQueryTraced(t, ts.URL, sql)
+	hits := 0
+	for _, sp := range second.Trace.Spans {
+		if strings.HasPrefix(sp.Recycle, "hit") {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Errorf("repeated query shows no hit reasons; spans: %+v", second.Trace.Spans)
+	}
+	if second.Trace.QueryID == first.Trace.QueryID {
+		t.Error("distinct queries share a query id")
+	}
+
+	// Without the parameter the trace stays out of the response.
+	plain, code := postQuery(t, ts.URL, sql)
+	if code != http.StatusOK {
+		t.Fatalf("plain /query: status %d", code)
+	}
+	if plain.Trace != nil {
+		t.Error("plain /query returned a trace without ?trace=1")
+	}
+}
+
+// TestQueryTraceWithoutTracer: ?trace=1 on an engine without a tracer
+// degrades to a normal response, no error.
+func TestQueryTraceWithoutTracer(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrency: 4})
+	res := postQueryTraced(t, ts.URL, "SELECT COUNT(*) FROM sky.photoobj WHERE mode = 1")
+	if res.Trace != nil {
+		t.Error("traceless engine returned a trace")
+	}
+	if len(res.Results) == 0 {
+		t.Error("traceless engine returned no rows")
+	}
+}
+
+// TestDebugQueriesEndpoint: the recent ring, slow log and event ring
+// are served at /debug/queries.
+func TestDebugQueriesEndpoint(t *testing.T) {
+	_, ts := newTracedServer(t, Config{MaxConcurrency: 4})
+	const sql = "SELECT COUNT(*) FROM sky.photoobj WHERE ra BETWEEN 195.0 AND 197.5 AND dec BETWEEN 2.0 AND 3.0 AND mode = 1"
+	postQueryTraced(t, ts.URL, sql)
+	if _, code := postQuery(t, ts.URL, sql); code != http.StatusOK {
+		t.Fatalf("plain query: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/queries")
+	if err != nil {
+		t.Fatalf("GET /debug/queries: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/queries: status %d", resp.StatusCode)
+	}
+	var out DebugQueriesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /debug/queries: %v", err)
+	}
+	if !out.Tracing {
+		t.Fatal("tracing reported off on a traced server")
+	}
+	// Both queries must appear: the recent ring sees all traffic, not
+	// just ?trace=1 requests.
+	if out.Queries < 2 {
+		t.Errorf("queries = %d, want >= 2", out.Queries)
+	}
+	if len(out.Recent) < 2 {
+		t.Errorf("recent ring holds %d traces, want >= 2", len(out.Recent))
+	}
+	if len(out.Slow) < 2 {
+		t.Errorf("slow log holds %d traces with a 1ns threshold, want >= 2", len(out.Slow))
+	}
+	if out.SlowThresholdMS != 0 { // 1ns rounds to 0ms
+		t.Errorf("slow_threshold_ms = %d, want 0", out.SlowThresholdMS)
+	}
+}
+
+// TestDebugQueriesWithoutTracer: the endpoint answers (empty) when
+// tracing is off instead of erroring.
+func TestDebugQueriesWithoutTracer(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrency: 4})
+	resp, err := http.Get(ts.URL + "/debug/queries")
+	if err != nil {
+		t.Fatalf("GET /debug/queries: %v", err)
+	}
+	defer resp.Body.Close()
+	var out DebugQueriesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /debug/queries: %v", err)
+	}
+	if out.Tracing || len(out.Recent) != 0 || len(out.Slow) != 0 {
+		t.Errorf("traceless /debug/queries not empty: %+v", out)
+	}
+}
+
+// TestPprofWired: the standard pprof index answers on the ops mux.
+func TestPprofWired(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrency: 4})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsHistogramExposition validates the /metrics exposition
+// format for the new histogram families: at least 5 histogram-typed
+// families, each with cumulative non-decreasing buckets, a +Inf
+// bucket equal to _count, and a _sum sample.
+func TestMetricsHistogramExposition(t *testing.T) {
+	s, ts := newTracedServer(t, Config{MaxConcurrency: 4})
+	// Feed the histograms real observations first.
+	postQueryTraced(t, ts.URL, "SELECT COUNT(*) FROM sky.photoobj WHERE ra BETWEEN 195.0 AND 197.5 AND dec BETWEEN 2.0 AND 3.0 AND mode = 1")
+
+	var buf bytes.Buffer
+	s.WriteMetrics(&buf)
+
+	type family struct {
+		typ     string
+		buckets []struct {
+			le    float64
+			inf   bool
+			count int64
+		}
+		sum, count string
+	}
+	families := map[string]*family{}
+	get := func(name string) *family {
+		f := families[name]
+		if f == nil {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			get(parts[2]).typ = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		switch {
+		case strings.Contains(key, "_bucket{le=\""):
+			name := key[:strings.Index(key, "_bucket{")]
+			leStr := key[strings.Index(key, "le=\"")+4 : len(key)-2]
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count %q not an integer: %v", line, err)
+			}
+			b := struct {
+				le    float64
+				inf   bool
+				count int64
+			}{count: n}
+			if leStr == "+Inf" {
+				b.inf = true
+			} else if b.le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				t.Fatalf("bucket bound %q unparsable: %v", leStr, err)
+			}
+			f := get(name)
+			f.buckets = append(f.buckets, b)
+		case strings.HasSuffix(key, "_sum"):
+			get(strings.TrimSuffix(key, "_sum")).sum = val
+		case strings.HasSuffix(key, "_count"):
+			get(strings.TrimSuffix(key, "_count")).count = val
+		}
+	}
+
+	var histograms []string
+	for name, f := range families {
+		if f.typ == "histogram" {
+			histograms = append(histograms, name)
+		}
+	}
+	sort.Strings(histograms)
+	if len(histograms) < 5 {
+		t.Fatalf("only %d histogram families exposed (%v), want >= 5", len(histograms), histograms)
+	}
+	for _, name := range histograms {
+		f := families[name]
+		if len(f.buckets) == 0 {
+			t.Errorf("%s: no buckets", name)
+			continue
+		}
+		last := f.buckets[len(f.buckets)-1]
+		if !last.inf {
+			t.Errorf("%s: final bucket is not le=\"+Inf\"", name)
+		}
+		prev := int64(-1)
+		prevLE := -1.0
+		for _, b := range f.buckets {
+			if b.count < prev {
+				t.Errorf("%s: bucket counts not cumulative (%d after %d)", name, b.count, prev)
+			}
+			prev = b.count
+			if !b.inf {
+				if b.le <= prevLE {
+					t.Errorf("%s: bucket bounds not increasing (%g after %g)", name, b.le, prevLE)
+				}
+				prevLE = b.le
+			}
+		}
+		if f.sum == "" || f.count == "" {
+			t.Errorf("%s: missing _sum or _count sample", name)
+		}
+		if n, err := strconv.ParseInt(f.count, 10, 64); err != nil || n != last.count {
+			t.Errorf("%s: _count %s != +Inf bucket %d", name, f.count, last.count)
+		}
+	}
+	// The execute histogram must have seen the queries above.
+	exec := families["repro_stage_execute_seconds"]
+	if exec == nil {
+		t.Fatal("repro_stage_execute_seconds family missing")
+	}
+	if n, _ := strconv.ParseInt(exec.count, 10, 64); n == 0 {
+		t.Error("execute histogram saw no observations after a traced query")
+	}
+}

@@ -19,6 +19,12 @@ type Options struct {
 	SyncEvery time.Duration
 	// SpillBudget caps the disk tier's total bytes (0 = unlimited).
 	SpillBudget int64
+	// OnFsync, when set, observes every WAL fsync batch: how many
+	// commit records the batch covered and the fsync's duration. The
+	// callback runs under the WAL mutex — and, when group commit is
+	// off, inside the catalog's commit hook — so it must be cheap and
+	// wait-free (a histogram observation; never a trace-recorder call).
+	OnFsync func(records int, d time.Duration)
 }
 
 // Store is the persistence subsystem: an append-only WAL of committed
@@ -157,7 +163,7 @@ func (s *Store) Bootstrap(cat *catalog.Catalog) error {
 
 // attach opens the WAL for appending and installs the commit hook.
 func (s *Store) attach(cat *catalog.Catalog) error {
-	w, err := openWAL(filepath.Join(s.dir, "wal"), s.opts.SyncEvery)
+	w, err := openWAL(filepath.Join(s.dir, "wal"), s.opts.SyncEvery, s.opts.OnFsync)
 	if err != nil {
 		return err
 	}

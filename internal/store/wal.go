@@ -34,14 +34,20 @@ import (
 type wal struct {
 	dir string
 
-	mu    sync.Mutex
-	f     *os.File
-	seg   int
-	dirty bool
+	mu      sync.Mutex
+	f       *os.File
+	seg     int
+	dirty   bool
+	pending int // records appended since the last fsync (batch size)
 
 	syncEvery time.Duration
-	stopc     chan struct{}
-	done      chan struct{}
+	// onFsync, when set, observes each fsync: the number of records the
+	// batch covered and the fsync's own duration. It runs under w.mu —
+	// implementations must be cheap and lock-free (histogram
+	// observations; never trace-recorder calls).
+	onFsync func(records int, d time.Duration)
+	stopc   chan struct{}
+	done    chan struct{}
 }
 
 func segName(n int) string { return fmt.Sprintf("wal-%08d.log", n) }
@@ -70,7 +76,7 @@ func listSegments(dir string) ([]string, error) {
 // openWAL opens the log directory for appending. Existing segments are
 // left untouched (recovery reads them); appends always start a fresh
 // segment so a truncated tail is never appended after.
-func openWAL(dir string, syncEvery time.Duration) (*wal, error) {
+func openWAL(dir string, syncEvery time.Duration, onFsync func(int, time.Duration)) (*wal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -83,7 +89,7 @@ func openWAL(dir string, syncEvery time.Duration) (*wal, error) {
 		fmt.Sscanf(filepath.Base(segs[len(segs)-1]), "wal-%08d.log", &next)
 		next++
 	}
-	w := &wal{dir: dir, seg: next, syncEvery: syncEvery}
+	w := &wal{dir: dir, seg: next, syncEvery: syncEvery, onFsync: onFsync}
 	if err := w.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -117,8 +123,11 @@ func (w *wal) append(payload []byte) error {
 	if err := writeFrame(w.f, payload); err != nil {
 		return err
 	}
+	w.pending++
 	if w.syncEvery == 0 {
-		return w.f.Sync()
+		// Group commit off: one fsync per record.
+		w.dirty = true
+		return w.syncLocked()
 	}
 	w.dirty = true
 	return nil
@@ -136,7 +145,15 @@ func (w *wal) syncLocked() error {
 		return nil
 	}
 	w.dirty = false
-	return w.f.Sync()
+	n := w.pending
+	w.pending = 0
+	if w.onFsync == nil {
+		return w.f.Sync()
+	}
+	t0 := time.Now()
+	err := w.f.Sync()
+	w.onFsync(n, time.Since(t0))
+	return err
 }
 
 func (w *wal) syncLoop() {

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Format renders the trace as an EXPLAIN ANALYZE table: stage summary,
+// then one row per instruction ordered by start time, with the
+// dataflow dependencies and the recycler decision for each.
+func (qt *QueryTrace) Format(w io.Writer) {
+	if qt == nil {
+		return
+	}
+	fmt.Fprintf(w, "query %d  template=%s  elapsed=%v\n",
+		qt.QueryID, qt.Template, qt.Elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "stages: parse=%v optimize=%v schedule=%v execute=%v\n",
+		qt.Stages.Parse.Round(time.Microsecond),
+		qt.Stages.Optimize.Round(time.Microsecond),
+		qt.Stages.Schedule.Round(time.Microsecond),
+		qt.Stages.Execute.Round(time.Microsecond))
+
+	order := make([]int, 0, len(qt.Spans))
+	for i := range qt.Spans {
+		if qt.Spans[i].Op != "" {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := &qt.Spans[order[a]], &qt.Spans[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return sa.PC < sb.PC
+	})
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pc\top\tdeps\tworker\tstart\tdur\trows in\trows out\tbytes\trecycle\tadmit")
+	for _, pc := range order {
+		sp := &qt.Spans[pc]
+		deps := "-"
+		if len(sp.Deps) > 0 {
+			parts := make([]string, len(sp.Deps))
+			for i, d := range sp.Deps {
+				parts[i] = fmt.Sprintf("%d", d)
+			}
+			deps = strings.Join(parts, ",")
+		}
+		rec := sp.Recycle
+		if rec == "" {
+			rec = "-"
+		}
+		adm := sp.Admit
+		if adm == "" {
+			adm = "-"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%v\t%v\t%d\t%d\t%d\t%s\t%s\n",
+			sp.PC, sp.Op, deps, sp.Worker,
+			sp.Start.Round(time.Microsecond), sp.Dur.Round(time.Microsecond),
+			sp.RowsIn, sp.RowsOut, sp.Bytes, rec, adm)
+	}
+	tw.Flush()
+
+	for _, ev := range qt.Events {
+		fmt.Fprintf(w, "event: pc=%d %s %v %s\n", ev.PC, ev.Name, ev.Dur.Round(time.Microsecond), ev.Detail)
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram with wait-free
+// observation: 26 exponential buckets from 1µs doubling to ~33s, plus
+// an overflow bucket. Observe is a single atomic increment pair, so it
+// is the ONE trace operation sanctioned under any lock (the lockorder
+// analyzer's trace rule exempts it; see internal/analysis) — lock-wait
+// telemetry is observed at the acquisition site itself.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// numBuckets is the number of finite buckets; bucket i holds
+// observations d with d <= 1µs<<i. Observations beyond the last finite
+// bound (~33.5s) land in the overflow (+Inf) bucket.
+const numBuckets = 26
+
+// bucketBound returns the upper bound of finite bucket i.
+func bucketBound(i int) time.Duration { return time.Microsecond << uint(i) }
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1000 {
+		return 0
+	}
+	idx := bits.Len64(uint64((ns - 1) / 1000))
+	if idx > numBuckets {
+		return numBuckets
+	}
+	return idx
+}
+
+// Observe records one duration. Safe for concurrent use; wait-free.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the holding bucket. Returns 0 on an empty
+// histogram; observations in the overflow bucket report the last
+// finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := 0; i <= numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == numBuckets {
+				return bucketBound(numBuckets - 1)
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return bucketBound(numBuckets - 1)
+}
+
+// promLabels holds the precomputed le="..." second-valued labels.
+var promLabels = func() [numBuckets]string {
+	var l [numBuckets]string
+	for i := range l {
+		l[i] = strconv.FormatFloat(bucketBound(i).Seconds(), 'g', -1, 64)
+	}
+	return l
+}()
+
+// WriteProm renders the histogram as one Prometheus histogram family:
+// cumulative _bucket series, _sum and _count.
+func (h *Histogram) WriteProm(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promLabels[i], cum)
+	}
+	cum += h.buckets[numBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}

@@ -1,0 +1,213 @@
+// Package trace is the engine's observability layer: an
+// allocation-light per-query span recorder threaded through mal.Ctx,
+// per-stage latency histograms in Prometheus exposition format, and a
+// Tracer that keeps a bounded ring of recent query traces plus a
+// slow-query log.
+//
+// Lock-ordering contract (machine-checked by the lockorder analyzer,
+// see internal/analysis): Recorder and Tracer methods may allocate and
+// take the tracer's internal mutex, so they must NEVER be called while
+// the recycler writer lock (Recycler.mu) or Catalog.mu is held.
+// Histogram.Observe is the single exception — it is wait-free and may
+// run anywhere, which is what makes lock-wait histograms possible.
+//
+// The Recorder itself is lock-free for span writes: spans are indexed
+// by program counter, each pc executes exactly once on one worker
+// goroutine, and the dataflow scheduler's completion channel provides
+// the happens-before edge to the goroutine that calls Finish.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one executed MAL instruction inside a query.
+type Span struct {
+	PC      int           `json:"pc"`
+	Op      string        `json:"op"`
+	Worker  int           `json:"worker"`
+	Start   time.Duration `json:"start_ns"` // offset from query start
+	Dur     time.Duration `json:"dur_ns"`
+	Lookup  time.Duration `json:"lookup_ns,omitempty"` // recycler Entry share of Dur
+	RowsIn  int           `json:"rows_in"`
+	RowsOut int           `json:"rows_out"`
+	Bytes   int64         `json:"bytes"`
+	Recycle string        `json:"recycle,omitempty"` // decision reason; "" = unmonitored instr
+	Admit   string        `json:"admit,omitempty"`   // admission outcome on the miss path
+	Deps    []int         `json:"deps,omitempty"`    // pcs this instruction consumed
+}
+
+// Event is a timed query-scoped happening outside the span grid
+// (spill-tier reload I/O, commit maintenance, ...).
+type Event struct {
+	PC     int           `json:"pc"`
+	Name   string        `json:"name"`
+	Dur    time.Duration `json:"dur_ns"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Stages breaks a query's wall time into the classic phases.
+type Stages struct {
+	Parse    time.Duration `json:"parse_ns"`
+	Optimize time.Duration `json:"optimize_ns"`
+	Schedule time.Duration `json:"schedule_ns"`
+	Execute  time.Duration `json:"execute_ns"`
+}
+
+// QueryTrace is the finished, immutable trace of one query. It is
+// plain data: safe to marshal, render, or keep in the recent ring.
+type QueryTrace struct {
+	QueryID  uint64        `json:"query_id"`
+	SQL      string        `json:"sql,omitempty"`
+	Template string        `json:"template,omitempty"`
+	Begin    time.Time     `json:"begin"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Stages   Stages        `json:"stages"`
+	Spans    []Span        `json:"spans"`
+	Events   []Event       `json:"events,omitempty"`
+}
+
+// Recorder collects spans and events for a single query. Span slots
+// are written lock-free (one writer per pc); the event list takes a
+// mutex because recycler side paths append from arbitrary call sites.
+// All methods are nil-receiver safe so callers holding an optional
+// recorder need no guard.
+type Recorder struct {
+	queryID uint64
+	sql     string
+	start   time.Time
+	spans   []Span
+	stages  Stages
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder allocates a recorder for a query with ninstr
+// instructions. One slice allocation; spans are filled in place.
+func NewRecorder(queryID uint64, sql string, ninstr int) *Recorder {
+	return &Recorder{
+		queryID: queryID,
+		sql:     sql,
+		start:   time.Now(),
+		spans:   make([]Span, ninstr),
+	}
+}
+
+// Start returns the query start time (for offsetting external clocks).
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// EndSpan completes the span for pc. Called exactly once per pc by the
+// worker that executed it. It sets fields individually so reason
+// fields written earlier on the same goroutine (SetRecycle,
+// SetAdmission) survive.
+func (r *Recorder) EndSpan(pc int, op string, worker int, start time.Time, lookup time.Duration, rowsIn, rowsOut int, bytes int64) {
+	if r == nil || pc < 0 || pc >= len(r.spans) {
+		return
+	}
+	sp := &r.spans[pc]
+	sp.PC = pc
+	sp.Op = op
+	sp.Worker = worker
+	sp.Start = start.Sub(r.start)
+	sp.Dur = time.Since(start)
+	sp.Lookup = lookup
+	sp.RowsIn = rowsIn
+	sp.RowsOut = rowsOut
+	sp.Bytes = bytes
+}
+
+// SetRecycle records the recycler's lookup decision for pc
+// ("hit:exact", "rewrite:subsume-select", "miss", ...).
+func (r *Recorder) SetRecycle(pc int, reason string) {
+	if r == nil || pc < 0 || pc >= len(r.spans) {
+		return
+	}
+	r.spans[pc].Recycle = reason
+}
+
+// SetAdmission records the admission outcome for pc's result
+// ("admit:granted", "deny:too-large:refunded", ...). Called by the
+// recycler AFTER releasing the writer lock, on the same worker
+// goroutine that will call EndSpan.
+func (r *Recorder) SetAdmission(pc int, reason string) {
+	if r == nil || pc < 0 || pc >= len(r.spans) {
+		return
+	}
+	r.spans[pc].Admit = reason
+}
+
+// SetParents stores the dataflow dependency edges (parents[pc] = pcs
+// it consumes) so the trace renders as a tree.
+func (r *Recorder) SetParents(parents [][]int) {
+	if r == nil {
+		return
+	}
+	for pc, deps := range parents {
+		if pc < len(r.spans) {
+			r.spans[pc].Deps = deps
+		}
+	}
+}
+
+// SetStages seeds the front-end stage durations (parse, optimize).
+func (r *Recorder) SetStages(parse, optimize time.Duration) {
+	if r == nil {
+		return
+	}
+	r.stages.Parse = parse
+	r.stages.Optimize = optimize
+}
+
+// SetSchedule records the dataflow scheduling stage (DAG build +
+// worker spawn + root dispatch).
+func (r *Recorder) SetSchedule(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.stages.Schedule = d
+}
+
+// AddEvent appends a query-scoped timed event. Takes the recorder
+// mutex; never call it while holding a ranked engine lock.
+func (r *Recorder) AddEvent(pc int, name string, d time.Duration, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{PC: pc, Name: name, Dur: d, Detail: detail})
+	r.mu.Unlock()
+}
+
+// Finish freezes the recorder into an immutable QueryTrace. Call once,
+// after the query's dataflow has fully completed.
+func (r *Recorder) Finish(template string, elapsed time.Duration) *QueryTrace {
+	if r == nil {
+		return nil
+	}
+	if elapsed == 0 {
+		elapsed = time.Since(r.start)
+	}
+	st := r.stages
+	st.Execute = elapsed
+	r.mu.Lock()
+	ev := r.events
+	r.events = nil
+	r.mu.Unlock()
+	return &QueryTrace{
+		QueryID:  r.queryID,
+		SQL:      r.sql,
+		Template: template,
+		Begin:    r.start,
+		Elapsed:  elapsed,
+		Stages:   st,
+		Spans:    r.spans,
+		Events:   ev,
+	}
+}
