@@ -51,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro"
@@ -76,7 +77,29 @@ func main() {
 	minHitRate := flag.Float64("min-hit-rate", 0.95, "fail the equiv experiment when the normalized exact-hit rate is below this")
 	writeFrac := flag.Float64("write-frac", 0.10, "fraction of DML operations in the rw experiment")
 	minMaintainRatio := flag.Float64("min-maintain-ratio", 2.0, "fail the rw experiment when maintain's exact-hit rate is below this multiple of invalidate's")
+	seedNaiveQPS := flag.Float64("seed-naive-qps", 0, "frozen pre-kernel-pass naive single-stream QPS (naive experiment gate reference; 0 = no gate)")
+	minNaiveSpeedup := flag.Float64("min-naive-speedup", 2.0, "fail the naive experiment when its QPS is below this multiple of -seed-naive-qps")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to FILE (scripts/profile.sh)")
 	flag.Parse()
+
+	// os.Exit skips defers, so the profile is stopped explicitly on the
+	// normal path (failed gates still flush it before exiting non-zero).
+	stopProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 
 	exps := flag.Args()
 	if len(exps) == 0 {
@@ -127,12 +150,15 @@ func main() {
 			ok = runEquiv(getDB(), *n, *variants, *seed, *minHitRate, report) && ok
 		case "rw":
 			ok = runRW(getDB(), *n, *writeFrac, *seed, *minMaintainRatio, report) && ok
+		case "naive":
+			ok = runNaive(getDB(), *n, *seed, *seedNaiveQPS, *minNaiveSpeedup, report) && ok
 		case "all":
 			d := getDB()
 			runBatch(d, *n, *seed, report)
 			runTable3(d, *n, *seed)
 			runSubsume(d, *seeds, *sel, *seed)
 			runMT(d, *n, *clients, *workers, *seed, report)
+			ok = runNaive(d, *n, *seed, *seedNaiveQPS, *minNaiveSpeedup, report) && ok
 			ok = runEquiv(d, *n, *variants, *seed, *minHitRate, report) && ok
 			ok = runRW(d, *n, *writeFrac, *seed, *minMaintainRatio, report) && ok
 		default:
@@ -141,9 +167,32 @@ func main() {
 		}
 	}
 	writeReport()
+	stopProfile()
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// runNaive measures the naive single-stream SkyServer-mix QPS — the
+// baseline every recycled ratio is reported against. When seedQPS > 0
+// it also gates: the current kernels must deliver at least minSpeedup
+// times the frozen seed-kernel value (the CI regression gate for the
+// raw-speed kernel pass).
+func runNaive(db *sky.DB, n int, seed int64, seedQPS, minSpeedup float64, report *bench.Report) bool {
+	fmt.Printf("== Naive single-stream baseline: %d queries, sequential interpreter, no recycler ==\n", n)
+	res := bench.RunNaiveStream(db, n, seed)
+	bench.PrintNaive(os.Stdout, res, seedQPS)
+	if seedQPS > 0 {
+		report.AddNaiveBaseline("seed", bench.NaiveResult{QPS: seedQPS})
+	}
+	report.AddNaiveBaseline("current", res)
+	if seedQPS > 0 && res.QPS < minSpeedup*seedQPS {
+		fmt.Fprintf(os.Stderr, "FAIL: naive single-stream QPS %.1f is %.2fx the seed-kernel baseline %.1f (gate %.1fx)\n",
+			res.QPS, res.QPS/seedQPS, seedQPS, minSpeedup)
+		return false
+	}
+	fmt.Println()
+	return true
 }
 
 // runEquiv measures the normalization pipeline's effect on the

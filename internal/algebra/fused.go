@@ -1,0 +1,305 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// Fused select-chain kernel. A chain of adjacent filter instructions
+// over positionally aligned columns (select, uselect, selectNotNil,
+// like/notlike, plus semijoins against aligned binds, which merely
+// switch the active column) evaluates in ONE pass: a SelectionVector
+// of surviving positions is refined step by step, and only the final
+// member's result BAT is materialised. No intermediate BATs, no
+// per-operator gather — the streaming-iterator composition idiom
+// mapped onto MAL operator fusion.
+//
+// Fusion is an execution-time rewrite only: plan.Signature, pool keys
+// and per-instruction identity are untouched (see internal/opt's
+// PlanFusion and docs/ARCHITECTURE.md).
+
+// FusedOpKind identifies one step of a fused chain.
+type FusedOpKind uint8
+
+// Fused step kinds.
+const (
+	// FuseSelect refines by a range predicate over the active column.
+	FuseSelect FusedOpKind = iota
+	// FuseUselect refines by equality; as the last step it produces the
+	// uselect result shape (tail sharing head storage).
+	FuseUselect
+	// FuseNotNil drops rows whose active-column value is the nil
+	// sentinel.
+	FuseNotNil
+	// FuseLike refines by SQL LIKE match over a string column.
+	FuseLike
+	// FuseNotLike refines by SQL LIKE non-match.
+	FuseNotLike
+	// FuseSwitch changes the active column to Col (a semijoin against a
+	// positionally aligned bind of the same table).
+	FuseSwitch
+)
+
+// FusedStep is one member of a fused chain.
+type FusedStep struct {
+	Kind FusedOpKind
+
+	// Col is the new active column for FuseSwitch.
+	Col *bat.BAT
+
+	// Range bounds for FuseSelect (nil = open).
+	Lo, Hi       any
+	IncLo, IncHi bool
+
+	// V is the equality value for FuseUselect.
+	V any
+
+	// Pattern is the LIKE pattern for FuseLike/FuseNotLike.
+	Pattern string
+}
+
+// FusedSelect evaluates the chain over base and returns the final
+// member's result, bit-identical to running the members one at a time.
+// The caller guarantees every FuseSwitch column is positionally
+// aligned with base (same dense head).
+func FusedSelect(base *bat.BAT, steps []FusedStep) *bat.BAT {
+	if len(steps) == 0 {
+		return base
+	}
+	cur := base
+	headSorted, keyUnique := base.HeadSorted, base.KeyUnique
+	var sel bat.SelectionVector
+	first := true
+	for i := range steps {
+		st := &steps[i]
+		switch st.Kind {
+		case FuseSwitch:
+			cur = st.Col
+			headSorted, keyUnique = cur.HeadSorted, cur.KeyUnique
+		case FuseSelect:
+			if first {
+				sel = rangeSel(cur.Tail, st.Lo, st.Hi, st.IncLo, st.IncHi)
+				first = false
+			} else {
+				sel = refineRangeSel(cur.Tail, st.Lo, st.Hi, st.IncLo, st.IncHi, sel)
+			}
+		case FuseUselect:
+			if first {
+				sel = equalitySel(cur.Tail, st.V)
+				first = false
+			} else {
+				sel = refineEqualSel(cur.Tail, st.V, sel)
+			}
+		case FuseNotNil:
+			if first {
+				sel = notNilSel(cur.Tail)
+				first = false
+			} else {
+				sel = refineNotNilSel(cur.Tail, sel)
+			}
+			keyUnique = false
+		case FuseLike, FuseNotLike:
+			want := st.Kind == FuseLike
+			m := CompileLike(st.Pattern)
+			v := cur.Tail.(*bat.Strings).V
+			if first {
+				sel = make(bat.SelectionVector, 0, len(v)/8+1)
+				for i, x := range v {
+					if x != bat.NilStr && m.Match(x) == want {
+						sel = append(sel, int32(i))
+					}
+				}
+				first = false
+			} else {
+				j := 0
+				for _, p := range sel {
+					x := v[p]
+					if x != bat.NilStr && m.Match(x) == want {
+						sel[j] = p
+						j++
+					}
+				}
+				sel = sel[:j]
+			}
+			keyUnique = false
+		default:
+			panic(fmt.Sprintf("algebra: unknown fused step kind %d", st.Kind))
+		}
+	}
+	if steps[len(steps)-1].Kind == FuseUselect {
+		heads := bat.GatherOidsSel(cur.Head, sel)
+		hv := bat.NewOids(heads)
+		out := bat.New(hv, hv.Slice(0, len(heads)))
+		out.HeadSorted = headSorted
+		out.KeyUnique = keyUnique
+		return out
+	}
+	out := bat.GatherSel(cur, sel)
+	out.HeadSorted = headSorted
+	out.KeyUnique = keyUnique
+	return out
+}
+
+// refineOrdered keeps the selected positions whose value lies in
+// [lo, hi], in place. NaN values fail both comparisons, so float nils
+// drop out without a dedicated test.
+func refineOrdered[T int64 | float64 | bat.Date | bat.Oid](v []T, lo, hi T, sel bat.SelectionVector) bat.SelectionVector {
+	j := 0
+	for _, p := range sel {
+		x := v[p]
+		sel[j] = p
+		if x >= lo && x <= hi {
+			j++
+		}
+	}
+	return sel[:j]
+}
+
+// refineRangeSel refines sel by a range predicate over the tail,
+// mirroring rangeSel's normalised-bound semantics.
+func refineRangeSel(tail bat.Vector, lo, hi any, incLo, incHi bool, sel bat.SelectionVector) bat.SelectionVector {
+	switch t := tail.(type) {
+	case *bat.Ints:
+		r := normIntRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return sel[:0]
+		}
+		return refineOrdered(t.V, r.lo, r.hi, sel)
+	case *bat.Floats:
+		r := normFltRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return sel[:0]
+		}
+		return refineOrdered(t.V, r.lo, r.hi, sel)
+	case *bat.Dates:
+		r := normDateRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return sel[:0]
+		}
+		return refineOrdered(t.V, r.lo, r.hi, sel)
+	case *bat.Oids:
+		r := normOidRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return sel[:0]
+		}
+		return refineOrdered(t.V, r.lo, r.hi, sel)
+	case *bat.DenseOids:
+		r := normOidRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return sel[:0]
+		}
+		start, end := denseOidRange(t, r)
+		j := 0
+		for _, p := range sel {
+			sel[j] = p
+			if int(p) >= start && int(p) < end {
+				j++
+			}
+		}
+		return sel[:j]
+	case *bat.Strings:
+		return scanStringsRange(t.V, lo, hi, incLo, incHi, sel)
+	case *bat.Bools:
+		return scanBoolsRange(t.V, lo, hi, incLo, incHi, sel)
+	default:
+		panic(fmt.Sprintf("algebra: fused select over unsupported tail %T", tail))
+	}
+}
+
+// refineEqual keeps the selected positions whose value equals w.
+func refineEqual[T comparable](v []T, w T, sel bat.SelectionVector) bat.SelectionVector {
+	j := 0
+	for _, p := range sel {
+		x := v[p]
+		sel[j] = p
+		if x == w {
+			j++
+		}
+	}
+	return sel[:j]
+}
+
+// refineEqualSel refines sel by tail == v, mirroring equalitySel.
+func refineEqualSel(tail bat.Vector, v any, sel bat.SelectionVector) bat.SelectionVector {
+	switch t := tail.(type) {
+	case *bat.Ints:
+		return refineEqual(t.V, v.(int64), sel)
+	case *bat.Strings:
+		return refineEqual(t.V, v.(string), sel)
+	case *bat.Dates:
+		return refineEqual(t.V, v.(bat.Date), sel)
+	case *bat.Floats:
+		return refineEqual(t.V, v.(float64), sel)
+	case *bat.Oids:
+		return refineEqual(t.V, v.(bat.Oid), sel)
+	case *bat.DenseOids:
+		w := v.(bat.Oid)
+		j := 0
+		for _, p := range sel {
+			sel[j] = p
+			if t.At(int(p)) == w {
+				j++
+			}
+		}
+		return sel[:j]
+	case *bat.Bools:
+		return refineEqual(t.V, v.(bool), sel)
+	default:
+		panic(fmt.Sprintf("algebra: fused uselect over unsupported tail %T", tail))
+	}
+}
+
+// notNilSel scans the tail for non-nil positions.
+func notNilSel(tail bat.Vector) bat.SelectionVector {
+	n := tail.Len()
+	sel := bat.NewFullSel(n)
+	return refineNotNilSel(tail, sel)
+}
+
+// refineNotNilSel drops selected positions holding the nil sentinel.
+func refineNotNilSel(tail bat.Vector, sel bat.SelectionVector) bat.SelectionVector {
+	j := 0
+	switch t := tail.(type) {
+	case *bat.Ints:
+		for _, p := range sel {
+			sel[j] = p
+			if t.V[p] != bat.NilInt {
+				j++
+			}
+		}
+	case *bat.Floats:
+		for _, p := range sel {
+			x := t.V[p]
+			sel[j] = p
+			if x == x {
+				j++
+			}
+		}
+	case *bat.Strings:
+		for _, p := range sel {
+			sel[j] = p
+			if t.V[p] != bat.NilStr {
+				j++
+			}
+		}
+	case *bat.Dates:
+		for _, p := range sel {
+			sel[j] = p
+			if t.V[p] != bat.NilDate {
+				j++
+			}
+		}
+	case *bat.Oids:
+		for _, p := range sel {
+			sel[j] = p
+			if t.V[p] != bat.NilOid {
+				j++
+			}
+		}
+	default:
+		// Dense and bool tails have no nil representation.
+		return sel
+	}
+	return sel[:j]
+}

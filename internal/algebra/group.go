@@ -20,87 +20,66 @@ type Grouping struct {
 	Repr []int
 }
 
-// GroupNew groups the rows of b by tail value.
+// GroupNew groups the rows of b by tail value. Group ids are assigned
+// in first-occurrence order. Instead of a per-kind map[K]int it builds
+// one chained table over the key column and exploits that a chain's
+// first position IS the group representative: row i opens a new group
+// exactly when First(key_i) == i, otherwise it inherits the id already
+// assigned to that earlier position.
 func GroupNew(b *bat.BAT) *Grouping {
 	n := b.Len()
 	grp := make([]bat.Oid, n)
 	var repr []int
-	assign := func(i int, id int, fresh bool) {
-		grp[i] = bat.Oid(id)
-		if fresh {
-			repr = append(repr, i)
-		}
-	}
 	switch t := b.Tail.(type) {
 	case *bat.Ints:
-		m := make(map[int64]int, n)
-		for i, v := range t.V {
-			id, ok := m[v]
-			if !ok {
-				id = len(m)
-				m[v] = id
-			}
-			assign(i, id, !ok)
-		}
+		repr = groupKeys(t.V, bat.HashInt, grp)
 	case *bat.Strings:
-		m := make(map[string]int, n)
-		for i, v := range t.V {
-			id, ok := m[v]
-			if !ok {
-				id = len(m)
-				m[v] = id
-			}
-			assign(i, id, !ok)
-		}
+		repr = groupKeys(t.V, bat.HashStr, grp)
 	case *bat.Dates:
-		m := make(map[bat.Date]int, n)
-		for i, v := range t.V {
-			id, ok := m[v]
-			if !ok {
-				id = len(m)
-				m[v] = id
-			}
-			assign(i, id, !ok)
-		}
+		repr = groupKeys(t.V, bat.HashDate, grp)
 	case *bat.Oids:
-		m := make(map[bat.Oid]int, n)
-		for i, v := range t.V {
-			id, ok := m[v]
-			if !ok {
-				id = len(m)
-				m[v] = id
-			}
-			assign(i, id, !ok)
-		}
+		repr = groupKeys(t.V, bat.HashOid, grp)
 	case *bat.DenseOids:
+		repr = make([]int, t.N)
 		for i := 0; i < t.N; i++ {
-			assign(i, i, true)
+			grp[i] = bat.Oid(i)
+			repr[i] = i
 		}
 	case *bat.Floats:
-		m := make(map[float64]int, n)
-		for i, v := range t.V {
-			id, ok := m[v]
-			if !ok {
-				id = len(m)
-				m[v] = id
-			}
-			assign(i, id, !ok)
-		}
+		repr = groupKeys(t.V, bat.HashFloat, grp)
 	case *bat.Bools:
-		m := make(map[bool]int, 2)
-		for i, v := range t.V {
-			id, ok := m[v]
-			if !ok {
-				id = len(m)
-				m[v] = id
-			}
-			assign(i, id, !ok)
-		}
+		repr = groupKeys(t.V, bat.HashBool, grp)
 	default:
 		panic(fmt.Sprintf("algebra: group over unsupported tail %T", b.Tail))
 	}
 	g := bat.New(b.Head, bat.NewOids(grp))
 	return &Grouping{Grp: g, NGroups: len(repr), Repr: repr}
+}
+
+// groupKeys assigns dense group ids over a typed key slice, writing
+// row->id into grp and returning the representative positions. A probe
+// that finds no chain (float NaN, which is != itself) opens a fresh
+// group per row, the same behaviour NaN keys had under Go maps.
+func groupKeys[K comparable](keys []K, hash func(K) uint64, grp []bat.Oid) []int {
+	t := bat.NewTable(keys, hash)
+	repr := make([]int, 0, 16)
+	for i, k := range keys {
+		if f := t.First(k); int(f) == i || f < 0 {
+			grp[i] = bat.Oid(len(repr))
+			repr = append(repr, i)
+		} else {
+			grp[i] = grp[f]
+		}
+	}
+	return repr
+}
+
+// grpKey is the composite (group id, refining value) key used by
+// GroupDerive; typed instantiation avoids boxing every row's value
+// into an interface as the old map[{Oid, any}]int did.
+type grpKey[K comparable] struct {
+	g bat.Oid
+	v K
 }
 
 // GroupDerive refines grouping g with the values of b (positionally
@@ -111,16 +90,43 @@ func GroupDerive(g *Grouping, b *bat.BAT) *Grouping {
 	if g.Grp.Len() != n {
 		panic("algebra: group.derive alignment mismatch")
 	}
-	type key struct {
-		grp bat.Oid
-		val any
-	}
-	m := make(map[key]int, g.NGroups)
 	grp := make([]bat.Oid, n)
 	var repr []int
-	gv := g.Grp.Tail.(*bat.Oids)
-	for i := 0; i < n; i++ {
-		k := key{grp: gv.V[i], val: b.Tail.Get(i)}
+	ids := g.Grp.Tail.(*bat.Oids).V
+	switch t := b.Tail.(type) {
+	case *bat.Ints:
+		repr = deriveKeys(ids, t.V, grp)
+	case *bat.Strings:
+		repr = deriveKeys(ids, t.V, grp)
+	case *bat.Dates:
+		repr = deriveKeys(ids, t.V, grp)
+	case *bat.Oids:
+		repr = deriveKeys(ids, t.V, grp)
+	case *bat.DenseOids:
+		// Dense values are pairwise distinct: every row refines into
+		// its own group, ids in row order.
+		repr = make([]int, n)
+		for i := 0; i < n; i++ {
+			grp[i] = bat.Oid(i)
+			repr[i] = i
+		}
+	case *bat.Floats:
+		repr = deriveKeys(ids, t.V, grp)
+	case *bat.Bools:
+		repr = deriveKeys(ids, t.V, grp)
+	default:
+		panic(fmt.Sprintf("algebra: group.derive over unsupported tail %T", b.Tail))
+	}
+	return &Grouping{Grp: bat.New(b.Head, bat.NewOids(grp)), NGroups: len(repr), Repr: repr}
+}
+
+// deriveKeys assigns refined group ids over (prior id, typed value)
+// composite keys in first-occurrence order.
+func deriveKeys[K comparable](ids []bat.Oid, vals []K, grp []bat.Oid) []int {
+	m := make(map[grpKey[K]]int, 16)
+	repr := make([]int, 0, 16)
+	for i, v := range vals {
+		k := grpKey[K]{g: ids[i], v: v}
 		id, ok := m[k]
 		if !ok {
 			id = len(m)
@@ -129,7 +135,7 @@ func GroupDerive(g *Grouping, b *bat.BAT) *Grouping {
 		}
 		grp[i] = bat.Oid(id)
 	}
-	return &Grouping{Grp: bat.New(b.Head, bat.NewOids(grp)), NGroups: len(repr), Repr: repr}
+	return repr
 }
 
 // GroupHeads returns a BAT mapping group id -> head oid of the group's

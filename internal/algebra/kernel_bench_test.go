@@ -1,0 +1,126 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+// Size-parameterized kernel benchmarks for the raw-speed pass. Each
+// kernel runs at 1e4, 1e5 and 1e6 rows so the benchstat CI artifact
+// exposes both the per-row cost (cache-resident sizes) and the
+// bandwidth-bound regime. scripts/profile.sh pairs these with a pprof
+// capture of the full SkyServer mix.
+
+var kernelSizes = []int{10_000, 100_000, 1_000_000}
+
+func BenchmarkKernelSelect(b *testing.B) {
+	for _, n := range kernelSizes {
+		data := randInts(n, 11)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				Select(data, int64(1000), int64(1<<19), true, true)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelSelectFloat(b *testing.B) {
+	for _, n := range kernelSizes {
+		data := randFloats(n, 12)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				Select(data, 45.0, 270.0, true, true)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelHashBuild(b *testing.B) {
+	for _, n := range kernelSizes {
+		rng := rand.New(rand.NewSource(13))
+		keys := make([]bat.Oid, n)
+		for i := range keys {
+			keys[i] = bat.Oid(rng.Intn(n))
+		}
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				bat.BuildOids(keys)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelJoin(b *testing.B) {
+	for _, n := range kernelSizes {
+		rng := rand.New(rand.NewSource(14))
+		lt := make([]bat.Oid, n)
+		for i := range lt {
+			lt[i] = bat.Oid(rng.Intn(n / 10))
+		}
+		l := bat.New(bat.NewDense(0, n), bat.NewOids(lt))
+		rh := make([]bat.Oid, n/10)
+		rt := make([]int64, n/10)
+		for i := range rh {
+			rh[i] = bat.Oid(i)
+			rt[i] = int64(i)
+		}
+		r := bat.New(bat.NewOids(rh), bat.NewInts(rt))
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				Join(l, r)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelGroup(b *testing.B) {
+	for _, n := range kernelSizes {
+		rng := rand.New(rand.NewSource(15))
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(1000))
+		}
+		kb := bat.NewDenseHead(bat.NewInts(keys))
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				GroupNew(kb)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelFusedChain compares a three-conjunct select chain run
+// as three materializing kernels against the single fused pass — the
+// kernel-level view of the interpreter's fusion win.
+func BenchmarkKernelFusedChain(b *testing.B) {
+	for _, n := range kernelSizes {
+		data := randInts(n, 16)
+		steps := []FusedStep{
+			{Kind: FuseSelect, Lo: int64(1000), Hi: int64(1 << 19), IncLo: true, IncHi: true},
+			{Kind: FuseSelect, Lo: int64(2000), Hi: int64(1 << 18), IncLo: true, IncHi: true},
+			{Kind: FuseSelect, Lo: int64(4000), Hi: int64(1 << 17), IncLo: true, IncHi: true},
+		}
+		b.Run(fmt.Sprintf("unfused/rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				s1 := Select(data, int64(1000), int64(1<<19), true, true)
+				s2 := Select(s1, int64(2000), int64(1<<18), true, true)
+				Select(s2, int64(4000), int64(1<<17), true, true)
+			}
+		})
+		b.Run(fmt.Sprintf("fused/rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				FusedSelect(data, steps)
+			}
+		})
+	}
+}

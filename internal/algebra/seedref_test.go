@@ -1,0 +1,622 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+// Differential suite for the raw-speed kernel pass: every typed
+// branch-free kernel is compared against a boxed reference
+// implementation with the pre-rewrite semantics — interface-valued
+// scans that skip nil sentinels, map[any]-backed joins and dedup (so
+// float NaN never matches a probe but IS retained as a distinct key),
+// first-occurrence group ids. Inputs are randomized over every vector
+// kind, with nil sentinels mixed in and sorted variants to force the
+// binary-search fast paths.
+
+// --- boxed reference kernels ----------------------------------------------
+
+func isNilAny(v any) bool {
+	switch x := v.(type) {
+	case int64:
+		return x == bat.NilInt
+	case float64:
+		return math.IsNaN(x)
+	case string:
+		return x == bat.NilStr
+	case bat.Date:
+		return x == bat.NilDate
+	case bat.Oid:
+		return x == bat.NilOid
+	}
+	return false
+}
+
+// refSelect is the seed scan: skip nils, then Cmp-based bound checks.
+func refSelect(b *bat.BAT, lo, hi any, incLo, incHi bool) []int {
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		v := b.Tail.Get(i)
+		if isNilAny(v) {
+			continue
+		}
+		if lo != nil {
+			c := Cmp(v, lo)
+			if incLo && c < 0 || !incLo && c <= 0 {
+				continue
+			}
+		}
+		if hi != nil {
+			c := Cmp(v, hi)
+			if incHi && c > 0 || !incHi && c >= 0 {
+				continue
+			}
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// refUselect is boxed equality — any(NaN) == any(NaN) is false, so
+// float nils match nothing, and other nil sentinels match themselves.
+func refUselect(b *bat.BAT, v any) []int {
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if b.Tail.Get(i) == v {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func refSelectNotNil(b *bat.BAT) []int {
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if !isNilAny(b.Tail.Get(i)) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// refJoin is the nested-loop reference for the hash join: l order
+// outer, r order inner, boxed equality (NaN matches nothing).
+func refJoin(l, r *bat.BAT) (li, ri []int) {
+	for i := 0; i < l.Len(); i++ {
+		lv := l.Tail.Get(i)
+		if fv, ok := lv.(float64); ok && math.IsNaN(fv) {
+			continue
+		}
+		for j := 0; j < r.Len(); j++ {
+			if r.Head.Get(j) == lv {
+				li = append(li, i)
+				ri = append(ri, j)
+			}
+		}
+	}
+	return li, ri
+}
+
+func refSemijoin(l, r *bat.BAT) []int {
+	set := map[bat.Oid]bool{}
+	for j := 0; j < r.Len(); j++ {
+		set[bat.OidAt(r.Head, j)] = true
+	}
+	var idx []int
+	for i := 0; i < l.Len(); i++ {
+		if set[bat.OidAt(l.Head, i)] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func refAntiSemijoin(l, r *bat.BAT) []int {
+	set := map[bat.Oid]bool{}
+	for j := 0; j < r.Len(); j++ {
+		set[bat.OidAt(r.Head, j)] = true
+	}
+	var idx []int
+	for i := 0; i < l.Len(); i++ {
+		if !set[bat.OidAt(l.Head, i)] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// refKUnique keeps first occurrences keyed on map[any] — NaN heads are
+// stored but never found again, so every NaN row survives as distinct.
+func refKUnique(b *bat.BAT) []int {
+	seen := map[any]bool{}
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		k := b.Head.Get(i)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// refGroupNew assigns first-occurrence group ids via map[any]; NaN
+// misses every lookup and opens a fresh group per row.
+func refGroupNew(b *bat.BAT) (grp []int, ngroups int) {
+	m := map[any]int{}
+	grp = make([]int, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		k := b.Tail.Get(i)
+		if id, ok := m[k]; ok {
+			grp[i] = id
+			continue
+		}
+		id := ngroups
+		ngroups++
+		m[k] = id
+		grp[i] = id
+	}
+	return grp, ngroups
+}
+
+// --- randomized input construction ----------------------------------------
+
+// randVector builds a random vector of the given kind with ~10% nil
+// sentinels. Returned with the matching sortedness when asked. Sorted
+// float and string vectors carry no nils: their sentinels (NaN,
+// "\x00") don't occupy an end of the sort order, and the sorted
+// binary-search path intentionally keeps the seed's boxed-Cmp
+// behaviour of including in-range sentinels, which the nil-skipping
+// scan reference doesn't model.
+func randVector(rng *rand.Rand, kind bat.Kind, n int, sorted bool) bat.Vector {
+	switch kind {
+	case bat.KInt:
+		v := make([]int64, n)
+		for i := range v {
+			if rng.Intn(10) == 0 {
+				v[i] = bat.NilInt
+			} else {
+				v[i] = int64(rng.Intn(40))
+			}
+		}
+		if sorted {
+			sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		}
+		return bat.NewInts(v)
+	case bat.KFloat:
+		v := make([]float64, n)
+		for i := range v {
+			if !sorted && rng.Intn(10) == 0 {
+				v[i] = bat.NilFloat()
+			} else {
+				v[i] = float64(rng.Intn(40)) / 2
+			}
+		}
+		if sorted {
+			sort.Float64s(v)
+		}
+		return bat.NewFloats(v)
+	case bat.KDate:
+		v := make([]bat.Date, n)
+		for i := range v {
+			if rng.Intn(10) == 0 {
+				v[i] = bat.NilDate
+			} else {
+				v[i] = bat.Date(rng.Intn(400))
+			}
+		}
+		if sorted {
+			sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		}
+		return bat.NewDates(v)
+	case bat.KStr:
+		words := []string{"", "a", "ab", "abc", "b", "ba", "zz", bat.NilStr}
+		if sorted {
+			words = words[:len(words)-1]
+		}
+		v := make([]string, n)
+		for i := range v {
+			v[i] = words[rng.Intn(len(words))]
+		}
+		if sorted {
+			sort.Strings(v)
+		}
+		return bat.NewStrings(v)
+	case bat.KOid:
+		v := make([]bat.Oid, n)
+		for i := range v {
+			if rng.Intn(10) == 0 {
+				v[i] = bat.NilOid
+			} else {
+				v[i] = bat.Oid(rng.Intn(40))
+			}
+		}
+		if sorted {
+			sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		}
+		return bat.NewOids(v)
+	}
+	panic("unsupported kind")
+}
+
+// randBound draws a bound value of the kind (possibly nil = open).
+func randBound(rng *rand.Rand, kind bat.Kind) any {
+	if rng.Intn(4) == 0 {
+		return nil
+	}
+	switch kind {
+	case bat.KInt:
+		return int64(rng.Intn(44) - 2)
+	case bat.KFloat:
+		return float64(rng.Intn(44)-2) / 2
+	case bat.KDate:
+		return bat.Date(rng.Intn(440) - 20)
+	case bat.KStr:
+		return []string{"", "a", "ab", "b", "z"}[rng.Intn(5)]
+	case bat.KOid:
+		return bat.Oid(rng.Intn(44))
+	}
+	panic("unsupported kind")
+}
+
+func headsOf(b *bat.BAT) []bat.Oid {
+	h := make([]bat.Oid, b.Len())
+	for i := range h {
+		h[i] = bat.OidAt(b.Head, i)
+	}
+	return h
+}
+
+// valEq is boxed equality that treats two float nils (NaN) as equal.
+func valEq(a, b any) bool {
+	if fa, ok := a.(float64); ok {
+		if fb, ok := b.(float64); ok && math.IsNaN(fa) && math.IsNaN(fb) {
+			return true
+		}
+	}
+	return a == b
+}
+
+// expectPairs asserts out contains exactly base's (head, tail) rows at
+// the reference positions.
+func expectPairs(t *testing.T, ctxt string, base, out *bat.BAT, idx []int) {
+	t.Helper()
+	if out.Len() != len(idx) {
+		t.Fatalf("%s: got %d rows, want %d", ctxt, out.Len(), len(idx))
+	}
+	for k, i := range idx {
+		if bat.OidAt(out.Head, k) != bat.OidAt(base.Head, i) {
+			t.Fatalf("%s: row %d head = %v, want %v", ctxt, k, bat.OidAt(out.Head, k), bat.OidAt(base.Head, i))
+		}
+		if !valEq(out.Tail.Get(k), base.Tail.Get(i)) {
+			t.Fatalf("%s: row %d tail = %v, want %v", ctxt, k, out.Tail.Get(k), base.Tail.Get(i))
+		}
+	}
+}
+
+var diffKinds = []bat.Kind{bat.KInt, bat.KFloat, bat.KDate, bat.KStr, bat.KOid}
+
+// --- differential tests ----------------------------------------------------
+
+func TestSelectMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 400; trial++ {
+		kind := diffKinds[rng.Intn(len(diffKinds))]
+		sorted := rng.Intn(2) == 0
+		n := rng.Intn(60) + 1
+		b := bat.New(bat.NewDense(bat.Oid(rng.Intn(5)), n), randVector(rng, kind, n, sorted))
+		b.TailSorted = sorted
+		lo, hi := randBound(rng, kind), randBound(rng, kind)
+		incLo, incHi := rng.Intn(2) == 0, rng.Intn(2) == 0
+		got := Select(b, lo, hi, incLo, incHi)
+		want := refSelect(b, lo, hi, incLo, incHi)
+		expectPairs(t, "select", b, got, want)
+	}
+}
+
+func TestUselectMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		kind := diffKinds[rng.Intn(len(diffKinds))]
+		sorted := rng.Intn(2) == 0
+		n := rng.Intn(60) + 1
+		b := bat.New(bat.NewDense(0, n), randVector(rng, kind, n, sorted))
+		b.TailSorted = sorted
+		v := randBound(rng, kind)
+		if v == nil {
+			continue
+		}
+		got := Uselect(b, v)
+		want := refUselect(b, v)
+		if got.Len() != len(want) {
+			t.Fatalf("uselect %v n=%d v=%v: got %d rows, want %d", kind, n, v, got.Len(), len(want))
+		}
+		for k, i := range want {
+			if bat.OidAt(got.Head, k) != bat.OidAt(b.Head, i) {
+				t.Fatalf("uselect row %d: head %v want %v", k, bat.OidAt(got.Head, k), bat.OidAt(b.Head, i))
+			}
+		}
+	}
+}
+
+func TestSelectNotNilMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		kind := diffKinds[rng.Intn(len(diffKinds))]
+		n := rng.Intn(60) + 1
+		b := bat.New(bat.NewDense(0, n), randVector(rng, kind, n, false))
+		got := SelectNotNil(b)
+		want := refSelectNotNil(b)
+		expectPairs(t, "selectNotNil", b, got, want)
+	}
+}
+
+func TestJoinMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 300; trial++ {
+		// L: oid tail referencing R's head space; R head dense or
+		// materialised oids (hash path) or value-typed (value join).
+		mode := rng.Intn(3)
+		ln, rn := rng.Intn(40)+1, rng.Intn(40)+1
+		switch mode {
+		case 0, 1:
+			lt := make([]bat.Oid, ln)
+			for i := range lt {
+				lt[i] = bat.Oid(rng.Intn(rn + 10))
+			}
+			l := bat.New(bat.NewDense(0, ln), bat.NewOids(lt))
+			var r *bat.BAT
+			if mode == 0 {
+				r = bat.New(bat.NewDense(0, rn), randVector(rng, bat.KInt, rn, false))
+			} else {
+				rh := make([]bat.Oid, rn)
+				for i := range rh {
+					rh[i] = bat.Oid(rng.Intn(rn + 10))
+				}
+				r = bat.New(bat.NewOids(rh), randVector(rng, bat.KInt, rn, false))
+			}
+			got := Join(l, r)
+			li, ri := refJoin(l, r)
+			if got.Len() != len(li) {
+				t.Fatalf("join mode=%d: got %d rows, want %d", mode, got.Len(), len(li))
+			}
+			for k := range li {
+				if bat.OidAt(got.Head, k) != bat.OidAt(l.Head, li[k]) {
+					t.Fatalf("join row %d: head mismatch", k)
+				}
+				if !valEq(got.Tail.Get(k), r.Tail.Get(ri[k])) {
+					t.Fatalf("join row %d: tail mismatch", k)
+				}
+			}
+		default:
+			// Value join: int-typed join column.
+			kind := []bat.Kind{bat.KInt, bat.KFloat, bat.KStr, bat.KDate}[rng.Intn(4)]
+			l := bat.New(bat.NewDense(0, ln), randVector(rng, kind, ln, false))
+			r := bat.New(randVector(rng, kind, rn, false), randVector(rng, bat.KInt, rn, false))
+			got := Join(l, r)
+			li, ri := refJoin(l, r)
+			if got.Len() != len(li) {
+				t.Fatalf("value join %v: got %d rows, want %d", kind, got.Len(), len(li))
+			}
+			for k := range li {
+				if bat.OidAt(got.Head, k) != bat.OidAt(l.Head, li[k]) {
+					t.Fatalf("value join row %d: head mismatch", k)
+				}
+				if !valEq(got.Tail.Get(k), r.Tail.Get(ri[k])) {
+					t.Fatalf("value join row %d: tail mismatch", k)
+				}
+			}
+		}
+	}
+}
+
+func TestSemijoinMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 400; trial++ {
+		ln, rn := rng.Intn(50)+1, rng.Intn(50)+1
+		// L head: dense, sorted-unique oids, or arbitrary oids — covers
+		// all three Semijoin strategies plus the probe fallback.
+		var l *bat.BAT
+		switch rng.Intn(3) {
+		case 0:
+			l = bat.New(bat.NewDense(bat.Oid(rng.Intn(4)), ln), randVector(rng, bat.KInt, ln, false))
+		case 1:
+			h := make([]bat.Oid, ln)
+			seen := map[bat.Oid]bool{}
+			for i := range h {
+				v := bat.Oid(rng.Intn(200))
+				for seen[v] {
+					v = bat.Oid(rng.Intn(200))
+				}
+				seen[v] = true
+				h[i] = v
+			}
+			sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+			l = bat.New(bat.NewOids(h), randVector(rng, bat.KInt, ln, false))
+			l.HeadSorted, l.KeyUnique = true, true
+		default:
+			h := make([]bat.Oid, ln)
+			for i := range h {
+				h[i] = bat.Oid(rng.Intn(30))
+			}
+			l = bat.New(bat.NewOids(h), randVector(rng, bat.KInt, ln, false))
+		}
+		rh := make([]bat.Oid, rn)
+		for i := range rh {
+			rh[i] = bat.Oid(rng.Intn(30))
+		}
+		r := bat.New(bat.NewOids(rh), randVector(rng, bat.KInt, rn, false))
+
+		got := Semijoin(l, r)
+		want := refSemijoin(l, r)
+		expectPairs(t, "semijoin", l, got, want)
+
+		gotAnti := AntiSemijoin(l, r)
+		wantAnti := refAntiSemijoin(l, r)
+		expectPairs(t, "antisemijoin", l, gotAnti, wantAnti)
+	}
+}
+
+func TestKUniqueMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 300; trial++ {
+		kind := diffKinds[rng.Intn(len(diffKinds))]
+		n := rng.Intn(60) + 1
+		b := bat.New(randVector(rng, kind, n, false), bat.NewDense(0, n))
+		got := KUnique(b)
+		want := refKUnique(b)
+		if got.Len() != len(want) {
+			t.Fatalf("kunique %v n=%d: got %d rows, want %d", kind, n, got.Len(), len(want))
+		}
+		for k, i := range want {
+			if !valEq(got.Head.Get(k), b.Head.Get(i)) {
+				t.Fatalf("kunique row %d: head %v want %v", k, got.Head.Get(k), b.Head.Get(i))
+			}
+			if !valEq(got.Tail.Get(k), b.Tail.Get(i)) {
+				t.Fatalf("kunique row %d: tail mismatch", k)
+			}
+		}
+		if !got.KeyUnique {
+			t.Fatal("kunique result must set KeyUnique")
+		}
+	}
+}
+
+func TestGroupNewMatchesSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		kind := diffKinds[rng.Intn(len(diffKinds))]
+		n := rng.Intn(60) + 1
+		b := bat.New(bat.NewDense(0, n), randVector(rng, kind, n, false))
+		g := GroupNew(b)
+		want, ng := refGroupNew(b)
+		if g.NGroups != ng {
+			t.Fatalf("group %v n=%d: ngroups %d want %d", kind, n, g.NGroups, ng)
+		}
+		ids := g.Grp.Tail.(*bat.Oids).V
+		for i := range want {
+			if int(ids[i]) != want[i] {
+				t.Fatalf("group %v row %d: id %d want %d", kind, i, ids[i], want[i])
+			}
+		}
+		// Derive against a second random column and cross-check with a
+		// composite-key reference.
+		kind2 := diffKinds[rng.Intn(len(diffKinds))]
+		b2 := bat.New(bat.NewDense(0, n), randVector(rng, kind2, n, false))
+		d := GroupDerive(g, b2)
+		type ck struct {
+			g int
+			v any
+		}
+		m := map[ck]int{}
+		nref := 0
+		for i := 0; i < n; i++ {
+			k := ck{want[i], b2.Tail.Get(i)}
+			id, ok := m[k]
+			if !ok {
+				id = nref
+				nref++
+				m[k] = id
+			}
+			if int(d.Grp.Tail.(*bat.Oids).V[i]) != id {
+				t.Fatalf("derive row %d: id %d want %d", i, d.Grp.Tail.(*bat.Oids).V[i], id)
+			}
+		}
+		if d.NGroups != nref {
+			t.Fatalf("derive ngroups %d want %d", d.NGroups, nref)
+		}
+	}
+}
+
+func TestFusedSelectMatchesUnfusedChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(80) + 1
+		start := bat.Oid(rng.Intn(3))
+		cols := []*bat.BAT{
+			bat.New(bat.NewDense(start, n), randVector(rng, bat.KFloat, n, false)),
+			bat.New(bat.NewDense(start, n), randVector(rng, bat.KInt, n, false)),
+			bat.New(bat.NewDense(start, n), randVector(rng, bat.KStr, n, false)),
+		}
+		base := cols[rng.Intn(len(cols))]
+		nsteps := rng.Intn(4) + 1
+		var steps []FusedStep
+		cur := base
+		unfused := base
+		for s := 0; s < nsteps; s++ {
+			if s > 0 && rng.Intn(2) == 0 {
+				col := cols[rng.Intn(len(cols))]
+				steps = append(steps, FusedStep{Kind: FuseSwitch, Col: col})
+				unfused = Semijoin(col, unfused)
+				cur = col
+				continue
+			}
+			kind := cur.Tail.Kind()
+			switch {
+			case kind == bat.KStr && rng.Intn(2) == 0:
+				pat := []string{"%a%", "%b%", "a%", "%z"}[rng.Intn(4)]
+				if rng.Intn(2) == 0 {
+					steps = append(steps, FusedStep{Kind: FuseLike, Pattern: pat})
+					unfused = LikeSelect(unfused, pat)
+				} else {
+					steps = append(steps, FusedStep{Kind: FuseNotLike, Pattern: pat})
+					unfused = NotLikeSelect(unfused, pat)
+				}
+			case rng.Intn(4) == 0:
+				steps = append(steps, FusedStep{Kind: FuseNotNil})
+				unfused = SelectNotNil(unfused)
+			default:
+				lo, hi := randBound(rng, kind), randBound(rng, kind)
+				incLo, incHi := rng.Intn(2) == 0, rng.Intn(2) == 0
+				steps = append(steps, FusedStep{Kind: FuseSelect, Lo: lo, Hi: hi, IncLo: incLo, IncHi: incHi})
+				unfused = Select(unfused, lo, hi, incLo, incHi)
+			}
+		}
+		// Optionally terminate with a uselect.
+		if rng.Intn(3) == 0 {
+			v := randBound(rng, cur.Tail.Kind())
+			if v != nil {
+				steps = append(steps, FusedStep{Kind: FuseUselect, V: v})
+				unfused = Uselect(unfused, v)
+			}
+		}
+		got := FusedSelect(base, steps)
+		if got.Len() != unfused.Len() {
+			t.Fatalf("trial %d: fused %d rows, unfused %d", trial, got.Len(), unfused.Len())
+		}
+		for i := 0; i < got.Len(); i++ {
+			if bat.OidAt(got.Head, i) != bat.OidAt(unfused.Head, i) {
+				t.Fatalf("trial %d row %d: head %v want %v", trial, i, bat.OidAt(got.Head, i), bat.OidAt(unfused.Head, i))
+			}
+			if !valEq(got.Tail.Get(i), unfused.Tail.Get(i)) {
+				t.Fatalf("trial %d row %d: tail %v want %v", trial, i, got.Tail.Get(i), unfused.Tail.Get(i))
+			}
+		}
+		// Flags may be more conservative than the per-instruction chain
+		// (e.g. SelectNotNil's no-drop early return keeps KeyUnique where
+		// the fused pass clears it) but must never claim a property the
+		// data lacks.
+		h := headsOf(got)
+		if got.HeadSorted {
+			for i := 1; i < len(h); i++ {
+				if h[i] < h[i-1] {
+					t.Fatalf("trial %d: HeadSorted claimed but heads descend at %d", trial, i)
+				}
+			}
+		}
+		if got.KeyUnique {
+			seen := map[bat.Oid]bool{}
+			for i, v := range h {
+				if seen[v] {
+					t.Fatalf("trial %d: KeyUnique claimed but head %v repeats at %d", trial, v, i)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}

@@ -2,10 +2,18 @@ package algebra
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bat"
 )
+
+// Range selection kernels. The scan paths are monomorphized per vector
+// kind and run branch-free inner loops over the typed slices directly
+// (store position, conditionally advance — no Get(i) any boxing, no
+// append growth). Bounds are normalised once per call into a closed
+// typed interval whose low end already excludes the type's nil
+// sentinel, so the hot loop is two comparisons per element.
 
 // Select implements the range selection algebra.select(b, lo, hi,
 // incLo, incHi): it returns the (head, tail) pairs of b whose tail
@@ -15,34 +23,86 @@ import (
 // paper's observation that range selects over ordered columns are
 // near-zero cost (§2.3).
 func Select(b *bat.BAT, lo, hi any, incLo, incHi bool) *bat.BAT {
-	if b.TailSorted && lo != nil && hi != nil {
+	if b.TailSorted && sortedRangeApplies(b.Tail, lo, hi) {
 		return selectSortedRange(b, lo, hi, incLo, incHi)
 	}
-	idx := make([]int, 0, b.Len()/4+1)
-	scanRange(b.Tail, lo, hi, incLo, incHi, func(i int) { idx = append(idx, i) })
-	out := bat.Gather(b, idx)
+	sel := rangeSel(b.Tail, lo, hi, incLo, incHi)
+	out := bat.GatherSel(b, sel)
 	out.HeadSorted = b.HeadSorted
 	out.KeyUnique = b.KeyUnique
 	return out
 }
 
+// sortedRangeApplies reports whether the binary-search fast path is
+// valid for the given bounds. With both bounds set it always is. With
+// an open bound it holds only for kinds whose nil sentinel occupies an
+// end of the sort order (ints and dates: nil is the type minimum, a
+// prefix of the sorted column; oids: nil is the maximum, a suffix).
+// Float nil is NaN and string nil "\x00" sorts above "", so open-bound
+// selects on those fall back to the scan, which skips nils explicitly.
+func sortedRangeApplies(tail bat.Vector, lo, hi any) bool {
+	if lo != nil && hi != nil {
+		return true
+	}
+	switch tail.(type) {
+	case *bat.Ints, *bat.Dates, *bat.Oids, *bat.DenseOids:
+		return true
+	}
+	return false
+}
+
+// selectSortedRange binary-searches the sorted tail for the qualifying
+// run and returns it as a zero-copy view. Open bounds clamp to the
+// first non-nil element (nils sort to one end for the kinds routed
+// here; see sortedRangeApplies).
 func selectSortedRange(b *bat.BAT, lo, hi any, incLo, incHi bool) *bat.BAT {
 	n := b.Len()
-	at := func(i int) any { return b.Tail.Get(i) }
-	start := sort.Search(n, func(i int) bool {
-		c := Cmp(at(i), lo)
-		if incLo {
-			return c >= 0
-		}
-		return c > 0
-	})
-	end := sort.Search(n, func(i int) bool {
-		c := Cmp(at(i), hi)
-		if incHi {
+	var start, end int
+	switch t := b.Tail.(type) {
+	case *bat.Ints:
+		start, end = sortedBounds(t.V, bat.NilInt+1, math.MaxInt64, asInt(lo), asInt(hi), incLo, incHi)
+	case *bat.Dates:
+		start, end = sortedBounds(t.V, bat.NilDate+1, bat.Date(math.MaxInt32), asDate(lo), asDate(hi), incLo, incHi)
+	case *bat.Oids:
+		start, end = sortedBounds(t.V, 0, bat.NilOid-1, asOid(lo), asOid(hi), incLo, incHi)
+	case *bat.DenseOids:
+		r := normOidRange(lo, hi, incLo, incHi)
+		start, end = denseOidRange(t, r)
+	case *bat.Floats:
+		// Seed-compatible closed-bound search: comparisons go through
+		// cmpOrdered so NaN (nil) compares "equal" to any bound, as the
+		// boxed Cmp path did.
+		start = sort.Search(n, func(i int) bool {
+			c := cmpOrdered(t.V[i], lo.(float64))
+			if incLo {
+				return c >= 0
+			}
 			return c > 0
-		}
-		return c >= 0
-	})
+		})
+		end = sort.Search(n, func(i int) bool {
+			c := cmpOrdered(t.V[i], hi.(float64))
+			if incHi {
+				return c > 0
+			}
+			return c >= 0
+		})
+	default:
+		at := func(i int) any { return b.Tail.Get(i) }
+		start = sort.Search(n, func(i int) bool {
+			c := Cmp(at(i), lo)
+			if incLo {
+				return c >= 0
+			}
+			return c > 0
+		})
+		end = sort.Search(n, func(i int) bool {
+			c := Cmp(at(i), hi)
+			if incHi {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
 	if end < start {
 		end = start
 	}
@@ -51,157 +111,434 @@ func selectSortedRange(b *bat.BAT, lo, hi any, incLo, incHi bool) *bat.BAT {
 	return out
 }
 
-// scanRange calls yield(i) for every position whose tail value lies in
-// [lo, hi] respecting inclusiveness; nil bounds are open.
-func scanRange(tail bat.Vector, lo, hi any, incLo, incHi bool, yield func(int)) {
-	inLo := func(c int) bool {
-		if incLo {
-			return c >= 0
+// sortedBounds finds [start, end) of the qualifying run in a sorted
+// typed slice. nilLo/nilHi are the open-bound substitutes: the
+// smallest and largest non-nil values of the kind.
+func sortedBounds[T int64 | bat.Date | bat.Oid](v []T, nilLo, nilHi T, lo, hi *T, incLo, incHi bool) (int, int) {
+	n := len(v)
+	lov, hiv := nilLo, nilHi
+	loInc, hiInc := true, true
+	if lo != nil {
+		lov, loInc = *lo, incLo
+		if lov < nilLo {
+			lov, loInc = nilLo, true
 		}
-		return c > 0
 	}
-	inHi := func(c int) bool {
-		if incHi {
-			return c <= 0
+	if hi != nil {
+		hiv, hiInc = *hi, incHi
+		if hiv > nilHi {
+			hiv, hiInc = nilHi, true
 		}
-		return c < 0
 	}
+	start := sort.Search(n, func(i int) bool {
+		if loInc {
+			return v[i] >= lov
+		}
+		return v[i] > lov
+	})
+	end := sort.Search(n, func(i int) bool {
+		if hiInc {
+			return v[i] > hiv
+		}
+		return v[i] >= hiv
+	})
+	return start, end
+}
+
+func asInt(v any) *int64 {
+	if v == nil {
+		return nil
+	}
+	x := v.(int64)
+	return &x
+}
+
+func asDate(v any) *bat.Date {
+	if v == nil {
+		return nil
+	}
+	x := v.(bat.Date)
+	return &x
+}
+
+func asOid(v any) *bat.Oid {
+	if v == nil {
+		return nil
+	}
+	x := v.(bat.Oid)
+	return &x
+}
+
+// --- normalised typed ranges ---------------------------------------------
+//
+// Each range is a closed interval [lo, hi] in the kind's domain with
+// the nil sentinel already excluded, so scan loops need exactly two
+// comparisons and no nil test. empty short-circuits contradictory
+// bounds (e.g. an exclusive bound at the domain edge).
+
+type intRange struct {
+	lo, hi int64
+	empty  bool
+}
+
+func normIntRange(lo, hi any, incLo, incHi bool) intRange {
+	r := intRange{lo: bat.NilInt + 1, hi: math.MaxInt64}
+	if lo != nil {
+		v := lo.(int64)
+		if !incLo {
+			if v == math.MaxInt64 {
+				r.empty = true
+				return r
+			}
+			v++
+		}
+		if v > r.lo {
+			r.lo = v
+		}
+	}
+	if hi != nil {
+		v := hi.(int64)
+		if !incHi {
+			if v == math.MinInt64 {
+				r.empty = true
+				return r
+			}
+			v--
+		}
+		if v < r.hi {
+			r.hi = v
+		}
+	}
+	r.empty = r.lo > r.hi
+	return r
+}
+
+type dateRange struct {
+	lo, hi bat.Date
+	empty  bool
+}
+
+func normDateRange(lo, hi any, incLo, incHi bool) dateRange {
+	r := dateRange{lo: bat.NilDate + 1, hi: bat.Date(math.MaxInt32)}
+	if lo != nil {
+		v := lo.(bat.Date)
+		if !incLo {
+			if v == bat.Date(math.MaxInt32) {
+				r.empty = true
+				return r
+			}
+			v++
+		}
+		if v > r.lo {
+			r.lo = v
+		}
+	}
+	if hi != nil {
+		v := hi.(bat.Date)
+		if !incHi {
+			if v == bat.Date(math.MinInt32) {
+				r.empty = true
+				return r
+			}
+			v--
+		}
+		if v < r.hi {
+			r.hi = v
+		}
+	}
+	r.empty = r.lo > r.hi
+	return r
+}
+
+type oidRange struct {
+	lo, hi bat.Oid
+	empty  bool
+}
+
+func normOidRange(lo, hi any, incLo, incHi bool) oidRange {
+	r := oidRange{lo: 0, hi: bat.NilOid - 1}
+	if lo != nil {
+		v := lo.(bat.Oid)
+		if !incLo {
+			if v == bat.NilOid {
+				r.empty = true
+				return r
+			}
+			v++
+		}
+		if v > r.lo {
+			r.lo = v
+		}
+	}
+	if hi != nil {
+		v := hi.(bat.Oid)
+		if !incHi {
+			if v == 0 {
+				r.empty = true
+				return r
+			}
+			v--
+		}
+		if v < r.hi {
+			r.hi = v
+		}
+	}
+	r.empty = r.lo > r.hi
+	return r
+}
+
+type fltRange struct {
+	lo, hi float64
+	empty  bool
+}
+
+func normFltRange(lo, hi any, incLo, incHi bool) fltRange {
+	r := fltRange{lo: math.Inf(-1), hi: math.Inf(1)}
+	if lo != nil {
+		v := lo.(float64)
+		if !incLo {
+			if math.IsInf(v, 1) {
+				r.empty = true
+				return r
+			}
+			v = math.Nextafter(v, math.Inf(1))
+		}
+		if v > r.lo {
+			r.lo = v
+		}
+	}
+	if hi != nil {
+		v := hi.(float64)
+		if !incHi {
+			if math.IsInf(v, -1) {
+				r.empty = true
+				return r
+			}
+			v = math.Nextafter(v, math.Inf(-1))
+		}
+		if v < r.hi {
+			r.hi = v
+		}
+	}
+	r.empty = r.lo > r.hi
+	return r
+}
+
+// denseOidRange intersects a dense oid run with a normalised range,
+// returning positional [start, end).
+func denseOidRange(t *bat.DenseOids, r oidRange) (int, int) {
+	if r.empty || t.N == 0 {
+		return 0, 0
+	}
+	start, end := 0, t.N
+	if r.lo > t.Start {
+		start = int(r.lo - t.Start)
+		if start > t.N {
+			start = t.N
+		}
+	}
+	last := t.Start + bat.Oid(t.N-1)
+	if r.hi < last {
+		end = t.N - int(last-r.hi)
+		if end < 0 {
+			end = 0
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// rangeSel scans the tail and returns the qualifying positions. The
+// per-kind loops are branch-free: store the candidate position, then
+// advance the write cursor only when the predicate holds.
+func rangeSel(tail bat.Vector, lo, hi any, incLo, incHi bool) bat.SelectionVector {
 	switch t := tail.(type) {
 	case *bat.Ints:
-		var lov, hiv int64
-		if lo != nil {
-			lov = lo.(int64)
+		r := normIntRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return nil
 		}
-		if hi != nil {
-			hiv = hi.(int64)
-		}
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
 		for i, v := range t.V {
-			if v == bat.NilInt {
-				continue
+			sel[j] = int32(i)
+			if v >= r.lo && v <= r.hi {
+				j++
 			}
-			if lo != nil && !inLo(cmpOrdered(v, lov)) {
-				continue
-			}
-			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
-				continue
-			}
-			yield(i)
 		}
+		return sel[:j]
 	case *bat.Floats:
-		var lov, hiv float64
-		if lo != nil {
-			lov = lo.(float64)
+		r := normFltRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return nil
 		}
-		if hi != nil {
-			hiv = hi.(float64)
-		}
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
 		for i, v := range t.V {
-			if bat.IsNilFloat(v) {
-				continue
+			// NaN (the float nil) fails both comparisons.
+			sel[j] = int32(i)
+			if v >= r.lo && v <= r.hi {
+				j++
 			}
-			if lo != nil && !inLo(cmpOrdered(v, lov)) {
-				continue
-			}
-			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
-				continue
-			}
-			yield(i)
 		}
+		return sel[:j]
 	case *bat.Dates:
-		var lov, hiv bat.Date
-		if lo != nil {
-			lov = lo.(bat.Date)
+		r := normDateRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return nil
 		}
-		if hi != nil {
-			hiv = hi.(bat.Date)
-		}
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
 		for i, v := range t.V {
-			if v == bat.NilDate {
-				continue
+			sel[j] = int32(i)
+			if v >= r.lo && v <= r.hi {
+				j++
 			}
-			if lo != nil && !inLo(cmpOrdered(v, lov)) {
-				continue
-			}
-			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
-				continue
-			}
-			yield(i)
 		}
-	case *bat.Strings:
-		var lov, hiv string
-		if lo != nil {
-			lov = lo.(string)
-		}
-		if hi != nil {
-			hiv = hi.(string)
-		}
-		for i, v := range t.V {
-			if v == bat.NilStr {
-				continue
-			}
-			if lo != nil && !inLo(Cmp(v, lov)) {
-				continue
-			}
-			if hi != nil && !inHi(Cmp(v, hiv)) {
-				continue
-			}
-			yield(i)
-		}
+		return sel[:j]
 	case *bat.Oids:
-		var lov, hiv bat.Oid
-		if lo != nil {
-			lov = lo.(bat.Oid)
+		r := normOidRange(lo, hi, incLo, incHi)
+		if r.empty {
+			return nil
 		}
-		if hi != nil {
-			hiv = hi.(bat.Oid)
-		}
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
 		for i, v := range t.V {
-			if v == bat.NilOid {
-				continue
+			sel[j] = int32(i)
+			if v >= r.lo && v <= r.hi {
+				j++
 			}
-			if lo != nil && !inLo(cmpOrdered(v, lov)) {
-				continue
-			}
-			if hi != nil && !inHi(cmpOrdered(v, hiv)) {
-				continue
-			}
-			yield(i)
 		}
+		return sel[:j]
 	case *bat.DenseOids:
-		for i := 0; i < t.N; i++ {
-			v := t.At(i)
-			if lo != nil && !inLo(cmpOrdered(v, lo.(bat.Oid))) {
-				continue
-			}
-			if hi != nil && !inHi(cmpOrdered(v, hi.(bat.Oid))) {
-				continue
-			}
-			yield(i)
+		r := normOidRange(lo, hi, incLo, incHi)
+		start, end := denseOidRange(t, r)
+		sel := make(bat.SelectionVector, end-start)
+		for i := range sel {
+			sel[i] = int32(start + i)
 		}
+		return sel
+	case *bat.Strings:
+		return scanStringsRange(t.V, lo, hi, incLo, incHi, nil)
 	case *bat.Bools:
-		for i, v := range t.V {
-			if lo != nil && Cmp(v, lo) < 0 {
-				continue
-			}
-			if hi != nil && Cmp(v, hi) > 0 {
-				continue
-			}
-			yield(i)
-		}
+		return scanBoolsRange(t.V, lo, hi, incLo, incHi, nil)
 	default:
 		panic(fmt.Sprintf("algebra: select over unsupported tail %T", tail))
 	}
 }
 
+// scanStringsRange selects string positions in range; when sel is
+// non-nil only those positions are considered (fusion refinement).
+// String compares dominate, so the loop keeps plain branches.
+func scanStringsRange(v []string, lo, hi any, incLo, incHi bool, sel bat.SelectionVector) bat.SelectionVector {
+	var lov, hiv string
+	if lo != nil {
+		lov = lo.(string)
+	}
+	if hi != nil {
+		hiv = hi.(string)
+	}
+	keep := func(x string) bool {
+		if x == bat.NilStr {
+			return false
+		}
+		if lo != nil {
+			if incLo {
+				if x < lov {
+					return false
+				}
+			} else if x <= lov {
+				return false
+			}
+		}
+		if hi != nil {
+			if incHi {
+				if x > hiv {
+					return false
+				}
+			} else if x >= hiv {
+				return false
+			}
+		}
+		return true
+	}
+	if sel == nil {
+		out := make(bat.SelectionVector, 0, len(v)/4+1)
+		for i, x := range v {
+			if keep(x) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	j := 0
+	for _, p := range sel {
+		if keep(v[p]) {
+			sel[j] = p
+			j++
+		}
+	}
+	return sel[:j]
+}
+
+// scanBoolsRange mirrors the seed's bool range semantics (false < true,
+// no nil representation).
+func scanBoolsRange(v []bool, lo, hi any, incLo, incHi bool, sel bat.SelectionVector) bat.SelectionVector {
+	keep := func(x bool) bool {
+		if lo != nil && Cmp(x, lo) < 0 {
+			return false
+		}
+		if hi != nil && Cmp(x, hi) > 0 {
+			return false
+		}
+		return true
+	}
+	if sel == nil {
+		out := make(bat.SelectionVector, 0, len(v))
+		for i, x := range v {
+			if keep(x) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	j := 0
+	for _, p := range sel {
+		if keep(v[p]) {
+			sel[j] = p
+			j++
+		}
+	}
+	return sel[:j]
+}
+
 // Uselect implements the equality selection algebra.uselect(b, v):
 // the rows of b whose tail equals v. The result's tail shares the
 // head's storage (the tail carries no information, as with MonetDB's
-// void-tailed uselect results).
+// void-tailed uselect results). Sorted tails binary-search the
+// equality run instead of scanning.
 func Uselect(b *bat.BAT, v any) *bat.BAT {
-	idx := equalityPositions(b.Tail, v)
-	heads := make([]bat.Oid, len(idx))
-	for i, p := range idx {
-		heads[i] = bat.OidAt(b.Head, p)
+	var heads []bat.Oid
+	if b.TailSorted && uselectSortedApplies(b.Tail) {
+		start, end := sortedEqualRun(b.Tail, v)
+		heads = make([]bat.Oid, end-start)
+		switch h := b.Head.(type) {
+		case *bat.Oids:
+			copy(heads, h.V[start:end])
+		case *bat.DenseOids:
+			for i := range heads {
+				heads[i] = h.Start + bat.Oid(start+i)
+			}
+		default:
+			for i := range heads {
+				heads[i] = bat.OidAt(b.Head, start+i)
+			}
+		}
+	} else {
+		sel := equalitySel(b.Tail, v)
+		heads = bat.GatherOidsSel(b.Head, sel)
 	}
 	hv := bat.NewOids(heads)
 	out := bat.New(hv, hv.Slice(0, len(heads)))
@@ -210,107 +547,195 @@ func Uselect(b *bat.BAT, v any) *bat.BAT {
 	return out
 }
 
-func equalityPositions(tail bat.Vector, v any) []int {
-	var idx []int
+// uselectSortedApplies restricts the sorted equality fast path to
+// kinds with total order under ==; float columns may contain NaN,
+// which breaks binary-search invariants, so they scan.
+func uselectSortedApplies(tail bat.Vector) bool {
+	switch tail.(type) {
+	case *bat.Ints, *bat.Dates, *bat.Oids, *bat.DenseOids, *bat.Strings:
+		return true
+	}
+	return false
+}
+
+// sortedEqualRun returns positional [start, end) of tail values == v.
+func sortedEqualRun(tail bat.Vector, v any) (int, int) {
 	switch t := tail.(type) {
 	case *bat.Ints:
 		w := v.(int64)
-		for i, x := range t.V {
-			if x == w {
-				idx = append(idx, i)
-			}
-		}
-	case *bat.Strings:
-		w := v.(string)
-		for i, x := range t.V {
-			if x == w {
-				idx = append(idx, i)
-			}
-		}
+		start := sort.Search(len(t.V), func(i int) bool { return t.V[i] >= w })
+		end := sort.Search(len(t.V), func(i int) bool { return t.V[i] > w })
+		return start, end
 	case *bat.Dates:
 		w := v.(bat.Date)
-		for i, x := range t.V {
-			if x == w {
-				idx = append(idx, i)
-			}
-		}
-	case *bat.Floats:
-		w := v.(float64)
-		for i, x := range t.V {
-			if x == w {
-				idx = append(idx, i)
-			}
-		}
+		start := sort.Search(len(t.V), func(i int) bool { return t.V[i] >= w })
+		end := sort.Search(len(t.V), func(i int) bool { return t.V[i] > w })
+		return start, end
 	case *bat.Oids:
 		w := v.(bat.Oid)
-		for i, x := range t.V {
-			if x == w {
-				idx = append(idx, i)
-			}
-		}
+		start := sort.Search(len(t.V), func(i int) bool { return t.V[i] >= w })
+		end := sort.Search(len(t.V), func(i int) bool { return t.V[i] > w })
+		return start, end
+	case *bat.Strings:
+		w := v.(string)
+		start := sort.Search(len(t.V), func(i int) bool { return t.V[i] >= w })
+		end := sort.Search(len(t.V), func(i int) bool { return t.V[i] > w })
+		return start, end
 	case *bat.DenseOids:
 		w := v.(bat.Oid)
 		if w >= t.Start && w < t.Start+bat.Oid(t.N) {
-			idx = append(idx, int(w-t.Start))
+			p := int(w - t.Start)
+			return p, p + 1
 		}
-	case *bat.Bools:
-		w := v.(bool)
+		return 0, 0
+	}
+	panic("algebra: sortedEqualRun on unsupported tail")
+}
+
+// equalitySel scans the tail for positions equal to v. Branch-free
+// store-then-advance loops per kind; matches the seed's semantics (nil
+// sentinels are NOT excluded — equality with the sentinel matches it).
+func equalitySel(tail bat.Vector, v any) bat.SelectionVector {
+	switch t := tail.(type) {
+	case *bat.Ints:
+		w := v.(int64)
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
 		for i, x := range t.V {
+			sel[j] = int32(i)
 			if x == w {
-				idx = append(idx, i)
+				j++
 			}
 		}
+		return sel[:j]
+	case *bat.Strings:
+		w := v.(string)
+		sel := make(bat.SelectionVector, 0, 8)
+		for i, x := range t.V {
+			if x == w {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	case *bat.Dates:
+		w := v.(bat.Date)
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
+		for i, x := range t.V {
+			sel[j] = int32(i)
+			if x == w {
+				j++
+			}
+		}
+		return sel[:j]
+	case *bat.Floats:
+		w := v.(float64)
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
+		for i, x := range t.V {
+			sel[j] = int32(i)
+			if x == w {
+				j++
+			}
+		}
+		return sel[:j]
+	case *bat.Oids:
+		w := v.(bat.Oid)
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
+		for i, x := range t.V {
+			sel[j] = int32(i)
+			if x == w {
+				j++
+			}
+		}
+		return sel[:j]
+	case *bat.DenseOids:
+		w := v.(bat.Oid)
+		if w >= t.Start && w < t.Start+bat.Oid(t.N) {
+			return bat.SelectionVector{int32(w - t.Start)}
+		}
+		return nil
+	case *bat.Bools:
+		w := v.(bool)
+		sel := make(bat.SelectionVector, len(t.V))
+		j := 0
+		for i, x := range t.V {
+			sel[j] = int32(i)
+			if x == w {
+				j++
+			}
+		}
+		return sel[:j]
 	default:
 		panic(fmt.Sprintf("algebra: uselect over unsupported tail %T", tail))
 	}
-	return idx
 }
 
 // SelectNotNil implements algebra.selectNotNil: rows whose tail is not
 // the type's nil sentinel.
 func SelectNotNil(b *bat.BAT) *bat.BAT {
-	idx := make([]int, 0, b.Len())
 	n := b.Len()
+	var sel bat.SelectionVector
 	switch t := b.Tail.(type) {
 	case *bat.Ints:
+		sel = make(bat.SelectionVector, n)
+		j := 0
 		for i, v := range t.V {
+			sel[j] = int32(i)
 			if v != bat.NilInt {
-				idx = append(idx, i)
+				j++
 			}
 		}
+		sel = sel[:j]
 	case *bat.Floats:
+		sel = make(bat.SelectionVector, n)
+		j := 0
 		for i, v := range t.V {
-			if !bat.IsNilFloat(v) {
-				idx = append(idx, i)
+			sel[j] = int32(i)
+			// v == v is false exactly for NaN, the float nil.
+			if v == v {
+				j++
 			}
 		}
+		sel = sel[:j]
 	case *bat.Strings:
+		sel = make(bat.SelectionVector, n)
+		j := 0
 		for i, v := range t.V {
+			sel[j] = int32(i)
 			if v != bat.NilStr {
-				idx = append(idx, i)
+				j++
 			}
 		}
+		sel = sel[:j]
 	case *bat.Dates:
+		sel = make(bat.SelectionVector, n)
+		j := 0
 		for i, v := range t.V {
+			sel[j] = int32(i)
 			if v != bat.NilDate {
-				idx = append(idx, i)
+				j++
 			}
 		}
+		sel = sel[:j]
 	case *bat.Oids:
+		sel = make(bat.SelectionVector, n)
+		j := 0
 		for i, v := range t.V {
+			sel[j] = int32(i)
 			if v != bat.NilOid {
-				idx = append(idx, i)
+				j++
 			}
 		}
+		sel = sel[:j]
 	default:
-		for i := 0; i < n; i++ {
-			idx = append(idx, i)
-		}
-	}
-	if len(idx) == n {
 		return b
 	}
-	out := bat.Gather(b, idx)
+	if len(sel) == n {
+		return b
+	}
+	out := bat.GatherSel(b, sel)
 	out.HeadSorted = b.HeadSorted
 	return out
 }
@@ -324,13 +749,13 @@ func LikeSelect(b *bat.BAT, pattern string) *bat.BAT {
 		panic("algebra: likeselect over non-string tail")
 	}
 	m := CompileLike(pattern)
-	idx := make([]int, 0, b.Len()/8+1)
+	sel := make(bat.SelectionVector, 0, b.Len()/8+1)
 	for i, v := range t.V {
 		if v != bat.NilStr && m.Match(v) {
-			idx = append(idx, i)
+			sel = append(sel, int32(i))
 		}
 	}
-	out := bat.Gather(b, idx)
+	out := bat.GatherSel(b, sel)
 	out.HeadSorted = b.HeadSorted
 	return out
 }
@@ -343,13 +768,13 @@ func NotLikeSelect(b *bat.BAT, pattern string) *bat.BAT {
 		panic("algebra: notlikeselect over non-string tail")
 	}
 	m := CompileLike(pattern)
-	idx := make([]int, 0, b.Len())
+	sel := make(bat.SelectionVector, 0, b.Len())
 	for i, v := range t.V {
 		if v != bat.NilStr && !m.Match(v) {
-			idx = append(idx, i)
+			sel = append(sel, int32(i))
 		}
 	}
-	out := bat.Gather(b, idx)
+	out := bat.GatherSel(b, sel)
 	out.HeadSorted = b.HeadSorted
 	return out
 }

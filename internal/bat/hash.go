@@ -3,90 +3,75 @@ package bat
 // HashIndex is a hash structure over a BAT's tail values supporting
 // fast key lookup, used by hash joins and semijoins. MonetDB builds
 // equivalent structures lazily on persistent BATs; we build them on
-// demand and let callers cache them.
+// demand and let callers cache them. Since the raw-speed kernel pass
+// it is a thin wrapper over the typed chained Table (table.go); the
+// Lookup* methods materialise position lists for compatibility, while
+// hot join loops iterate First/Next on the typed table directly.
 type HashIndex struct {
 	kind Kind
-	ints map[int64][]int
-	oids map[Oid][]int
-	strs map[string][]int
-	dats map[Date][]int
-	flts map[float64][]int
+	ints *Table[int64]
+	oids *Table[Oid]
+	strs *Table[string]
+	dats *Table[Date]
+	flts *Table[float64]
 }
 
 // BuildHashOnTail indexes the tail values of b, mapping value -> list
-// of positional indices.
+// of positional indices (ascending).
 func BuildHashOnTail(b *BAT) *HashIndex {
 	h := &HashIndex{kind: b.Tail.Kind()}
-	n := b.Len()
 	switch t := b.Tail.(type) {
 	case *Ints:
-		h.ints = make(map[int64][]int, n)
-		for i, v := range t.V {
-			h.ints[v] = append(h.ints[v], i)
-		}
+		h.ints = BuildInts(t.V)
 	case *Oids:
-		h.oids = make(map[Oid][]int, n)
-		for i, v := range t.V {
-			h.oids[v] = append(h.oids[v], i)
-		}
+		h.oids = BuildOids(t.V)
 	case *DenseOids:
-		h.oids = make(map[Oid][]int, n)
-		for i := 0; i < t.N; i++ {
-			h.oids[t.At(i)] = append(h.oids[t.At(i)], i)
-		}
+		h.oids = BuildOids(MaterialiseOids(t))
 	case *Strings:
-		h.strs = make(map[string][]int, n)
-		for i, v := range t.V {
-			h.strs[v] = append(h.strs[v], i)
-		}
+		h.strs = BuildStrings(t.V)
 	case *Dates:
-		h.dats = make(map[Date][]int, n)
-		for i, v := range t.V {
-			h.dats[v] = append(h.dats[v], i)
-		}
+		h.dats = BuildDates(t.V)
 	case *Floats:
-		h.flts = make(map[float64][]int, n)
-		for i, v := range t.V {
-			h.flts[v] = append(h.flts[v], i)
-		}
+		h.flts = BuildFloats(t.V)
 	default:
 		panic("bat: hash index over unsupported tail type")
 	}
 	return h
 }
 
+// collect materialises the ascending position list for key k, nil when
+// the key is absent (matching the old map lookup contract).
+func collect[K comparable](t *Table[K], k K) []int {
+	n := t.Count(k)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for p := t.First(k); p >= 0; p = t.Next(p, k) {
+		out = append(out, int(p))
+	}
+	return out
+}
+
 // LookupOid returns the positions whose indexed value equals v.
-func (h *HashIndex) LookupOid(v Oid) []int { return h.oids[v] }
+func (h *HashIndex) LookupOid(v Oid) []int { return collect(h.oids, v) }
 
 // LookupInt returns the positions whose indexed value equals v.
-func (h *HashIndex) LookupInt(v int64) []int { return h.ints[v] }
+func (h *HashIndex) LookupInt(v int64) []int { return collect(h.ints, v) }
 
 // LookupStr returns the positions whose indexed value equals v.
-func (h *HashIndex) LookupStr(v string) []int { return h.strs[v] }
+func (h *HashIndex) LookupStr(v string) []int { return collect(h.strs, v) }
 
 // LookupDate returns the positions whose indexed value equals v.
-func (h *HashIndex) LookupDate(v Date) []int { return h.dats[v] }
+func (h *HashIndex) LookupDate(v Date) []int { return collect(h.dats, v) }
 
 // LookupFloat returns the positions whose indexed value equals v.
-func (h *HashIndex) LookupFloat(v float64) []int { return h.flts[v] }
+func (h *HashIndex) LookupFloat(v float64) []int { return collect(h.flts, v) }
 
-// BuildHashOnHead indexes the head oids of b, mapping oid -> positions.
-func BuildHashOnHead(b *BAT) map[Oid][]int {
-	n := b.Len()
-	m := make(map[Oid][]int, n)
-	switch hd := b.Head.(type) {
-	case *Oids:
-		for i, v := range hd.V {
-			m[v] = append(m[v], i)
-		}
-	case *DenseOids:
-		for i := 0; i < hd.N; i++ {
-			m[hd.At(i)] = append(m[hd.At(i)], i)
-		}
-	default:
-		panic("bat: head hash over non-oid head")
-	}
-	return m
+// HeadTable indexes the head oids of b as a typed chained table; chain
+// walks enumerate positions in ascending order.
+func HeadTable(b *BAT) *Table[Oid] {
+	return BuildOids(MaterialiseOids(b.Head))
 }
 
 // HeadSet returns the set of head oids of b.

@@ -1,0 +1,55 @@
+package bat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the typed chained hash table backing joins, semijoins
+// and grouping. Sizes span cache-resident to bandwidth-bound so the
+// benchstat CI artifact shows both regimes.
+
+var tableSizes = []int{10_000, 100_000, 1_000_000}
+
+func benchKeys(n int) []Oid {
+	rng := rand.New(rand.NewSource(21))
+	keys := make([]Oid, n)
+	for i := range keys {
+		keys[i] = Oid(rng.Intn(n))
+	}
+	return keys
+}
+
+func BenchmarkTableBuild(b *testing.B) {
+	for _, n := range tableSizes {
+		keys := benchKeys(n)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				BuildOids(keys)
+			}
+		})
+	}
+}
+
+func BenchmarkTableProbe(b *testing.B) {
+	for _, n := range tableSizes {
+		keys := benchKeys(n)
+		t := BuildOids(keys)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				var hits int
+				for _, k := range keys {
+					if t.First(k) >= 0 {
+						hits++
+					}
+				}
+				if hits == 0 {
+					b.Fatal("no probe hits")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation distorts wall-clock ratios (it
+// multiplies per-access memory costs, compressing the recycled-vs-
+// naive speedup toward 1). Timing assertions consult it and keep only
+// their correctness checks under -race.
+const raceEnabled = true

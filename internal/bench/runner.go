@@ -14,11 +14,12 @@ import (
 // experiments): query ids are drawn atomically and each Run builds a
 // fresh context.
 type Runner struct {
-	Cat     *catalog.Catalog
-	Rec     *recycler.Recycler // nil = naive execution
-	Measure bool               // time marked instructions in naive mode
-	Workers int                // per-query dataflow parallelism (0 = GOMAXPROCS, 1 = sequential)
-	queryID atomic.Uint64
+	Cat      *catalog.Catalog
+	Rec      *recycler.Recycler // nil = naive execution
+	Measure  bool               // time marked instructions in naive mode
+	Workers  int                // per-query dataflow parallelism (0 = GOMAXPROCS, 1 = sequential)
+	NoFusion bool               // disable fused select-chain execution
+	queryID  atomic.Uint64
 }
 
 // NewNaive builds a runner without recycling (optionally measuring
@@ -28,21 +29,28 @@ type Runner struct {
 // admission/eviction bookkeeping is defined in terms of program-order
 // execution, so they default to the sequential interpreter
 // (Workers = 1). The multi-client harness sets Workers explicitly.
+//
+// They also disable select-chain fusion: a recycled run of monitored
+// instructions never fuses (admission is per instruction), so the
+// recycled-vs-naive ratios the paper reports only isolate recycling if
+// the naive arm executes the identical per-instruction kernels. The
+// naive-baseline experiment (RunNaiveStream) measures the full kernel
+// stack, fusion included, and is gated separately in CI.
 func NewNaive(cat *catalog.Catalog, measure bool) *Runner {
-	return &Runner{Cat: cat, Measure: measure, Workers: 1}
+	return &Runner{Cat: cat, Measure: measure, Workers: 1, NoFusion: true}
 }
 
 // NewRecycled builds a runner with a fresh recycler. Sequential by
 // default, like NewNaive.
 func NewRecycled(cat *catalog.Catalog, cfg recycler.Config) *Runner {
-	return &Runner{Cat: cat, Rec: recycler.New(cat, cfg), Workers: 1}
+	return &Runner{Cat: cat, Rec: recycler.New(cat, cfg), Workers: 1, NoFusion: true}
 }
 
 // Run executes one query instance and returns its context (with
 // statistics filled in).
 func (r *Runner) Run(tmpl *mal.Template, params ...mal.Value) (*mal.Ctx, error) {
 	qid := r.queryID.Add(1)
-	ctx := &mal.Ctx{Cat: r.Cat, QueryID: qid, Measure: r.Measure, Workers: r.Workers}
+	ctx := &mal.Ctx{Cat: r.Cat, QueryID: qid, Measure: r.Measure, Workers: r.Workers, NoFusion: r.NoFusion}
 	if r.Rec != nil {
 		ctx.Hook = r.Rec
 		r.Rec.BeginQuery(qid, tmpl.ID)

@@ -1,0 +1,160 @@
+package mal
+
+import (
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+)
+
+// Fused select-chain execution. The optimizer annotates templates with
+// FusedChains (internal/opt.PlanFusion); at run time an eligible chain
+// skips its member instructions and evaluates the whole filter chain
+// in one pass at the last member's pc via algebra.FusedSelect. The
+// rewrite is invisible to the plan: signatures, pool keys and the
+// dependency DAG are those of the original instructions, and the last
+// member's result slot receives a value bit-identical to unfused
+// execution.
+
+// fusionEligible decides whether chain ci fuses in this context.
+// Recycler-monitored chains never fuse while a hook or measurement is
+// active: fusion would bypass per-instruction pool admission and the
+// potential-savings accounting, changing the recycler's observable
+// behaviour. Fusion therefore accelerates the naive execution path.
+func fusionEligible(ctx *Ctx, ci int) bool {
+	if ctx.NoFusion {
+		return false
+	}
+	ch := &ctx.Template.fused[ci]
+	return !(ch.AnyMarked && (ctx.Hook != nil || ctx.Measure))
+}
+
+// stepFused handles one instruction belonging to a fused chain.
+// Non-last members complete trivially (their single-use results only
+// exist inside the chain); the last member resolves the whole chain
+// and writes its own result slot. Under the dataflow scheduler the
+// chain's internal data dependencies serialise the members, so every
+// operand bind has completed by the time the last member runs.
+func stepFused(ctx *Ctx, pc int, in *Instr, worker int, ci int, last bool, spanStart time.Time) error {
+	t := ctx.Template
+	ch := &t.fused[ci]
+	tr := ctx.Trace
+	if !last {
+		if tr != nil {
+			tr.SetFused(pc, ch.Pcs[len(ch.Pcs)-1:])
+			tr.EndSpan(pc, in.Name(), worker, spanStart, 0, 0, 0, 0)
+		}
+		return nil
+	}
+	ret, rowsIn, err := evalFusedChain(ctx, ch)
+	if err != nil {
+		return err
+	}
+	if in.Ret >= 0 {
+		ctx.Stack[in.Ret] = ret
+	}
+	if tr != nil {
+		tr.SetFused(pc, ch.Pcs)
+		tr.EndSpan(pc, in.Name(), worker, spanStart, 0, rowsIn, ret.Tuples(), ret.Bytes())
+	}
+	return nil
+}
+
+// evalFusedChain translates the chain's members into FusedSteps and
+// runs the fused kernel. Column switches are checked for positional
+// alignment at run time (both heads dense over the same oid range); a
+// chain that fails the check falls back to per-member evaluation with
+// chain-local intermediates, preserving exact semantics.
+func evalFusedChain(ctx *Ctx, ch *FusedChain) (Value, int, error) {
+	t := ctx.Template
+	resolve := func(a Arg) Value {
+		if a.IsConst() {
+			return a.Const
+		}
+		return ctx.Stack[a.Var]
+	}
+	first := &t.Instrs[ch.Pcs[0]]
+	base, err := wantBat(resolve(first.Args[0]))
+	if err != nil {
+		return Value{}, 0, err
+	}
+	steps := make([]algebra.FusedStep, 0, len(ch.Pcs))
+	aligned := true
+	for _, pc := range ch.Pcs {
+		in := &t.Instrs[pc]
+		switch in.Op {
+		case "select":
+			args := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = resolve(a)
+			}
+			lo, hi, incLo, incHi := SelectBounds(args)
+			steps = append(steps, algebra.FusedStep{Kind: algebra.FuseSelect, Lo: lo, Hi: hi, IncLo: incLo, IncHi: incHi})
+		case "uselect":
+			steps = append(steps, algebra.FusedStep{Kind: algebra.FuseUselect, V: resolve(in.Args[1]).Scalar()})
+		case "selectNotNil":
+			steps = append(steps, algebra.FusedStep{Kind: algebra.FuseNotNil})
+		case "likeselect":
+			steps = append(steps, algebra.FusedStep{Kind: algebra.FuseLike, Pattern: resolve(in.Args[1]).S})
+		case "notlikeselect":
+			steps = append(steps, algebra.FusedStep{Kind: algebra.FuseNotLike, Pattern: resolve(in.Args[1]).S})
+		case "semijoin":
+			col, cerr := wantBat(resolve(in.Args[0]))
+			if cerr != nil || !alignedHeads(base, col) {
+				aligned = false
+			} else {
+				steps = append(steps, algebra.FusedStep{Kind: algebra.FuseSwitch, Col: col})
+			}
+		default:
+			aligned = false
+		}
+		if !aligned {
+			break
+		}
+	}
+	if !aligned {
+		ret, err := evalChainUnfused(ctx, ch)
+		return ret, base.Len(), err
+	}
+	return BatV(algebra.FusedSelect(base, steps)), base.Len(), nil
+}
+
+// alignedHeads reports whether two BATs share a dense head over the
+// identical oid range, i.e. equal positions reference equal oids.
+func alignedHeads(a, b *bat.BAT) bool {
+	ah, ok1 := a.Head.(*bat.DenseOids)
+	bh, ok2 := b.Head.(*bat.DenseOids)
+	return ok1 && ok2 && ah.Start == bh.Start && ah.N == bh.N
+}
+
+// evalChainUnfused executes the chain's members one at a time with
+// intermediates held in a chain-local scope (member result slots stay
+// unwritten on the stack, exactly as in fused execution) and returns
+// the last member's value.
+func evalChainUnfused(ctx *Ctx, ch *FusedChain) (Value, error) {
+	t := ctx.Template
+	local := make(map[int]Value, len(ch.Pcs))
+	var ret Value
+	for _, pc := range ch.Pcs {
+		in := &t.Instrs[pc]
+		args := make([]Value, len(in.Args))
+		for i, a := range in.Args {
+			if a.IsConst() {
+				args[i] = a.Const
+			} else if v, ok := local[a.Var]; ok {
+				args[i] = v
+			} else {
+				args[i] = ctx.Stack[a.Var]
+			}
+		}
+		v, err := Eval(ctx, in, args)
+		if err != nil {
+			return Value{}, err
+		}
+		if in.Ret >= 0 {
+			local[in.Ret] = v
+		}
+		ret = v
+	}
+	return ret, nil
+}

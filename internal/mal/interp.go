@@ -119,6 +119,10 @@ type Ctx struct {
 	// GOMAXPROCS, 1 forces sequential execution, n > 1 runs at most n
 	// independent instructions concurrently.
 	Workers int
+	// NoFusion disables fused select-chain execution for this context,
+	// forcing the per-instruction interpreter path even on templates
+	// annotated by the optimizer's fusion pass.
+	NoFusion bool
 
 	// Trace, when non-nil, records one span per executed instruction.
 	// Span slots are written lock-free: each pc runs exactly once on
@@ -319,6 +323,11 @@ func step(ctx *Ctx, pc int, in *Instr, worker int) error {
 	var spanStart time.Time
 	if tr != nil {
 		spanStart = time.Now()
+	}
+	if ctx.Template.fusedAt != nil {
+		if ci, last, ok := ctx.Template.fusedChainAt(pc); ok && fusionEligible(ctx, ci) {
+			return stepFused(ctx, pc, in, worker, ci, last, spanStart)
+		}
 	}
 	args := make([]Value, len(in.Args))
 	for i, a := range in.Args {

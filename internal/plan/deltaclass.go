@@ -7,6 +7,13 @@ package plan
 // property of the operation name — and deliberately conservative:
 // anything not provably maintainable in O(|delta|) with bit-identical
 // results classifies DeltaNone and falls back to invalidation.
+//
+// Select-chain fusion (opt.PlanFusion) does not interact with this
+// classification: fusion is an execution-time rewrite that leaves the
+// instruction list, per-op identity and therefore the static per-op
+// delta class untouched, and monitored (recycled) runs — the only
+// runs that admit pool entries needing maintenance — never execute
+// fused.
 type DeltaClass int
 
 // Delta classes.

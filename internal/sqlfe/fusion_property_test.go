@@ -1,0 +1,223 @@
+package sqlfe
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/recycler"
+)
+
+// Fusion equivalence properties: for random rich queries the SAME
+// optimized template must produce bit-identical results whether its
+// fused chains execute in one kernel pass or per instruction
+// (mal.Ctx.NoFusion), and fused execution must match the raw
+// unoptimized per-instruction reference.
+
+// genFusionTable builds a random table with int columns a, b and a
+// string column c (so LIKE chains fuse too), plus occasional nils.
+type fusionTable struct {
+	cat *catalog.Catalog
+	a   []int64
+	b   []int64
+	c   []string
+}
+
+func genFusionTable(rng *rand.Rand) *fusionTable {
+	cat := catalog.New()
+	tb := cat.CreateTable("sys", "t", []catalog.ColDef{
+		{Name: "a", Kind: bat.KInt},
+		{Name: "b", Kind: bat.KInt},
+		{Name: "c", Kind: bat.KStr},
+	})
+	n := rng.Intn(300) + 1
+	ft := &fusionTable{cat: cat}
+	words := []string{"alpha", "beta", "gamma", "delta", "alphabet", "betamax", ""}
+	rows := make([]catalog.Row, n)
+	for i := range rows {
+		av, bv := int64(rng.Intn(60)), int64(rng.Intn(60))
+		cv := words[rng.Intn(len(words))]
+		rows[i] = catalog.Row{"a": av, "b": bv, "c": cv}
+		ft.a, ft.b, ft.c = append(ft.a, av), append(ft.b, bv), append(ft.c, cv)
+	}
+	tb.Append(rows)
+	return ft
+}
+
+// genFusionQuery samples a conjunctive query mixing range, equality
+// and LIKE predicates across columns — the shapes PlanFusion chains.
+func genFusionQuery(rng *rand.Rand) string {
+	var sel, tail string
+	switch rng.Intn(3) {
+	case 0:
+		sel = "COUNT(*)"
+	case 1:
+		sel = "a, b"
+		if rng.Intn(2) == 0 {
+			tail = " ORDER BY a"
+		}
+	default:
+		sel = "a, COUNT(*)"
+		tail = " GROUP BY a"
+	}
+	nPreds := rng.Intn(3) + 1
+	where := ""
+	for i := 0; i < nPreds; i++ {
+		if i > 0 {
+			where += " AND "
+		}
+		switch rng.Intn(5) {
+		case 0:
+			where += fmt.Sprintf("c LIKE '%%%s%%'", []string{"alpha", "bet", "a", "x"}[rng.Intn(4)])
+		case 1:
+			where += fmt.Sprintf("c NOT LIKE '%%%s%%'", []string{"alpha", "mm"}[rng.Intn(2)])
+		default:
+			where += genPred(rng).sql()
+		}
+	}
+	return fmt.Sprintf("SELECT %s FROM sys.t WHERE %s%s", sel, where, tail)
+}
+
+func execNoFusion(cat *catalog.Catalog, tmpl *mal.Template, params []mal.Value) ([]mal.Result, error) {
+	ctx := &mal.Ctx{Cat: cat, NoFusion: true}
+	if err := mal.Run(ctx, tmpl, params...); err != nil {
+		return nil, err
+	}
+	return ctx.Results, nil
+}
+
+// TestFusedExecutionBitIdentical is the fusion kernel's master
+// property: fused and unfused execution of one template agree exactly,
+// and both agree with the raw unoptimized plan. The test also asserts
+// it is not vacuous — across the run the planner must actually have
+// annotated chains.
+func TestFusedExecutionBitIdentical(t *testing.T) {
+	chains := 0
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ft := genFusionTable(rng)
+		fe := NewFrontend(ft.cat)
+		for q := 0; q < 6; q++ {
+			sql := genFusionQuery(rng)
+			tmpl, params, err := fe.Compile(sql)
+			if err != nil {
+				t.Logf("seed %d: compile %q: %v", seed, sql, err)
+				return false
+			}
+			chains += len(tmpl.FusedChains())
+			fused, err := execResults(ft.cat, nil, 0, tmpl, params)
+			if err != nil {
+				t.Logf("seed %d: fused run %q: %v", seed, sql, err)
+				return false
+			}
+			unfused, err := execNoFusion(ft.cat, tmpl, params)
+			if err != nil {
+				t.Logf("seed %d: unfused run %q: %v", seed, sql, err)
+				return false
+			}
+			if !resultsBitIdentical(fused, unfused) {
+				t.Logf("seed %d: fused != unfused for %q", seed, sql)
+				return false
+			}
+			rawT, rawP, err := rawCompile(ft.cat, sql)
+			if err != nil {
+				t.Logf("seed %d: raw compile %q: %v", seed, sql, err)
+				return false
+			}
+			want, err := execResults(ft.cat, nil, 0, rawT, rawP)
+			if err != nil {
+				t.Logf("seed %d: raw run %q: %v", seed, sql, err)
+				return false
+			}
+			if !resultsBitIdentical(want, fused) {
+				t.Logf("seed %d: fused != raw reference for %q", seed, sql)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if chains == 0 {
+		t.Fatal("property is vacuous: no query produced a fused chain")
+	}
+}
+
+// TestFusionConcurrentStress drives one set of cached templates from
+// many goroutines — fused naive runs racing recycled (never-fused)
+// runs of the same templates — so the race detector sees the fused
+// reader paths against the recycler's pool mutation. Results are
+// checked against a single-threaded unfused run per query.
+func TestFusionConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ft := genFusionTable(rng)
+	fe := NewFrontend(ft.cat)
+	rec := recycler.New(ft.cat, recycler.Config{
+		Admission: recycler.KeepAll, Subsumption: true,
+	})
+	defer rec.Close()
+
+	type job struct {
+		tmpl   *mal.Template
+		params []mal.Value
+		want   []mal.Result
+	}
+	var jobs []job
+	for len(jobs) < 8 {
+		sql := genFusionQuery(rng)
+		tmpl, params, err := fe.Compile(sql)
+		if err != nil {
+			continue
+		}
+		want, err := execNoFusion(ft.cat, tmpl, params)
+		if err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+		jobs = append(jobs, job{tmpl, params, want})
+	}
+
+	var wg sync.WaitGroup
+	var qid, failures int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				j := jobs[(w+i)%len(jobs)]
+				var got []mal.Result
+				var err error
+				if w%2 == 0 {
+					// Fused naive execution, dataflow scheduler.
+					ctx := &mal.Ctx{Cat: ft.cat, Workers: 2}
+					err = mal.Run(ctx, j.tmpl, j.params...)
+					got = ctx.Results
+				} else {
+					mu.Lock()
+					qid++
+					id := uint64(qid)
+					mu.Unlock()
+					rec.BeginQuery(id, j.tmpl.ID)
+					got, err = execResults(ft.cat, rec, id, j.tmpl, j.params)
+					rec.EndQuery(id)
+				}
+				if err != nil || !resultsBitIdentical(j.want, got) {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures > 0 {
+		t.Fatalf("%d workers saw divergent or failed results", failures)
+	}
+}

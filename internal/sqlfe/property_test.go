@@ -151,7 +151,8 @@ func TestRandomQueriesMatchReference(t *testing.T) {
 }
 
 // rawCompile compiles src with EVERY optimizer pass disabled and no
-// query normalization — the plan exactly as the compiler emits it.
+// query normalization — the plan exactly as the compiler emits it,
+// with fusion unannotated so execution is strictly per-instruction.
 func rawCompile(cat *catalog.Catalog, src string) (*mal.Template, []mal.Value, error) {
 	q, err := Parse(src)
 	if err != nil {
@@ -159,7 +160,7 @@ func rawCompile(cat *catalog.Catalog, src string) (*mal.Template, []mal.Value, e
 	}
 	return CompileOpt(cat, q, opt.Options{
 		SkipConstFold: true, SkipDeadCode: true, SkipCommute: true,
-		SkipCSE: true, SkipNormalizeSQL: true,
+		SkipCSE: true, SkipNormalizeSQL: true, SkipFusion: true,
 	})
 }
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Capture a CPU profile of the SkyServer workload mix plus the kernel
+# microbenchmarks, so kernel work is guided by measurement rather than
+# guesswork (docs/ARCHITECTURE.md "Kernel layer"). Artifacts land in
+# profiles/:
+#   profiles/skybench.pprof   whole-run profile of the naive baseline
+#   profiles/kernels.pprof    internal/algebra Kernel* benchmarks
+#   profiles/*.top.txt        `go tool pprof -top` summaries
+# Usage: scripts/profile.sh [objects] [queries]   (defaults 20000 200)
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+objects="${1:-20000}"
+queries="${2:-200}"
+mkdir -p profiles
+
+echo "== skybench naive baseline (objects=$objects n=$queries) =="
+go run ./cmd/skybench -objects "$objects" -n "$queries" \
+  -cpuprofile profiles/skybench.pprof naive
+
+echo "== kernel microbenchmarks =="
+go test ./internal/algebra/ -run '^$' -bench 'BenchmarkKernel' \
+  -benchtime 100x -cpuprofile profiles/kernels.pprof \
+  -o profiles/algebra.test >/dev/null
+
+echo "== top functions =="
+go tool pprof -top -nodecount 25 profiles/skybench.pprof \
+  | tee profiles/skybench.top.txt
+go tool pprof -top -nodecount 25 profiles/algebra.test profiles/kernels.pprof \
+  | tee profiles/kernels.top.txt
+
+echo "profiles written to profiles/ (open with: go tool pprof -http :8080 <file>)"
